@@ -1,0 +1,75 @@
+"""E11 (ablation, ours) — contribution of each pruning bound.
+
+DESIGN.md calls out three pruning devices: the one-side bound LBo
+(internal nodes), the two-side bound LBt (leaves) and the pivot bound
+LBp (metric measures).  This ablation toggles each off and reports
+query time and refinement counts; exactness is preserved by
+construction (disabled bounds never prune).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    BenchConfig,
+    format_table,
+    make_workload,
+    write_report,
+)
+from repro.bench.harness import ExperimentHarness, average_query_time
+
+CFG = BenchConfig.from_env()
+
+VARIANTS = {
+    "all bounds": {},
+    "no LBp": {"use_pivots": False},
+    "no LBt": {"use_lbt": False},
+    "no LBo": {"use_lbo": False},
+    "no pruning": {"use_pivots": False, "use_lbt": False, "use_lbo": False},
+}
+
+
+def _run(dataset: str, variant: str):
+    workload = make_workload(dataset, "hausdorff", scale=CFG.scale,
+                             num_queries=CFG.num_queries, cap=CFG.cap,
+                             seed=CFG.seed)
+    harness = ExperimentHarness(workload, "hausdorff",
+                                num_partitions=CFG.num_partitions,
+                                cluster_spec=CFG.cluster_spec)
+    engine = harness.build_repose(search_options=VARIANTS[variant])
+    qt, _, _, _ = average_query_time(engine, workload.queries, CFG.k)
+    outcome = engine.top_k(workload.queries[0], CFG.k)
+    return qt, outcome.result.stats
+
+
+@pytest.mark.parametrize("variant", ["all bounds", "no pruning"])
+def test_qt_ablation(benchmark, variant):
+    benchmark.pedantic(lambda: _run("t-drive", variant),
+                       rounds=1, iterations=1)
+
+
+def test_report_ablation_bounds():
+    rows = []
+    baselines = {}
+    for dataset in ("t-drive", "xian"):
+        for variant in VARIANTS:
+            qt, stats = _run(dataset, variant)
+            if variant == "all bounds":
+                baselines[dataset] = stats.distance_computations
+            rows.append([dataset, variant, f"{qt:.4f}",
+                         stats.nodes_visited, stats.nodes_pruned,
+                         stats.distance_computations])
+    table = format_table(
+        "Ablation (ours): pruning bound contributions (Hausdorff)",
+        ["Dataset", "Variant", "QT (s)", "Nodes visited", "Nodes pruned",
+         "Distance comps"], rows)
+    write_report("ablation_bounds", table)
+    # Full pruning must never refine more than no pruning, once the
+    # fixed query-pivot distance cost (Np per partition, counted in
+    # distance_computations) is netted out.
+    pivot_overhead = 5 * CFG.num_partitions
+    by_key = {(r[0], r[1]): r[5] for r in rows}
+    for dataset in ("t-drive", "xian"):
+        assert (by_key[(dataset, "all bounds")] - pivot_overhead
+                <= by_key[(dataset, "no pruning")])

@@ -1,0 +1,60 @@
+"""E12 (ablation, ours) — succinct trie memory and query overhead.
+
+The paper's succinct structure (bitmap upper levels + byte-sequence
+lower levels) trades a little traversal overhead for memory.  This
+bench freezes the built tries and compares footprint and query time
+against the dict-based trie.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    BenchConfig,
+    format_table,
+    make_workload,
+    write_report,
+)
+from repro.bench.harness import ExperimentHarness, average_query_time
+
+CFG = BenchConfig.from_env()
+DATASETS = ["t-drive", "osm"]
+
+
+def _run(dataset: str, succinct: bool):
+    workload = make_workload(dataset, "hausdorff", scale=CFG.scale,
+                             num_queries=CFG.num_queries, cap=CFG.cap,
+                             seed=CFG.seed)
+    harness = ExperimentHarness(workload, "hausdorff",
+                                num_partitions=CFG.num_partitions,
+                                cluster_spec=CFG.cluster_spec)
+    engine = harness.build_repose(succinct=succinct)
+    qt, _, _, _ = average_query_time(engine, workload.queries, CFG.k)
+    return engine.index_bytes(), qt
+
+
+@pytest.mark.parametrize("succinct", [False, True])
+def test_qt_succinct(benchmark, succinct):
+    benchmark.pedantic(lambda: _run("t-drive", succinct),
+                       rounds=1, iterations=1)
+
+
+def test_report_ablation_succinct():
+    rows = []
+    for dataset in DATASETS:
+        dict_bytes, dict_qt = _run(dataset, succinct=False)
+        frozen_bytes, frozen_qt = _run(dataset, succinct=True)
+        saving = 100.0 * (1 - frozen_bytes / dict_bytes)
+        rows.append([dataset,
+                     f"{dict_bytes / 2**20:.2f}",
+                     f"{frozen_bytes / 2**20:.2f}",
+                     f"{saving:.1f}%",
+                     f"{dict_qt:.4f}", f"{frozen_qt:.4f}"])
+    table = format_table(
+        "Ablation (ours): succinct (frozen) trie vs dict trie (Hausdorff)",
+        ["Dataset", "Dict IS (MB)", "Frozen IS (MB)", "Memory cut",
+         "Dict QT (s)", "Frozen QT (s)"], rows)
+    write_report("ablation_succinct", table)
+    for row in rows:
+        assert float(row[2]) < float(row[1])  # frozen must be smaller

@@ -1,0 +1,79 @@
+"""E6 — Fig. 8: effect of dataset cardinality.
+
+The paper scales OSM from 0.2 to 1.0 of its cardinality; all
+algorithms' query times grow roughly linearly, with REPOSE best
+throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    BenchConfig,
+    ExperimentHarness,
+    average_query_time,
+    format_series,
+    make_workload,
+    write_report,
+)
+from repro.bench.workloads import Workload
+from repro.datasets.preprocess import sample_queries
+
+CFG = BenchConfig.from_env()
+SCALES = [0.2, 0.4, 0.6, 0.8, 1.0]
+MEASURES = ["hausdorff", "frechet"]
+
+
+def _subset_workload(base: Workload, fraction: float) -> Workload:
+    subset = base.dataset.subset(fraction)
+    return Workload(name=base.name, dataset=subset,
+                    queries=sample_queries(subset, count=CFG.num_queries,
+                                           seed=CFG.seed + 1),
+                    delta=base.delta)
+
+
+def _series(measure: str) -> dict[str, list[float]]:
+    base = make_workload("osm", measure, scale=CFG.scale,
+                         num_queries=CFG.num_queries, cap=CFG.cap,
+                         seed=CFG.seed)
+    out: dict[str, list[float]] = {}
+    algorithms = ["repose", "dft", "ls"] + (
+        ["dita"] if measure == "frechet" else [])
+    for fraction in SCALES:
+        workload = _subset_workload(base, fraction)
+        harness = ExperimentHarness(workload, measure,
+                                    num_partitions=CFG.num_partitions,
+                                    cluster_spec=CFG.cluster_spec)
+        for algo in algorithms:
+            if algo == "repose":
+                engine = harness.build_repose()
+            else:
+                engine = harness.build_baseline(algo)
+            qt, _, _, _ = average_query_time(engine, workload.queries, CFG.k)
+            out.setdefault(algo.upper(), []).append(qt)
+    return out
+
+
+@pytest.mark.parametrize("fraction", [0.2, 1.0])
+def test_qt_osm_scaled(benchmark, fraction):
+    base = make_workload("osm", "hausdorff", scale=CFG.scale,
+                         num_queries=1, cap=CFG.cap, seed=CFG.seed)
+    workload = _subset_workload(base, fraction)
+    harness = ExperimentHarness(workload, "hausdorff",
+                                num_partitions=CFG.num_partitions,
+                                cluster_spec=CFG.cluster_spec)
+    engine = harness.build_repose()
+    query = workload.queries[0]
+    benchmark.pedantic(lambda: engine.top_k(query, CFG.k),
+                       rounds=2, iterations=1)
+
+
+def test_report_fig8():
+    blocks = []
+    for measure in MEASURES:
+        series = _series(measure)
+        blocks.append(format_series(
+            f"Fig. 8 (reproduced): OSM with {measure} — QT (s) vs scale",
+            "scale", SCALES, series))
+    write_report("fig8_cardinality", "\n\n".join(blocks))

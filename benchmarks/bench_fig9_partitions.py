@@ -1,0 +1,66 @@
+"""E7 — Fig. 9: effect of the number of partitions.
+
+The paper varies partitions from 16 to 64 on OSM (64 cores total): all
+algorithms speed up as partitions approach one per core; LS gains the
+most (random partitioning suffers badly from skew at few partitions);
+REPOSE keeps the best absolute time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    BenchConfig,
+    ExperimentHarness,
+    average_query_time,
+    format_series,
+    make_workload,
+    write_report,
+)
+
+CFG = BenchConfig.from_env()
+PARTITION_COUNTS = [16, 32, 48, 64]
+MEASURES = ["hausdorff", "frechet"]
+
+
+def _series(measure: str) -> dict[str, list[float]]:
+    workload = make_workload("osm", measure, scale=CFG.scale,
+                             num_queries=CFG.num_queries, cap=CFG.cap,
+                             seed=CFG.seed)
+    algorithms = ["repose", "dft", "ls"] + (
+        ["dita"] if measure == "frechet" else [])
+    out: dict[str, list[float]] = {}
+    for parts in PARTITION_COUNTS:
+        harness = ExperimentHarness(workload, measure, num_partitions=parts,
+                                    cluster_spec=CFG.cluster_spec)
+        for algo in algorithms:
+            if algo == "repose":
+                engine = harness.build_repose()
+            else:
+                engine = harness.build_baseline(algo)
+            qt, _, _, _ = average_query_time(engine, workload.queries, CFG.k)
+            out.setdefault(algo.upper(), []).append(qt)
+    return out
+
+
+@pytest.mark.parametrize("parts", [16, 64])
+def test_qt_osm_partitions(benchmark, parts):
+    workload = make_workload("osm", "hausdorff", scale=CFG.scale,
+                             num_queries=1, cap=CFG.cap, seed=CFG.seed)
+    harness = ExperimentHarness(workload, "hausdorff", num_partitions=parts,
+                                cluster_spec=CFG.cluster_spec)
+    engine = harness.build_repose()
+    query = workload.queries[0]
+    benchmark.pedantic(lambda: engine.top_k(query, CFG.k),
+                       rounds=2, iterations=1)
+
+
+def test_report_fig9():
+    blocks = []
+    for measure in MEASURES:
+        series = _series(measure)
+        blocks.append(format_series(
+            f"Fig. 9 (reproduced): OSM with {measure} — QT (s) vs "
+            "# of partitions", "partitions", PARTITION_COUNTS, series))
+    write_report("fig9_partitions", "\n\n".join(blocks))

@@ -1,0 +1,105 @@
+"""E1 — Table IV: performance overview.
+
+QT / IS / IT for REPOSE, DITA, DFT and LS on all seven datasets and the
+Hausdorff, Frechet and DTW measures.  The paper's "/" cells (DITA has
+no Hausdorff support; LS has no index) are reproduced.
+
+Expected shape (paper): REPOSE fastest everywhere; DFT slowest on the
+large dense datasets by an order of magnitude; LS competitive on small
+datasets; DFT's index ~4x larger than REPOSE/DITA.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    BenchConfig,
+    ExperimentHarness,
+    format_table,
+    make_workload,
+    write_report,
+)
+
+CFG = BenchConfig.from_env()
+DATASETS = ["sf", "porto", "rome", "t-drive", "xian", "chengdu", "osm"]
+MEASURES = ["hausdorff", "frechet", "dtw"]
+ALGORITHMS = ["repose", "dita", "dft", "ls"]
+
+
+def _harness(dataset: str, measure: str) -> ExperimentHarness:
+    workload = make_workload(dataset, measure, scale=CFG.scale,
+                             num_queries=CFG.num_queries, cap=CFG.cap,
+                             seed=CFG.seed)
+    return ExperimentHarness(workload, measure,
+                             num_partitions=CFG.num_partitions,
+                             cluster_spec=CFG.cluster_spec)
+
+
+# -- pytest-benchmark timings on the headline cells -------------------------------
+
+@pytest.fixture(scope="module")
+def tdrive_hausdorff_engines():
+    harness = _harness("t-drive", "hausdorff")
+    engines = {
+        "repose": harness.build_repose(),
+        "dft": harness.build_baseline("dft"),
+        "ls": harness.build_baseline("ls"),
+    }
+    return harness, engines
+
+
+@pytest.mark.parametrize("algorithm", ["repose", "dft", "ls"])
+def test_qt_tdrive_hausdorff(benchmark, tdrive_hausdorff_engines, algorithm):
+    harness, engines = tdrive_hausdorff_engines
+    engine = engines[algorithm]
+    query = harness.workload.queries[0]
+    benchmark.pedantic(lambda: engine.top_k(query, CFG.k),
+                       rounds=3, iterations=1)
+
+
+# -- full paper table ----------------------------------------------------------------
+
+def test_report_table4():
+    import sys
+    import time
+
+    # One build+query pass per (measure, dataset); all three metrics are
+    # extracted from the same runs.
+    all_runs: dict[tuple[str, str], dict] = {}
+    for measure in MEASURES:
+        for dataset in DATASETS:
+            started = time.perf_counter()
+            harness = _harness(dataset, measure)
+            all_runs[(measure, dataset)] = harness.run_all(
+                k=CFG.k, algorithms=tuple(ALGORITHMS))
+            print(f"[table4] {measure}/{dataset} done in "
+                  f"{time.perf_counter() - started:.1f}s",
+                  file=sys.stderr, flush=True)
+
+    def cell(run, metric: str, algo: str) -> str:
+        if not run.supported:
+            return "/"
+        if metric == "QT (s)":
+            return f"{run.query_seconds:.4f}"
+        if algo == "ls":
+            return "/"  # LS has no index: no IS / IT entries
+        if metric == "IS (MB)":
+            return f"{run.index_bytes / 2**20:.2f}"
+        return f"{run.build_seconds:.4f}"
+
+    rows = []
+    for metric in ("QT (s)", "IS (MB)", "IT (s)"):
+        for measure in MEASURES:
+            for algo in ALGORITHMS:
+                rows.append(
+                    [metric, measure, algo.upper()]
+                    + [cell(all_runs[(measure, d)][algo], metric, algo)
+                       for d in DATASETS])
+    table = format_table(
+        "Table IV (reproduced): performance overview "
+        f"(scale={CFG.scale}, cap={CFG.cap}, k={CFG.k}, "
+        f"{CFG.num_partitions} partitions)",
+        ["Metric", "Distance", "Algorithm"] + [d.capitalize() for d in DATASETS],
+        rows)
+    write_report("table4_overview", table)

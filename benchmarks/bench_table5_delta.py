@@ -1,0 +1,68 @@
+"""E3 — Table V: effect of the grid side length delta.
+
+The paper sweeps delta per dataset for Hausdorff and Frechet and finds
+a U-shaped query-time curve: small delta -> long reference trajectories
+(bound computation overhead); large delta -> poor fidelity and weak
+pruning.  The sweep values are the paper's, and the reproduced table
+keeps its layout (one block of delta values per dataset).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import (
+    BenchConfig,
+    average_query_time,
+    format_table,
+    make_workload,
+    write_report,
+)
+from repro.bench.harness import ExperimentHarness
+
+CFG = BenchConfig.from_env()
+
+# Paper Table V sweep values per dataset.  REPRO_BENCH_SWEEP=short
+# keeps every other value (and drops OSM) for time-boxed runs.
+SWEEPS = {
+    "t-drive": [0.01, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30],
+    "xian": [0.005, 0.010, 0.015, 0.020, 0.025, 0.030, 0.035],
+    "osm": [0.1, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0],
+}
+if os.environ.get("REPRO_BENCH_SWEEP") == "short":
+    SWEEPS = {name: values[::2] for name, values in SWEEPS.items()
+              if name != "osm"}
+
+
+def _qt_for_delta(dataset: str, measure: str, delta: float) -> float:
+    workload = make_workload(dataset, measure, scale=CFG.scale,
+                             num_queries=CFG.num_queries, cap=CFG.cap,
+                             seed=CFG.seed)
+    harness = ExperimentHarness(workload, measure,
+                                num_partitions=CFG.num_partitions,
+                                cluster_spec=CFG.cluster_spec)
+    engine = harness.build_repose(delta=delta)
+    qt, _, _, _ = average_query_time(engine, workload.queries, CFG.k)
+    return qt
+
+
+@pytest.mark.parametrize("delta", [0.05, 0.15, 0.30])
+def test_qt_tdrive_delta(benchmark, delta):
+    benchmark.pedantic(
+        lambda: _qt_for_delta("t-drive", "hausdorff", delta),
+        rounds=1, iterations=1)
+
+
+def test_report_table5():
+    rows = []
+    for dataset, deltas in SWEEPS.items():
+        for delta in deltas:
+            qt_h = _qt_for_delta(dataset, "hausdorff", delta)
+            qt_f = _qt_for_delta(dataset, "frechet", delta)
+            rows.append([dataset, delta, f"{qt_h:.4f}", f"{qt_f:.4f}"])
+    table = format_table(
+        "Table V (reproduced): QT (s) while varying delta",
+        ["Dataset", "delta", "DH (Hausdorff)", "DF (Frechet)"], rows)
+    write_report("table5_delta", table)

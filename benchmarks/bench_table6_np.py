@@ -1,0 +1,61 @@
+"""E4 — Table VI: effect of the number of pivot trajectories Np.
+
+The paper sweeps Np in {1, 3, 5, 7, 9, 11}: query time is U-shaped
+(more pivots prune better until the per-query pivot-distance overhead
+dominates), with Np = 5 chosen as the default.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import (
+    BenchConfig,
+    average_query_time,
+    format_table,
+    make_workload,
+    write_report,
+)
+from repro.bench.harness import ExperimentHarness
+
+CFG = BenchConfig.from_env()
+DATASETS = ["t-drive", "xian", "osm"]
+NP_VALUES = [1, 3, 5, 7, 9, 11]
+# REPRO_BENCH_SWEEP=short: half the Np values, drop OSM.
+if os.environ.get("REPRO_BENCH_SWEEP") == "short":
+    DATASETS = ["t-drive", "xian"]
+    NP_VALUES = [1, 5, 9]
+
+
+def _qt_for_np(dataset: str, measure: str, num_pivots: int) -> float:
+    workload = make_workload(dataset, measure, scale=CFG.scale,
+                             num_queries=CFG.num_queries, cap=CFG.cap,
+                             seed=CFG.seed)
+    harness = ExperimentHarness(workload, measure,
+                                num_partitions=CFG.num_partitions,
+                                cluster_spec=CFG.cluster_spec)
+    engine = harness.build_repose(num_pivots=num_pivots)
+    qt, _, _, _ = average_query_time(engine, workload.queries, CFG.k)
+    return qt
+
+
+@pytest.mark.parametrize("num_pivots", [1, 5, 11])
+def test_qt_tdrive_np(benchmark, num_pivots):
+    benchmark.pedantic(
+        lambda: _qt_for_np("t-drive", "hausdorff", num_pivots),
+        rounds=1, iterations=1)
+
+
+def test_report_table6():
+    rows = []
+    for dataset in DATASETS:
+        for num_pivots in NP_VALUES:
+            qt_h = _qt_for_np(dataset, "hausdorff", num_pivots)
+            qt_f = _qt_for_np(dataset, "frechet", num_pivots)
+            rows.append([dataset, num_pivots, f"{qt_h:.4f}", f"{qt_f:.4f}"])
+    table = format_table(
+        "Table VI (reproduced): QT (s) while varying Np",
+        ["Dataset", "Np", "DH (Hausdorff)", "DF (Frechet)"], rows)
+    write_report("table6_np", table)

@@ -1,0 +1,56 @@
+"""E8 — Table VII: effect of the global partitioning strategy.
+
+All three strategies run with the RP-Trie as the local index; only the
+trajectory placement differs.  Expected shape (paper): heterogeneous
+best, homogeneous worst (weak local pruning + load imbalance), random
+in between.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    BenchConfig,
+    average_query_time,
+    format_table,
+    make_workload,
+    write_report,
+)
+from repro.bench.harness import ExperimentHarness
+
+CFG = BenchConfig.from_env()
+DATASETS = ["t-drive", "xian", "osm"]
+MEASURES = ["hausdorff", "frechet"]
+STRATEGIES = ["heterogeneous", "homogeneous", "random"]
+
+
+def _qt(dataset: str, measure: str, strategy: str) -> float:
+    workload = make_workload(dataset, measure, scale=CFG.scale,
+                             num_queries=CFG.num_queries, cap=CFG.cap,
+                             seed=CFG.seed)
+    harness = ExperimentHarness(workload, measure,
+                                num_partitions=CFG.num_partitions,
+                                cluster_spec=CFG.cluster_spec)
+    engine = harness.build_repose(strategy=strategy)
+    qt, _, _, _ = average_query_time(engine, workload.queries, CFG.k)
+    return qt
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_qt_tdrive_strategy(benchmark, strategy):
+    benchmark.pedantic(lambda: _qt("t-drive", "hausdorff", strategy),
+                       rounds=1, iterations=1)
+
+
+def test_report_table7():
+    rows = []
+    for measure in MEASURES:
+        for strategy in STRATEGIES:
+            rows.append([measure, strategy]
+                        + [f"{_qt(d, measure, strategy):.4f}"
+                           for d in DATASETS])
+    table = format_table(
+        "Table VII (reproduced): QT (s) per partitioning strategy",
+        ["Distance", "Partitioning"] + [d for d in DATASETS], rows)
+    write_report("table7_partitioning", table)

@@ -1,0 +1,59 @@
+"""E9 — Table VIII: DITA with heterogeneous partitioning (Heter-DITA).
+
+The paper grafts REPOSE's heterogeneous partitioning onto DITA:
+Heter-DITA beats plain DITA but both stay behind REPOSE (DTW and
+Frechet; DITA has no Hausdorff support).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    BenchConfig,
+    average_query_time,
+    format_table,
+    make_workload,
+    write_report,
+)
+from repro.bench.harness import ExperimentHarness
+
+CFG = BenchConfig.from_env()
+DATASETS = ["t-drive", "xian", "osm"]
+MEASURES = ["dtw", "frechet"]
+
+
+def _qt(dataset: str, measure: str, algo: str) -> float:
+    workload = make_workload(dataset, measure, scale=CFG.scale,
+                             num_queries=CFG.num_queries, cap=CFG.cap,
+                             seed=CFG.seed)
+    harness = ExperimentHarness(workload, measure,
+                                num_partitions=CFG.num_partitions,
+                                cluster_spec=CFG.cluster_spec)
+    if algo == "REPOSE":
+        engine = harness.build_repose()
+    elif algo == "Heter-DITA":
+        engine = harness.build_baseline("dita", strategy="heterogeneous")
+    else:
+        engine = harness.build_baseline("dita")
+    qt, _, _, _ = average_query_time(engine, workload.queries, CFG.k)
+    return qt
+
+
+@pytest.mark.parametrize("algo", ["REPOSE", "Heter-DITA", "DITA"])
+def test_qt_tdrive_frechet(benchmark, algo):
+    benchmark.pedantic(lambda: _qt("t-drive", "frechet", algo),
+                       rounds=1, iterations=1)
+
+
+def test_report_table8():
+    rows = []
+    for measure in MEASURES:
+        for algo in ("REPOSE", "Heter-DITA", "DITA"):
+            rows.append([measure, algo]
+                        + [f"{_qt(d, measure, algo):.4f}" for d in DATASETS])
+    table = format_table(
+        "Table VIII (reproduced): comparison with DITA using "
+        "heterogeneous partitioning — QT (s)",
+        ["Distance", "Algorithm"] + DATASETS, rows)
+    write_report("table8_heter_dita", table)

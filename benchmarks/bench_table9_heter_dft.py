@@ -1,0 +1,58 @@
+"""E10 — Table IX: DFT with heterogeneous partitioning (Heter-DFT).
+
+Counterpart of Table VIII for DFT on Hausdorff and Frechet: Heter-DFT
+improves on DFT; REPOSE stays fastest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    BenchConfig,
+    average_query_time,
+    format_table,
+    make_workload,
+    write_report,
+)
+from repro.bench.harness import ExperimentHarness
+
+CFG = BenchConfig.from_env()
+DATASETS = ["t-drive", "xian", "osm"]
+MEASURES = ["hausdorff", "frechet"]
+
+
+def _qt(dataset: str, measure: str, algo: str) -> float:
+    workload = make_workload(dataset, measure, scale=CFG.scale,
+                             num_queries=CFG.num_queries, cap=CFG.cap,
+                             seed=CFG.seed)
+    harness = ExperimentHarness(workload, measure,
+                                num_partitions=CFG.num_partitions,
+                                cluster_spec=CFG.cluster_spec)
+    if algo == "REPOSE":
+        engine = harness.build_repose()
+    elif algo == "Heter-DFT":
+        engine = harness.build_baseline("dft", strategy="heterogeneous")
+    else:
+        engine = harness.build_baseline("dft")
+    qt, _, _, _ = average_query_time(engine, workload.queries, CFG.k)
+    return qt
+
+
+@pytest.mark.parametrize("algo", ["REPOSE", "Heter-DFT", "DFT"])
+def test_qt_tdrive_hausdorff(benchmark, algo):
+    benchmark.pedantic(lambda: _qt("t-drive", "hausdorff", algo),
+                       rounds=1, iterations=1)
+
+
+def test_report_table9():
+    rows = []
+    for measure in MEASURES:
+        for algo in ("REPOSE", "Heter-DFT", "DFT"):
+            rows.append([measure, algo]
+                        + [f"{_qt(d, measure, algo):.4f}" for d in DATASETS])
+    table = format_table(
+        "Table IX (reproduced): comparison with DFT using "
+        "heterogeneous partitioning — QT (s)",
+        ["Distance", "Algorithm"] + DATASETS, rows)
+    write_report("table9_heter_dft", table)

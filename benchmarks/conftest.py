@@ -1,0 +1,28 @@
+"""Shared benchmark-session configuration.
+
+Prints the active scale knobs once per session so saved benchmark
+output is self-documenting, and ensures the results directory exists.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BenchConfig
+from repro.bench.config import RESULTS_DIR
+
+
+def pytest_configure(config):
+    cfg = BenchConfig.from_env()
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    print(
+        "\n[repro bench] scale={0.scale} cap={0.cap} queries={0.num_queries} "
+        "k={0.k} partitions={0.num_partitions} "
+        "cluster={1}x{2}".format(cfg, cfg.cluster_spec.num_workers,
+                                 cfg.cluster_spec.cores_per_worker)
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> BenchConfig:
+    return BenchConfig.from_env()

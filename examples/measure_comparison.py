@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""All six similarity measures over one dataset.
+
+REPOSE's selling point over DFT/DITA is measure coverage: Hausdorff,
+Frechet, DTW, LCSS, EDR and ERP in one system (paper, Section I).
+This example runs the same query under every measure, showing how the
+index adapts (optimized trie for order-independent measures, pivots
+for metrics, cell-distance bounds for DTW) and how the rankings differ.
+"""
+
+from repro import Repose, get_measure
+from repro.datasets import generate_dataset, preprocess, sample_queries
+
+MEASURE_SETTINGS = {
+    "hausdorff": {},
+    "frechet": {},
+    "dtw": {},
+    "lcss": {"eps": 0.005},
+    "edr": {"eps": 0.005},
+    "erp": {},
+}
+
+
+def main() -> None:
+    data = preprocess(generate_dataset("sf", scale=0.001, seed=21))
+    query = sample_queries(data, count=1, seed=2)[0]
+    print(f"dataset: {len(data)} SF-like trajectories; "
+          f"query id {query.traj_id}; k=5\n")
+
+    header = (f"{'measure':>10} | {'metric?':>7} | {'order?':>6} | "
+              f"{'QT (ms)':>8} | top-5 ids")
+    print(header)
+    print("-" * len(header))
+    for name, params in MEASURE_SETTINGS.items():
+        measure = get_measure(name, **params)
+        engine = Repose.build(data, measure=measure, delta=0.02,
+                              num_partitions=8)
+        outcome = engine.top_k(query, k=5)
+        ids = ", ".join(str(tid) for tid in outcome.result.ids())
+        print(f"{name:>10} | {str(measure.is_metric):>7} | "
+              f"{str(measure.order_sensitive):>6} | "
+              f"{outcome.wall_seconds * 1e3:8.2f} | [{ids}]")
+
+    print(
+        "\nNotes:"
+        "\n- the query itself ranks first everywhere (distance 0);"
+        "\n- Hausdorff/Frechet/ERP engines add pivot (LBp) pruning;"
+        "\n- Hausdorff alone uses the re-arranged (optimized) trie;"
+        "\n- LCSS/EDR need an eps matching the data's coordinate scale."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""An index service lifecycle: build, persist, restart, append, verify.
+
+Simulates how a deployment would actually run REPOSE's local index:
+
+1. build an RP-Trie over yesterday's trajectories;
+2. save it to disk (`repro.persistence`) and "restart" by loading it —
+   no pivot-distance recomputation;
+3. stream today's new trajectories into the live index with
+   incremental inserts;
+4. answer queries and verify them against a brute-force scan
+   (`repro.validation`-style check).
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import RPTrie, Grid, local_search
+from repro.baselines.linear import LinearScanIndex
+from repro.datasets import generate_dataset, preprocess
+from repro.persistence import load_index, save_index
+from repro.types import Trajectory
+
+
+def main() -> None:
+    data = preprocess(generate_dataset("sf", scale=0.0015, seed=42))
+    yesterday = data.trajectories[: len(data) // 2]
+    today = data.trajectories[len(data) // 2:]
+    print(f"{len(yesterday)} historical trajectories, "
+          f"{len(today)} arriving today")
+
+    grid = Grid.fit(data.bounding_box(), delta=0.02)
+    started = time.perf_counter()
+    trie = RPTrie(grid, "hausdorff", optimized=True).build(yesterday)
+    print(f"initial build: {time.perf_counter() - started:.2f}s, "
+          f"{trie.node_count} nodes")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "sf.rptrie.npz"
+        save_index(trie, path)
+        print(f"saved index: {path.stat().st_size / 1024:.1f} KiB")
+
+        started = time.perf_counter()
+        live = load_index(path)
+        print(f"warm restart (load): {time.perf_counter() - started:.3f}s")
+
+    for traj in today:
+        live.insert(Trajectory(traj.points, traj_id=traj.traj_id))
+    print(f"after streaming inserts: {live.num_trajectories} trajectories, "
+          f"{live.node_count} nodes")
+
+    # Query and verify against brute force.
+    rng = np.random.default_rng(1)
+    everything = yesterday + today
+    scan = LinearScanIndex("hausdorff").build(everything)
+    for qi in rng.choice(len(everything), size=3, replace=False):
+        query = everything[int(qi)]
+        fast = local_search(live, query, 5)
+        slow = scan.top_k(query, 5)
+        match = ([round(d, 9) for d in fast.distances()]
+                 == [round(d, 9) for d in slow.distances()])
+        print(f"query {query.traj_id:4d}: top-5 "
+              f"{[t for t in fast.ids()]} "
+              f"({'verified' if match else 'MISMATCH'}; "
+              f"{fast.stats.distance_computations} refinements vs "
+              f"{slow.stats.distance_computations} scans)")
+
+
+if __name__ == "__main__":
+    main()

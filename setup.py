@@ -1,0 +1,12 @@
+"""Setup shim.
+
+This environment ships setuptools without the ``wheel`` package, so PEP
+517 editable installs (which build a wheel) fail offline.  Keeping a
+``setup.py`` and no ``[build-system]`` table lets ``pip install -e .``
+use the legacy ``setup.py develop`` path, which needs no wheel.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

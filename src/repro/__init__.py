@@ -1,0 +1,49 @@
+"""repro — a reproduction of REPOSE (ICDE 2021).
+
+REPOSE is a distributed in-memory framework for exact top-k trajectory
+similarity search.  This package reimplements the full system in Python:
+the reference point trie (RP-Trie) local index with its succinct and
+re-arranged variants, one/two-side and pivot lower bounds, six
+similarity measures, a mini Spark-like execution substrate with a
+simulated cluster scheduler, the heterogeneous global partitioning
+strategy, and the DFT / DITA / linear-scan baselines used in the
+paper's evaluation.
+
+Quickstart::
+
+    from repro import Repose, Trajectory
+    from repro.datasets import generate_dataset
+
+    data = generate_dataset("t-drive", scale=0.02, seed=1)
+    engine = Repose.build(data, measure="hausdorff", delta=0.15,
+                          num_partitions=8)
+    result = engine.top_k(data.trajectories[0], k=10)
+"""
+
+from .types import BoundingBox, Trajectory, TrajectoryDataset
+from .distances import get_measure, list_measures
+from .core import Grid, RPTrie, SuccinctRPTrie, local_search
+from .core.search import local_range_search
+from .repose import DistributedTopK, Repose, make_baseline
+from .temporal import STLocalIndex, TimedTrajectory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoundingBox",
+    "Trajectory",
+    "TrajectoryDataset",
+    "get_measure",
+    "list_measures",
+    "Grid",
+    "RPTrie",
+    "SuccinctRPTrie",
+    "local_search",
+    "local_range_search",
+    "Repose",
+    "DistributedTopK",
+    "make_baseline",
+    "TimedTrajectory",
+    "STLocalIndex",
+    "__version__",
+]

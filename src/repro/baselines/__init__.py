@@ -1,0 +1,23 @@
+"""Baseline algorithms from the paper's evaluation (Section VII-A).
+
+* :class:`~repro.baselines.linear.LinearScanIndex` — LS: brute-force
+  distance computation over every trajectory in the partition.
+* :class:`~repro.baselines.dft.DFTIndex` — DFT [28]: R-tree over
+  trajectory segments; top-k via a sampled ``C * k`` threshold and
+  MBR-based filtering (the DFT-RB+DI variant's behaviour).
+* :class:`~repro.baselines.dita.DITAIndex` — DITA [19]: trie over per-
+  trajectory pivot points with MBR nodes; top-k via threshold halving
+  and a final range search.  Does not support Hausdorff, as in the
+  paper.
+
+All indexes implement the same local interface as the RP-Trie
+(``build``, ``top_k``, ``memory_bytes``), so the distributed framework
+runs any of them per partition.
+"""
+
+from .rtree import RTree, RTreeEntry
+from .linear import LinearScanIndex
+from .dft import DFTIndex
+from .dita import DITAIndex
+
+__all__ = ["RTree", "RTreeEntry", "LinearScanIndex", "DFTIndex", "DITAIndex"]

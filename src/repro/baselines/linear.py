@@ -1,0 +1,55 @@
+"""LS: brute-force linear scan (paper, Section VII-A baseline 3).
+
+Computes the distance between the query and every trajectory in the
+partition and keeps the k smallest.  Supports every measure; its query
+time is insensitive to k (Fig. 6 discussion).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..core.search import SearchStats, TopKResult
+from ..distances.base import Measure, get_measure
+from ..distances.threshold import distance_with_threshold
+from ..exceptions import IndexNotBuiltError
+from ..types import Trajectory
+
+__all__ = ["LinearScanIndex"]
+
+
+class LinearScanIndex:
+    """Per-partition brute-force top-k."""
+
+    def __init__(self, measure: Measure | str = "hausdorff"):
+        self.measure = get_measure(measure) if isinstance(measure, str) else measure
+        self._trajectories: list[Trajectory] = []
+        self._built = False
+
+    def build(self, trajectories: list[Trajectory]) -> "LinearScanIndex":
+        """LS has no index structure; building just takes ownership."""
+        self._trajectories = list(trajectories)
+        self._built = True
+        return self
+
+    def top_k(self, query: Trajectory, k: int) -> TopKResult:
+        """Scan every trajectory with early-abandoning refinement."""
+        if not self._built:
+            raise IndexNotBuiltError("call build() before top_k()")
+        stats = SearchStats()
+        heap: list[tuple[float, int]] = []  # (-distance, tid), size <= k
+        for traj in self._trajectories:
+            stats.distance_computations += 1
+            dk = -heap[0][0] if len(heap) == k else float("inf")
+            dist = distance_with_threshold(self.measure, query.points,
+                                           traj.points, dk)
+            if len(heap) < k:
+                heapq.heappush(heap, (-dist, traj.traj_id))
+            elif dist < dk:
+                heapq.heapreplace(heap, (-dist, traj.traj_id))
+        items = sorted((-nd, tid) for nd, tid in heap)
+        return TopKResult(items=items, stats=stats)
+
+    def memory_bytes(self) -> int:
+        """No index: only the list holding trajectory references."""
+        return 8 * len(self._trajectories)

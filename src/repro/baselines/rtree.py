@@ -1,0 +1,173 @@
+"""STR bulk-loaded R-tree over rectangles.
+
+Substrate for the DFT baseline, which indexes trajectory segment MBRs.
+Sort-Tile-Recursive packing builds a balanced tree bottom-up: entries
+are sorted by center x, cut into vertical slices, each slice sorted by
+center y and packed into nodes of ``fanout`` entries.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from math import ceil, sqrt
+from typing import Callable, Iterator
+
+from ..types import BoundingBox
+
+__all__ = ["RTreeEntry", "RTree"]
+
+
+@dataclass(frozen=True)
+class RTreeEntry:
+    """A leaf entry: a rectangle plus an opaque payload (e.g. tid)."""
+
+    box: BoundingBox
+    payload: object
+
+
+class _Node:
+    __slots__ = ("box", "children", "entries")
+
+    def __init__(self, box: BoundingBox, children: list["_Node"] | None,
+                 entries: list[RTreeEntry] | None):
+        self.box = box
+        self.children = children
+        self.entries = entries
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when this node stores entries rather than children."""
+        return self.entries is not None
+
+
+def _union_boxes(boxes: list[BoundingBox]) -> BoundingBox:
+    box = boxes[0]
+    for other in boxes[1:]:
+        box = box.union(other)
+    return box
+
+
+class RTree:
+    """A static, STR-packed R-tree.
+
+    Parameters
+    ----------
+    entries:
+        Leaf entries to index.
+    fanout:
+        Maximum children/entries per node.
+    """
+
+    def __init__(self, entries: list[RTreeEntry], fanout: int = 16):
+        if fanout < 2:
+            raise ValueError(f"fanout must be >= 2, got {fanout}")
+        self.fanout = fanout
+        self.size = len(entries)
+        self.root = self._bulk_load(entries) if entries else None
+        self.height = self._height()
+
+    # -- construction ----------------------------------------------------
+
+    def _bulk_load(self, entries: list[RTreeEntry]) -> _Node:
+        leaves = [
+            _Node(_union_boxes([e.box for e in group]), None, group)
+            for group in _str_pack(entries, self.fanout,
+                                   key_box=lambda e: e.box)
+        ]
+        level: list[_Node] = leaves
+        while len(level) > 1:
+            level = [
+                _Node(_union_boxes([c.box for c in group]), group, None)
+                for group in _str_pack(level, self.fanout,
+                                       key_box=lambda n: n.box)
+            ]
+        return level[0]
+
+    def _height(self) -> int:
+        height = 0
+        node = self.root
+        while node is not None and not node.is_leaf:
+            height += 1
+            node = node.children[0]
+        return height
+
+    # -- queries -----------------------------------------------------------
+
+    def entries_within(self, box: BoundingBox,
+                       distance: float) -> Iterator[RTreeEntry]:
+        """Yield entries whose rectangle lies within ``distance`` of
+        ``box`` (min box-to-box distance)."""
+        if self.root is None:
+            return
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if _box_distance(node.box, box) > distance:
+                continue
+            if node.is_leaf:
+                for entry in node.entries:  # type: ignore[union-attr]
+                    if _box_distance(entry.box, box) <= distance:
+                        yield entry
+            else:
+                stack.extend(node.children)  # type: ignore[arg-type]
+
+    def all_entries(self) -> Iterator[RTreeEntry]:
+        """Yield every leaf entry in the tree."""
+        if self.root is None:
+            return
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield from node.entries  # type: ignore[misc]
+            else:
+                stack.extend(node.children)  # type: ignore[arg-type]
+
+    def memory_bytes(self) -> int:
+        """Approximate footprint: nodes, entry objects and boxes."""
+        total = 0
+        if self.root is None:
+            return total
+        stack = [self.root]
+        box_bytes = 4 * 8 + object.__sizeof__(BoundingBox(0, 0, 0, 0))
+        while stack:
+            node = stack.pop()
+            total += object.__sizeof__(node) + box_bytes
+            if node.is_leaf:
+                total += sum(object.__sizeof__(e) + box_bytes
+                             for e in node.entries)  # type: ignore[union-attr]
+            else:
+                total += sys.getsizeof(node.children)
+                stack.extend(node.children)  # type: ignore[arg-type]
+        return total
+
+
+def _str_pack(items: list, fanout: int, key_box: Callable) -> list[list]:
+    """Sort-Tile-Recursive grouping of items into runs of ``fanout``."""
+    count = len(items)
+    num_nodes = ceil(count / fanout)
+    num_slices = max(1, ceil(sqrt(num_nodes)))
+    per_slice = ceil(count / num_slices)
+
+    def center_x(item) -> float:
+        box = key_box(item)
+        return (box.min_x + box.max_x) / 2.0
+
+    def center_y(item) -> float:
+        box = key_box(item)
+        return (box.min_y + box.max_y) / 2.0
+
+    by_x = sorted(items, key=center_x)
+    groups: list[list] = []
+    for s in range(0, count, per_slice):
+        slice_items = sorted(by_x[s:s + per_slice], key=center_y)
+        for g in range(0, len(slice_items), fanout):
+            groups.append(slice_items[g:g + fanout])
+    return groups
+
+
+def _box_distance(a: BoundingBox, b: BoundingBox) -> float:
+    dx = max(a.min_x - b.max_x, b.min_x - a.max_x, 0.0)
+    dy = max(a.min_y - b.max_y, b.min_y - a.max_y, 0.0)
+    return sqrt(dx * dx + dy * dy)

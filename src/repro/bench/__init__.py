@@ -1,0 +1,24 @@
+"""Benchmark harness: workload construction and paper-style reporting.
+
+The benchmark scripts under ``benchmarks/`` use this package to build
+scaled datasets with the paper's parameter settings, run the four
+algorithms, and print rows shaped like the paper's tables and figures.
+"""
+
+from .config import BenchConfig, write_report
+from .harness import AlgorithmRun, ExperimentHarness, average_query_time
+from .tables import format_table, format_series
+from .workloads import Workload, make_workload, scaled_cardinality
+
+__all__ = [
+    "BenchConfig",
+    "write_report",
+    "AlgorithmRun",
+    "ExperimentHarness",
+    "average_query_time",
+    "format_table",
+    "format_series",
+    "Workload",
+    "make_workload",
+    "scaled_cardinality",
+]

@@ -1,0 +1,84 @@
+"""Benchmark configuration, shared by every ``benchmarks/bench_*.py``.
+
+All knobs are environment-overridable so the same scripts scale from a
+seconds-long smoke run to an hours-long faithful sweep:
+
+==================  =======================================  ========
+variable            meaning                                  default
+==================  =======================================  ========
+REPRO_SCALE         dataset cardinality scale                0.002
+REPRO_BENCH_CAP     max trajectories per dataset             900
+REPRO_BENCH_QUERIES queries per experiment cell              2
+REPRO_BENCH_K       top-k                                    10
+REPRO_BENCH_PARTS   number of partitions                     16
+REPRO_BENCH_WORKERS virtual cluster workers                  4
+REPRO_BENCH_CORES   cores per virtual worker                 4
+==================  =======================================  ========
+
+The paper uses k=100, 64 partitions and a 16x4 cluster on datasets of
+0.1M-11M trajectories; the defaults shrink everything proportionally
+(hundreds of trajectories, 16 partitions, 4x4 cluster) so the full
+benchmark suite runs in minutes while preserving the comparisons'
+shape.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..cluster.scheduler import ClusterSpec
+
+__all__ = ["BenchConfig", "RESULTS_DIR", "write_report"]
+
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def _env_float(name: str, default: float) -> float:
+    return float(os.environ.get(name, default))
+
+
+@dataclass
+class BenchConfig:
+    """Scaled-down stand-ins for the paper's experimental settings."""
+
+    scale: float = 0.002
+    cap: int = 900
+    num_queries: int = 2
+    k: int = 10
+    num_partitions: int = 16
+    cluster_spec: ClusterSpec = field(
+        default_factory=lambda: ClusterSpec(num_workers=4, cores_per_worker=4))
+    seed: int = 0
+
+    @classmethod
+    def from_env(cls) -> "BenchConfig":
+        """Read every knob from the environment (see module docs)."""
+        return cls(
+            scale=_env_float("REPRO_SCALE", 0.002),
+            cap=_env_int("REPRO_BENCH_CAP", 900),
+            num_queries=_env_int("REPRO_BENCH_QUERIES", 2),
+            k=_env_int("REPRO_BENCH_K", 10),
+            num_partitions=_env_int("REPRO_BENCH_PARTS", 16),
+            cluster_spec=ClusterSpec(
+                num_workers=_env_int("REPRO_BENCH_WORKERS", 4),
+                cores_per_worker=_env_int("REPRO_BENCH_CORES", 4)),
+        )
+
+
+def write_report(name: str, text: str) -> Path:
+    """Persist one experiment's paper-style table and echo it.
+
+    Reports land in ``benchmarks/results/<name>.txt`` so they survive
+    pytest's output capture.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[report saved to {path}]")
+    return path

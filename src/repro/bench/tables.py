@@ -1,0 +1,51 @@
+"""Paper-style plain-text table and series rendering.
+
+Benchmarks print the same row/column layout as the paper's tables so a
+reader can put them side by side with the PDF.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(title: str, columns: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width table with a title rule, like the paper's tables."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "-" * len(line)
+    body = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in str_rows
+    ]
+    return "\n".join([title, rule, line, rule, *body, rule])
+
+
+def format_series(title: str, x_label: str, xs: Sequence[object],
+                  series: dict[str, Sequence[float]]) -> str:
+    """A figure rendered as a table: one column per x, one row per line.
+
+    Used for the paper's figures (6, 8, 9): the series carry the same
+    names as the figure legend.
+    """
+    columns = [x_label] + [_fmt(x) for x in xs]
+    rows = [[name] + [_fmt(v) for v in values]
+            for name, values in series.items()]
+    return format_table(title, columns, rows)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)

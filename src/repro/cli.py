@@ -1,0 +1,141 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``  synthesize a dataset to CSV from a Table III spec
+``query``     build an engine over a CSV dataset and run a top-k query
+``bench``     run one paper experiment (delegates to benchmarks/run_all)
+``info``      print dataset statistics for a CSV file
+
+The CLI is a thin veneer over the library; every option maps 1:1 to an
+API parameter so scripts can graduate to Python painlessly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .datasets.io import load_csv, save_csv
+from .datasets.preprocess import preprocess, sample_queries
+from .datasets.stats import DATASET_SPECS
+from .datasets.synthetic import generate_dataset
+from .distances import get_measure, list_measures
+from .repose import Repose
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI definition (see module docstring)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="REPOSE: distributed top-k trajectory similarity search")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize a dataset to CSV")
+    gen.add_argument("dataset", choices=sorted(DATASET_SPECS))
+    gen.add_argument("output", help="output CSV path")
+    gen.add_argument("--scale", type=float, default=0.001,
+                     help="cardinality scale factor (default 0.001)")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--no-preprocess", action="store_true",
+                     help="skip the paper's length filtering/splitting")
+
+    query = sub.add_parser("query", help="top-k query over a CSV dataset")
+    query.add_argument("data", help="CSV dataset (traj_id,x,y rows)")
+    query.add_argument("--measure", default="hausdorff",
+                       choices=sorted(list_measures()))
+    query.add_argument("--k", type=int, default=10)
+    query.add_argument("--delta", type=float, default=None,
+                       help="grid cell side (default: span/128)")
+    query.add_argument("--partitions", type=int, default=16)
+    query.add_argument("--strategy", default="heterogeneous",
+                       choices=["heterogeneous", "homogeneous", "random"])
+    query.add_argument("--query-id", type=int, default=None,
+                       help="trajectory id to use as the query "
+                            "(default: random sample)")
+    query.add_argument("--radius", type=float, default=None,
+                       help="run a range query instead of top-k")
+
+    info = sub.add_parser("info", help="dataset statistics for a CSV file")
+    info.add_argument("data")
+
+    bench = sub.add_parser("bench", help="run paper experiments")
+    bench.add_argument("experiments", nargs="*",
+                       help="experiment ids (default: all); "
+                            "e.g. table4 fig6 table7")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    data = generate_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    if not args.no_preprocess:
+        data = preprocess(data)
+    save_csv(data, args.output)
+    box = data.bounding_box()
+    print(f"wrote {len(data)} trajectories "
+          f"(avg length {data.average_length():.1f}, "
+          f"span {box.width:.3g} x {box.height:.3g}) to {args.output}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    data = load_csv(args.data)
+    box = data.bounding_box()
+    lengths = [len(t) for t in data]
+    print(f"dataset:      {data.name}")
+    print(f"trajectories: {len(data)}")
+    print(f"points:       {sum(lengths)}")
+    print(f"avg length:   {data.average_length():.1f}")
+    print(f"min/max len:  {min(lengths)} / {max(lengths)}")
+    print(f"spatial span: ({box.width:.6g}, {box.height:.6g})")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    data = load_csv(args.data)
+    measure = get_measure(args.measure)
+    engine = Repose.build(data, measure=measure, delta=args.delta,
+                          num_partitions=args.partitions,
+                          strategy=args.strategy)
+    if args.query_id is not None:
+        query = data.get(args.query_id)
+    else:
+        query = sample_queries(data, count=1)[0]
+    if args.radius is not None:
+        outcome = engine.range_query(query, args.radius)
+        print(f"range query (id {query.traj_id}, radius {args.radius}): "
+              f"{len(outcome.result)} results")
+    else:
+        outcome = engine.top_k(query, args.k)
+        print(f"top-{args.k} for trajectory {query.traj_id} "
+              f"({measure.name}):")
+    for rank, (dist, tid) in enumerate(outcome.result.items, start=1):
+        print(f"  {rank:3d}. id {tid:6d}  distance {dist:.6f}")
+    print(f"simulated query time: {outcome.simulated_seconds * 1e3:.2f} ms "
+          f"(wall {outcome.wall_seconds * 1e3:.2f} ms)")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+    sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+    import run_all
+    return run_all.main(args.experiments)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "info": _cmd_info,
+        "query": _cmd_query,
+        "bench": _cmd_bench,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

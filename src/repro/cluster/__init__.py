@@ -1,0 +1,45 @@
+"""Mini Spark-like execution substrate.
+
+The paper runs REPOSE on Spark (Section V-C): trajectories and the local
+RP-Trie are packaged into an ``RpTrieRDD`` and manipulated with
+``mapPartitions``/``collect``.  This subpackage provides the equivalent
+substrate for a single machine:
+
+* :class:`~repro.cluster.rdd.ClusterContext` /
+  :class:`~repro.cluster.rdd.RDD` — lazy partitioned collections with
+  ``map``, ``filter``, ``map_partitions``, ``collect``;
+* :class:`~repro.cluster.partitioner.Partitioner` — Spark's abstract
+  partitioner, subclassed by the global partitioning strategies;
+* :mod:`~repro.cluster.engine` — execution backends that record
+  per-partition task durations;
+* :mod:`~repro.cluster.scheduler` — a simulated ``W x C``-core cluster
+  that schedules recorded task durations and reports the makespan, which
+  stands in for wall-clock query time on the paper's 16-node cluster
+  (see DESIGN.md, substitutions).
+"""
+
+from .rdd import RDD, ClusterContext
+from .partitioner import (
+    HashPartitioner,
+    ListPartitioner,
+    Partitioner,
+    RoundRobinPartitioner,
+)
+from .engine import ExecutionEngine, TaskTiming
+from .scheduler import ClusterSpec, ScheduleReport, simulate_schedule
+from .driver import merge_top_k
+
+__all__ = [
+    "RDD",
+    "ClusterContext",
+    "Partitioner",
+    "HashPartitioner",
+    "RoundRobinPartitioner",
+    "ListPartitioner",
+    "ExecutionEngine",
+    "TaskTiming",
+    "ClusterSpec",
+    "ScheduleReport",
+    "simulate_schedule",
+    "merge_top_k",
+]

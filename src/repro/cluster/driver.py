@@ -1,0 +1,34 @@
+"""Driver-side merging of per-partition top-k results.
+
+After ``mapPartitions`` computes local top-k lists, the master collects
+them and keeps the k globally smallest distances (paper, Section V-C:
+"the master collects the results from each partition by collect and
+determines the global top-k result").
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable
+
+from ..core.search import SearchStats, TopKResult
+
+__all__ = ["merge_top_k"]
+
+
+def merge_top_k(partials: Iterable[TopKResult], k: int) -> TopKResult:
+    """Merge per-partition :class:`TopKResult` lists into a global one.
+
+    Stats are summed across partitions so pruning effectiveness can be
+    reported cluster-wide.
+    """
+    merged_stats = SearchStats()
+    all_items: list[tuple[float, int]] = []
+    for partial in partials:
+        all_items.extend(partial.items)
+        merged_stats.nodes_visited += partial.stats.nodes_visited
+        merged_stats.nodes_pruned += partial.stats.nodes_pruned
+        merged_stats.leaf_refinements += partial.stats.leaf_refinements
+        merged_stats.distance_computations += partial.stats.distance_computations
+    top = heapq.nsmallest(k, all_items)
+    return TopKResult(items=sorted(top), stats=merged_stats)

@@ -1,0 +1,86 @@
+"""Partitioners, mirroring Spark's abstract ``Partitioner`` class.
+
+Spark lets users control data placement by subclassing ``Partitioner``
+(paper, Section V-C); the REPOSE heterogeneous strategy is implemented
+that way.  A partitioner maps an element (here: a trajectory) to a
+partition id in ``[0, num_partitions)``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..exceptions import PartitioningError
+
+__all__ = ["Partitioner", "HashPartitioner", "RoundRobinPartitioner",
+           "ListPartitioner"]
+
+
+class Partitioner(ABC):
+    """Maps elements to partition ids."""
+
+    def __init__(self, num_partitions: int):
+        if num_partitions < 1:
+            raise PartitioningError(
+                f"num_partitions must be >= 1, got {num_partitions}")
+        self.num_partitions = num_partitions
+
+    @abstractmethod
+    def partition(self, element) -> int:
+        """Partition id in ``[0, num_partitions)`` for ``element``."""
+
+    def split(self, elements) -> list[list]:
+        """Materialize all partitions for an iterable of elements."""
+        partitions: list[list] = [[] for _ in range(self.num_partitions)]
+        for element in elements:
+            pid = self.partition(element)
+            if not 0 <= pid < self.num_partitions:
+                raise PartitioningError(
+                    f"partition id {pid} out of range [0, {self.num_partitions})")
+            partitions[pid].append(element)
+        return partitions
+
+
+class HashPartitioner(Partitioner):
+    """Spark's default: ``hash(key(element)) mod num_partitions``."""
+
+    def __init__(self, num_partitions: int, key=None):
+        super().__init__(num_partitions)
+        self._key = key if key is not None else lambda element: element
+
+    def partition(self, element) -> int:
+        return hash(self._key(element)) % self.num_partitions
+
+
+class RoundRobinPartitioner(Partitioner):
+    """Assigns elements to partitions cyclically in arrival order."""
+
+    def __init__(self, num_partitions: int):
+        super().__init__(num_partitions)
+        self._next = 0
+
+    def partition(self, element) -> int:
+        pid = self._next
+        self._next = (self._next + 1) % self.num_partitions
+        return pid
+
+
+class ListPartitioner(Partitioner):
+    """Partitions by a precomputed element -> pid mapping.
+
+    The global partitioning strategies (Section V-B) compute the full
+    assignment up front (cluster, sort, round-robin); this class turns
+    that assignment into a Spark-style partitioner keyed by trajectory
+    id.
+    """
+
+    def __init__(self, num_partitions: int, assignment: dict, key=None):
+        super().__init__(num_partitions)
+        self.assignment = assignment
+        self._key = key if key is not None else lambda element: element.traj_id
+
+    def partition(self, element) -> int:
+        key = self._key(element)
+        if key not in self.assignment:
+            raise PartitioningError(f"no partition assigned for key {key!r}")
+        return self.assignment[key]

@@ -1,0 +1,163 @@
+"""A miniature RDD: lazy, partitioned, in-memory collections.
+
+Mirrors the slice of the Spark Core API the paper uses (Section V-C):
+``parallelize``, ``map``, ``filter``, ``mapPartitions``, ``collect``,
+``count``, plus partitioning control via
+:class:`~repro.cluster.partitioner.Partitioner`.  Transformations are
+lazy — each RDD records its parent and a per-partition function — and
+actions trigger execution through an
+:class:`~repro.cluster.engine.ExecutionEngine`, which records the
+per-partition task durations used by the simulated scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from .engine import ExecutionEngine, TaskTiming
+from .partitioner import Partitioner
+
+__all__ = ["ClusterContext", "RDD"]
+
+
+class ClusterContext:
+    """Entry point, playing the role of Spark's ``SparkContext``."""
+
+    def __init__(self, engine: ExecutionEngine | None = None):
+        self.engine = engine if engine is not None else ExecutionEngine()
+        self.last_timings: list[TaskTiming] = []
+
+    def parallelize(self, data: Iterable, num_partitions: int = 4,
+                    partitioner: Partitioner | None = None) -> "RDD":
+        """Distribute ``data`` into partitions.
+
+        Without a partitioner, elements are split into equal-size
+        contiguous chunks (Spark's default for ``parallelize``).
+        """
+        items = list(data)
+        if partitioner is not None:
+            partitions = partitioner.split(items)
+        else:
+            partitions = _chunk(items, num_partitions)
+        return RDD(self, source_partitions=partitions)
+
+    def from_partitions(self, partitions: Sequence[list]) -> "RDD":
+        """Wrap pre-materialized partitions (used by the strategies)."""
+        return RDD(self, source_partitions=[list(p) for p in partitions])
+
+
+class RDD:
+    """A lazy, partitioned collection.
+
+    Each RDD is either a source (materialized partitions) or a
+    transformation of a parent, holding a function applied to one whole
+    partition at a time.
+    """
+
+    def __init__(self, context: ClusterContext,
+                 source_partitions: list[list] | None = None,
+                 parent: "RDD | None" = None,
+                 transform: Callable[[list], list] | None = None):
+        self.context = context
+        self._source = source_partitions
+        self._parent = parent
+        self._transform = transform
+        if (source_partitions is None) == (parent is None):
+            raise ValueError("RDD needs exactly one of source or parent")
+
+    # -- transformations (lazy) --------------------------------------------
+
+    def map(self, fn: Callable) -> "RDD":
+        """Element-wise transformation."""
+        return RDD(self.context, parent=self,
+                   transform=lambda part: [fn(element) for element in part])
+
+    def filter(self, predicate: Callable) -> "RDD":
+        """Keep elements satisfying ``predicate``."""
+        return RDD(self.context, parent=self,
+                   transform=lambda part: [e for e in part if predicate(e)])
+
+    def map_partitions(self, fn: Callable[[list], Iterable]) -> "RDD":
+        """Transform one whole partition at a time (Spark's
+        ``mapPartitions``) — the operation REPOSE uses to build and
+        query per-partition RP-Tries."""
+        return RDD(self.context, parent=self,
+                   transform=lambda part: list(fn(part)))
+
+    def flat_map(self, fn: Callable) -> "RDD":
+        def transform(part: list) -> list:
+            out: list = []
+            for element in part:
+                out.extend(fn(element))
+            return out
+        return RDD(self.context, parent=self, transform=transform)
+
+    # -- actions (eager) -----------------------------------------------------
+
+    @property
+    def num_partitions(self) -> int:
+        rdd: RDD = self
+        while rdd._source is None:
+            rdd = rdd._parent  # type: ignore[assignment]
+        return len(rdd._source)
+
+    def collect(self) -> list:
+        """Materialize every partition and concatenate the results."""
+        parts = self.collect_partitions()
+        out: list = []
+        for part in parts:
+            out.extend(part)
+        return out
+
+    def collect_partitions(self) -> list[list]:
+        """Materialize and return per-partition lists.
+
+        Also records per-partition task timings on the context
+        (``context.last_timings``).
+        """
+        chain: list[Callable[[list], list]] = []
+        rdd: RDD = self
+        while rdd._source is None:
+            chain.append(rdd._transform)  # type: ignore[arg-type]
+            rdd = rdd._parent  # type: ignore[assignment]
+        chain.reverse()
+        source = rdd._source
+
+        def make_task(partition: list) -> Callable[[], list]:
+            def task() -> list:
+                current = partition
+                for fn in chain:
+                    current = fn(current)
+                return current
+            return task
+
+        tasks = [make_task(part) for part in source]
+        results, timings = self.context.engine.run(tasks)
+        self.context.last_timings = timings
+        return results
+
+    def count(self) -> int:
+        return sum(len(part) for part in self.collect_partitions())
+
+    def reduce(self, fn: Callable) -> object:
+        items = self.collect()
+        if not items:
+            raise ValueError("reduce of empty RDD")
+        acc = items[0]
+        for item in items[1:]:
+            acc = fn(acc, item)
+        return acc
+
+
+def _chunk(items: list, num_partitions: int) -> list[list]:
+    """Split into ``num_partitions`` contiguous, near-equal chunks."""
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    base, extra = divmod(len(items), num_partitions)
+    partitions = []
+    start = 0
+    for pid in range(num_partitions):
+        size = base + (1 if pid < extra else 0)
+        partitions.append(items[start:start + size])
+        start += size
+    return partitions

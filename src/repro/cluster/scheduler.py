@@ -1,0 +1,101 @@
+"""Simulated cluster scheduling of measured task durations.
+
+The paper evaluates on 1 master + 16 workers with 4 cores each and sets
+one partition per core (Section VII-A).  This module schedules the
+*measured* per-partition durations onto a configurable ``W x C``-core
+virtual cluster the way Spark's FIFO scheduler does — each task goes to
+the earliest-available core — and reports the makespan.  Load-balance
+effects (the whole point of heterogeneous partitioning, Tables VII-IX
+and Fig. 9) show up directly in the makespan.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .engine import TaskTiming
+
+__all__ = ["ClusterSpec", "ScheduleReport", "simulate_schedule"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Virtual cluster shape; defaults mirror the paper's testbed."""
+
+    num_workers: int = 16
+    cores_per_worker: int = 4
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_workers * self.cores_per_worker
+
+
+@dataclass
+class ScheduleReport:
+    """Outcome of scheduling task durations onto the virtual cluster."""
+
+    makespan: float
+    total_work: float
+    core_busy: list[float] = field(default_factory=list)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of core time spent busy (1.0 = perfectly balanced)."""
+        if not self.core_busy or self.makespan == 0:
+            return 1.0
+        capacity = self.makespan * len(self.core_busy)
+        return self.total_work / capacity
+
+    @property
+    def imbalance(self) -> float:
+        """Max busy time over mean busy time (1.0 = perfectly balanced)."""
+        if not self.core_busy:
+            return 1.0
+        mean = sum(self.core_busy) / len(self.core_busy)
+        if mean == 0:
+            return 1.0
+        return max(self.core_busy) / mean
+
+
+def simulate_schedule(timings: Sequence[TaskTiming],
+                      spec: ClusterSpec = ClusterSpec()) -> ScheduleReport:
+    """FIFO-schedule tasks onto ``spec.total_cores`` cores.
+
+    Tasks are dispatched in partition order to the earliest-free core,
+    matching Spark's default behaviour with one task per partition.
+
+    Returns
+    -------
+    A :class:`ScheduleReport` whose ``makespan`` stands in for the
+    distributed query time.
+    """
+    cores = spec.total_cores
+    if cores < 1:
+        raise ValueError("cluster must have at least one core")
+    free_at = [0.0] * cores
+    heap = [(0.0, core) for core in range(cores)]
+    heapq.heapify(heap)
+    total = 0.0
+    for timing in timings:
+        available, core = heapq.heappop(heap)
+        finish = available + timing.seconds
+        free_at[core] = finish
+        total += timing.seconds
+        heapq.heappush(heap, (finish, core))
+    makespan = max(free_at) if timings else 0.0
+    busy = _busy_times(timings, cores)
+    return ScheduleReport(makespan=makespan, total_work=total, core_busy=busy)
+
+
+def _busy_times(timings: Sequence[TaskTiming], cores: int) -> list[float]:
+    """Re-run the FIFO assignment, accumulating per-core busy time."""
+    heap = [(0.0, core) for core in range(cores)]
+    heapq.heapify(heap)
+    busy = [0.0] * cores
+    for timing in timings:
+        available, core = heapq.heappop(heap)
+        busy[core] += timing.seconds
+        heapq.heappush(heap, (available + timing.seconds, core))
+    return busy

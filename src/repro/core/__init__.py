@@ -1,0 +1,39 @@
+"""The paper's primary contribution: the reference point trie stack.
+
+Pipeline: a :class:`~repro.core.grid.Grid` discretizes space;
+:mod:`~repro.core.reference` converts trajectories into reference
+trajectories (z-value sequences); :class:`~repro.core.rptrie.RPTrie`
+indexes those sequences with pivot-distance (`HR`) annotations;
+:mod:`~repro.core.search` runs the best-first top-k query using the
+bounds from :mod:`~repro.core.bounds`; :mod:`~repro.core.rearrange`
+and :mod:`~repro.core.succinct` hold the two trie optimizations
+(z-value re-arrangement, SuRF-style succinct encoding).
+"""
+
+from .grid import Grid
+from .zorder import z_encode, z_decode, interleave, deinterleave
+from .reference import ReferenceEncoder, ReferenceTrajectory
+from .pivots import select_pivots
+from .rptrie import RPTrie, TrieStats
+from .search import TopKResult, local_range_search, local_search
+from .succinct import SuccinctRPTrie
+from .rearrange import greedy_hitting_set_order, rearrange_dataset
+
+__all__ = [
+    "Grid",
+    "z_encode",
+    "z_decode",
+    "interleave",
+    "deinterleave",
+    "ReferenceEncoder",
+    "ReferenceTrajectory",
+    "select_pivots",
+    "RPTrie",
+    "TrieStats",
+    "TopKResult",
+    "local_search",
+    "local_range_search",
+    "SuccinctRPTrie",
+    "greedy_hitting_set_order",
+    "rearrange_dataset",
+]

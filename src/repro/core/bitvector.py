@@ -1,0 +1,130 @@
+"""Packed bitvector with O(1) rank, the succinct-trie building block.
+
+The paper's succinct structure concatenates per-node child bitmaps
+(``Bc``) and leaf-state bitmaps (``Bl``) in breadth-first order and
+navigates them with rank operations (as in SuRF/FST: the child of the
+i-th set bit is the i-th node of the next level).  This module provides
+the underlying structure: bits packed into ``uint64`` words plus a
+per-word prefix-popcount array, giving ``rank1`` in O(1) and
+``select1`` in O(log n).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BitVector"]
+
+_WORD = 64
+
+
+def _popcount_words(words: np.ndarray) -> np.ndarray:
+    """Per-word popcounts for a uint64 array."""
+    counts = np.zeros(len(words), dtype=np.int64)
+    w = words.copy()
+    while w.any():
+        counts += (w & np.uint64(1)).astype(np.int64)
+        w >>= np.uint64(1)
+    return counts
+
+
+class BitVector:
+    """An immutable bit sequence supporting rank and select.
+
+    Parameters
+    ----------
+    length:
+        Number of bits.
+    set_positions:
+        Iterable of positions whose bit is 1.
+    """
+
+    def __init__(self, length: int, set_positions=()):
+        if length < 0:
+            raise ValueError(f"length must be >= 0, got {length}")
+        self.length = length
+        num_words = (length + _WORD - 1) // _WORD
+        words = np.zeros(num_words, dtype=np.uint64)
+        positions = np.asarray(list(set_positions), dtype=np.int64)
+        if positions.size:
+            if positions.min() < 0 or positions.max() >= length:
+                raise IndexError("bit position out of range")
+            np.bitwise_or.at(words, positions // _WORD,
+                             np.uint64(1) << (positions % _WORD).astype(np.uint64))
+        self._words = words
+        # prefix_ones[i] = number of set bits in words[:i].
+        self._prefix_ones = np.concatenate(
+            ([0], np.cumsum(_popcount_words(words))))
+
+    # -- queries ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __getitem__(self, position: int) -> bool:
+        if not 0 <= position < self.length:
+            raise IndexError(f"bit {position} out of range [0, {self.length})")
+        word = self._words[position // _WORD]
+        return bool((word >> np.uint64(position % _WORD)) & np.uint64(1))
+
+    @property
+    def num_ones(self) -> int:
+        return int(self._prefix_ones[-1])
+
+    def rank1(self, position: int) -> int:
+        """Number of set bits in ``[0, position)``."""
+        if not 0 <= position <= self.length:
+            raise IndexError(f"rank position {position} out of range")
+        word_index = position // _WORD
+        base = int(self._prefix_ones[word_index])
+        remainder = position % _WORD
+        if remainder == 0:
+            return base
+        mask = (np.uint64(1) << np.uint64(remainder)) - np.uint64(1)
+        partial = int(self._words[word_index] & mask)
+        return base + partial.bit_count()
+
+    def select1(self, k: int) -> int:
+        """Position of the k-th (0-based) set bit."""
+        if not 0 <= k < self.num_ones:
+            raise IndexError(f"select index {k} out of range "
+                             f"[0, {self.num_ones})")
+        # Binary search the word whose prefix covers k, then scan it.
+        word_index = int(np.searchsorted(self._prefix_ones, k + 1) - 1)
+        remaining = k - int(self._prefix_ones[word_index])
+        word = int(self._words[word_index])
+        position = word_index * _WORD
+        while True:
+            if word & 1:
+                if remaining == 0:
+                    return position
+                remaining -= 1
+            word >>= 1
+            position += 1
+
+    def iter_ones(self, start: int = 0, stop: int | None = None):
+        """Yield positions of set bits in ``[start, stop)``."""
+        stop = self.length if stop is None else stop
+        if not 0 <= start <= stop <= self.length:
+            raise IndexError("iter_ones range out of bounds")
+        word_lo = start // _WORD
+        word_hi = (stop + _WORD - 1) // _WORD
+        for wi in range(word_lo, word_hi):
+            word = int(self._words[wi])
+            if not word:
+                continue
+            base = wi * _WORD
+            while word:
+                low = word & -word
+                position = base + low.bit_length() - 1
+                if position >= stop:
+                    return
+                if position >= start:
+                    yield position
+                word ^= low
+
+    def memory_bytes(self) -> int:
+        return int(self._words.nbytes + self._prefix_ones.nbytes)
+
+    def __repr__(self) -> str:
+        return f"BitVector(length={self.length}, ones={self.num_ones})"

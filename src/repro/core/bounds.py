@@ -1,0 +1,283 @@
+"""Incremental lower bounds for best-first RP-Trie traversal.
+
+This module implements Algorithm 1 (``CompLB``) and its extensions: for
+each measure a :class:`BoundComputer` maintains per-path intermediate
+results so that extending the bound by one reference point costs O(m)
+instead of O(mn) (paper, Section IV-C).
+
+Per measure:
+
+* **Hausdorff** — state is the row-minimum array ``r`` and the running
+  column-minimum maximum ``cmax``.  ``LBo = max(cmax - sqrt(2)d/2, 0)``
+  (Definition 6); ``LBt = max(max(rmax, cmax) - Dmax, 0)`` (Definition 7).
+* **Frechet** — state is the last DP column (Eq. 9).  ``LBo`` uses the
+  column minimum (Eq. 7); ``LBt`` the bottom-right DP value (Eq. 8),
+  tightened with the leaf's ``Dmax`` (``Dmax <= sqrt(2)d/2`` always).
+* **DTW** — DTW is not a metric, so the per-step cost is the minimum
+  distance from the query point to the *cell* (``d'`` in the paper's
+  Eq. 15 note).  ``LBo = cmin`` (Eq. 13), ``LBt = f_{m,n}`` (Eq. 14).
+* **EDR / LCSS / ERP** — extensions in the spirit of Section VI
+  (the paper defers their optimization to future work): relaxed DPs on
+  full-length reference sequences where a query point "matches" a cell
+  when it could match *some* point inside the cell.  All relaxations
+  only decrease per-step costs, so the DP values lower-bound the true
+  distances.
+
+All computers expose the same interface: ``initial_state()``,
+``extend(state, z, max_traj_len) -> (new_state, LBo)``, and
+``leaf_bound(state, dmax, depth) -> LBt``.  Column minima are
+non-decreasing along any path (Lemmas 2, 3.2, 4.2), which makes the
+best-first early break of Algorithm 2 sound.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..distances.base import Measure
+from ..distances.dtw import dtw_next_column
+from ..distances.frechet import frechet_next_column
+from ..exceptions import UnsupportedMeasureError
+from .grid import Grid
+
+__all__ = ["BoundComputer", "make_bound_computer"]
+
+
+class BoundComputer(ABC):
+    """Incremental LBo/LBt computation along one root-to-leaf path."""
+
+    #: True when the measure admits Dmax-based leaf tightening
+    #: (requires the triangle inequality).
+    uses_dmax: bool = False
+
+    def __init__(self, grid: Grid, query_points: np.ndarray):
+        self.grid = grid
+        self.query = np.asarray(query_points, dtype=np.float64)
+        self.slack = grid.half_diagonal
+
+    @abstractmethod
+    def initial_state(self):
+        """State at the root, before any reference point."""
+
+    @abstractmethod
+    def extend(self, state, z: int, max_traj_len: int):
+        """Extend by reference point ``z``; return ``(new_state, LBo)``."""
+
+    @abstractmethod
+    def leaf_bound(self, state, dmax: float, depth: int) -> float:
+        """``LBt`` for a ``$`` leaf below a node with path state ``state``."""
+
+    # -- helpers -----------------------------------------------------------
+
+    def _distances_to_reference_point(self, z: int) -> np.ndarray:
+        px, py = self.grid.reference_point(z)
+        return np.hypot(self.query[:, 0] - px, self.query[:, 1] - py)
+
+
+class HausdorffBounds(BoundComputer):
+    """Algorithm 1: intermediate results are (row minima ``r``, ``cmax``)."""
+
+    uses_dmax = True
+
+    def initial_state(self):
+        r = np.full(len(self.query), np.inf)
+        return (r, 0.0)
+
+    def extend(self, state, z, max_traj_len):
+        r, cmax = state
+        dist = self._distances_to_reference_point(z)
+        new_r = np.minimum(r, dist)
+        new_cmax = max(cmax, float(dist.min()))
+        lbo = max(new_cmax - self.slack, 0.0)
+        return (new_r, new_cmax), lbo
+
+    def leaf_bound(self, state, dmax, depth):
+        r, cmax = state
+        exact = max(float(r.max()), cmax)  # DH(query, reference trajectory)
+        return max(exact - dmax, 0.0)
+
+
+class FrechetBounds(BoundComputer):
+    """Column-incremental discrete Frechet bounds (Eqs. 7-9)."""
+
+    uses_dmax = True
+
+    def initial_state(self):
+        return np.empty(0, dtype=np.float64)
+
+    def extend(self, state, z, max_traj_len):
+        dist = self._distances_to_reference_point(z)
+        column = frechet_next_column(state, dist)
+        lbo = max(float(column.min()) - self.slack, 0.0)
+        return column, lbo
+
+    def leaf_bound(self, state, dmax, depth):
+        # Eq. 8 subtracts sqrt(2)d/2; Dmax <= sqrt(2)d/2 is tighter.
+        return max(float(state[-1]) - dmax, 0.0)
+
+
+class DTWBounds(BoundComputer):
+    """Column-incremental DTW bounds with point-to-cell costs (Eqs. 13-15)."""
+
+    uses_dmax = False
+
+    def initial_state(self):
+        return np.empty(0, dtype=np.float64)
+
+    def extend(self, state, z, max_traj_len):
+        dist = self.grid.min_distances_to_cell(self.query, z)
+        column = dtw_next_column(state, dist)
+        return column, float(column.min())
+
+    def leaf_bound(self, state, dmax, depth):
+        return float(state[-1])
+
+
+class EDRBounds(BoundComputer):
+    """Relaxed EDR DP: a query point matches a cell when the cell box,
+    inflated by ``eps`` per axis, contains it."""
+
+    uses_dmax = False
+
+    def __init__(self, grid: Grid, query_points: np.ndarray, eps: float):
+        super().__init__(grid, query_points)
+        self.eps = eps
+
+    def initial_state(self):
+        # f[i, 0] = i: delete i query points against an empty reference.
+        return np.arange(len(self.query) + 1, dtype=np.float64)
+
+    def _could_match(self, z: int) -> np.ndarray:
+        box = self.grid.cell_bounds(z)
+        q = self.query
+        ok_x = (q[:, 0] >= box.min_x - self.eps) & (q[:, 0] <= box.max_x + self.eps)
+        ok_y = (q[:, 1] >= box.min_y - self.eps) & (q[:, 1] <= box.max_y + self.eps)
+        return ok_x & ok_y
+
+    def extend(self, state, z, max_traj_len):
+        match = self._could_match(z)
+        m = len(self.query)
+        # Min-plus scan with unit insert weight (see edr_distance).
+        candidates = np.empty(m + 1, dtype=np.float64)
+        candidates[0] = state[0] + 1.0
+        sub_cost = np.where(match, 0.0, 1.0)
+        np.minimum(state[:-1] + sub_cost, state[1:] + 1.0,
+                   out=candidates[1:])
+        positions = np.arange(m + 1, dtype=np.float64)
+        column = positions + np.minimum.accumulate(candidates - positions)
+        return column, float(column.min())
+
+    def leaf_bound(self, state, dmax, depth):
+        return float(state[-1])
+
+
+class LCSSBounds(BoundComputer):
+    """Relaxed LCSS: DP column holds an upper bound on the matched length.
+
+    The normalized distance ``1 - sim / min(m, n)`` depends on the
+    trajectory length ``n``, unknown at internal nodes; the bound uses
+    the subtree maximum ``max_traj_len``, at which the expression
+    ``min(sim + n - depth, min(m, n)) / min(m, n)`` attains its maximum.
+    """
+
+    uses_dmax = False
+
+    def __init__(self, grid: Grid, query_points: np.ndarray, eps: float):
+        super().__init__(grid, query_points)
+        self.eps = eps
+
+    def initial_state(self):
+        # (similarity column including boundary row, depth)
+        return (np.zeros(len(self.query) + 1, dtype=np.float64), 0)
+
+    def _could_match(self, z: int) -> np.ndarray:
+        box = self.grid.cell_bounds(z)
+        q = self.query
+        ok_x = (q[:, 0] >= box.min_x - self.eps) & (q[:, 0] <= box.max_x + self.eps)
+        ok_y = (q[:, 1] >= box.min_y - self.eps) & (q[:, 1] <= box.max_y + self.eps)
+        return ok_x & ok_y
+
+    def extend(self, state, z, max_traj_len):
+        prev, depth = state
+        match = self._could_match(z)
+        m = len(self.query)
+        # l[i, j] = max(l[i-1, j], l[i, j-1], l[i-1, j-1] + match): the
+        # in-column term carries no penalty, so a running max suffices.
+        candidates = np.empty(m + 1, dtype=np.float64)
+        candidates[0] = 0.0
+        np.maximum(prev[1:], prev[:-1] + match, out=candidates[1:])
+        column = np.maximum.accumulate(candidates)
+        new_depth = depth + 1
+        lbo = self._distance_bound(float(column[-1]), new_depth, max_traj_len)
+        return (column, new_depth), lbo
+
+    def _distance_bound(self, sim: float, depth: int, n_max: int) -> float:
+        m = len(self.query)
+        n_max = max(n_max, depth)
+        denom = min(m, n_max)
+        best_sim = min(sim + (n_max - depth), denom)
+        return max(1.0 - best_sim / denom, 0.0)
+
+    def leaf_bound(self, state, dmax, depth):
+        column, path_depth = state
+        m = len(self.query)
+        denom = min(m, max(path_depth, 1))
+        return max(1.0 - float(column[-1]) / denom, 0.0)
+
+
+class ERPBounds(BoundComputer):
+    """Relaxed ERP DP: substitution costs the point-to-cell minimum
+    distance, a reference gap costs the cell-to-gap-point minimum
+    distance, and a query gap costs the exact point-to-gap distance."""
+
+    uses_dmax = False
+
+    def __init__(self, grid: Grid, query_points: np.ndarray,
+                 gap: tuple[float, float]):
+        super().__init__(grid, query_points)
+        self.gap = gap
+        g = np.asarray(gap, dtype=np.float64)
+        self._gap_q = np.hypot(self.query[:, 0] - g[0], self.query[:, 1] - g[1])
+
+    def initial_state(self):
+        column = np.empty(len(self.query) + 1, dtype=np.float64)
+        column[0] = 0.0
+        np.cumsum(self._gap_q, out=column[1:])
+        return column
+
+    def extend(self, state, z, max_traj_len):
+        sub = self.grid.min_distances_to_cell(self.query, z)
+        gap_cell = self.grid.cell_bounds(z).min_distance(*self.gap)
+        m = len(self.query)
+        # Min-plus scan with the query-gap costs as weights.
+        candidates = np.empty(m + 1, dtype=np.float64)
+        candidates[0] = state[0] + gap_cell
+        np.minimum(state[:-1] + sub, state[1:] + gap_cell,
+                   out=candidates[1:])
+        prefix = np.concatenate(([0.0], np.cumsum(self._gap_q)))
+        column = prefix + np.minimum.accumulate(candidates - prefix)
+        return column, float(column.min())
+
+    def leaf_bound(self, state, dmax, depth):
+        return float(state[-1])
+
+
+def make_bound_computer(measure: Measure, grid: Grid,
+                        query_points: np.ndarray) -> BoundComputer:
+    """Bound computer for ``measure`` over ``grid`` and a query."""
+    name = measure.name
+    if name == "hausdorff":
+        return HausdorffBounds(grid, query_points)
+    if name == "frechet":
+        return FrechetBounds(grid, query_points)
+    if name == "dtw":
+        return DTWBounds(grid, query_points)
+    if name == "edr":
+        return EDRBounds(grid, query_points, eps=measure.params["eps"])
+    if name == "lcss":
+        return LCSSBounds(grid, query_points, eps=measure.params["eps"])
+    if name == "erp":
+        return ERPBounds(grid, query_points, gap=measure.params["gap"])
+    raise UnsupportedMeasureError(f"no bound computer for measure {name!r}")

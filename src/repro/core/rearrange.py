@@ -1,0 +1,80 @@
+"""Z-value re-arrangement for order-independent measures (Section III-C).
+
+Hausdorff is order independent, so the z-values of a reference
+trajectory may be deduplicated and re-ordered to maximize shared trie
+prefixes.  Finding the trie with the minimum number of nodes per level
+is NP-hard (reduction from hitting set, Theorem 1); the paper uses a
+greedy algorithm (Appendix B): repeatedly make the most frequent
+remaining z-value the next child of the current node, claim every set
+containing it, and recurse into each class with that z-value removed.
+
+Complexity O(N * M^2) in the worst case for N reference sets over M
+cells; in practice far lower because classes shrink geometrically.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from .reference import ReferenceTrajectory
+
+__all__ = ["greedy_hitting_set_order", "rearrange_dataset"]
+
+
+def greedy_hitting_set_order(
+        z_sets: list[tuple[frozenset[int], int]]) -> list[tuple[tuple[int, ...], int]]:
+    """Order each z-value set to maximize shared prefixes.
+
+    Parameters
+    ----------
+    z_sets:
+        Pairs ``(z_value_set, traj_id)``.
+
+    Returns
+    -------
+    Pairs ``(ordered_z_values, traj_id)`` where the tuples contain the
+    same values as the input sets, ordered by the greedy hitting-set
+    division of Appendix B.  Input order of ids is not preserved.
+    """
+    results: list[tuple[tuple[int, ...], int]] = []
+    # Work stack: (prefix, members) where members are (remaining_set, tid).
+    stack: list[tuple[tuple[int, ...], list[tuple[frozenset[int], int]]]] = [
+        ((), list(z_sets))
+    ]
+    while stack:
+        prefix, members = stack.pop()
+        finished = [(prefix, tid) for zs, tid in members if not zs]
+        results.extend(finished)
+        remaining = [(zs, tid) for zs, tid in members if zs]
+        if not remaining:
+            continue
+        # Count z-value frequencies across the remaining sets (C(Z) in
+        # Appendix B) and peel off the most frequent value repeatedly.
+        counts = Counter()
+        for zs, _ in remaining:
+            counts.update(zs)
+        unclaimed = remaining
+        while unclaimed:
+            z_best, _ = max(counts.items(), key=lambda kv: (kv[1], -kv[0]))
+            claimed = [(zs, tid) for zs, tid in unclaimed if z_best in zs]
+            unclaimed = [(zs, tid) for zs, tid in unclaimed if z_best not in zs]
+            for zs, _ in claimed:
+                counts.subtract(zs)
+            del counts[z_best]
+            child_members = [(zs - {z_best}, tid) for zs, tid in claimed]
+            stack.append((prefix + (z_best,), child_members))
+    return results
+
+
+def rearrange_dataset(
+        refs: list[ReferenceTrajectory]) -> list[ReferenceTrajectory]:
+    """Re-order every reference trajectory via the greedy algorithm.
+
+    Duplicate z-values must already have been removed (``"dedup"``
+    encoder mode); each output carries the same id and the same z-value
+    set as its input, re-ordered for maximal prefix sharing.
+    """
+    z_sets = [(frozenset(ref.z_values), ref.traj_id) for ref in refs]
+    ordered = greedy_hitting_set_order(z_sets)
+    return [ReferenceTrajectory(traj_id=tid, z_values=zs)
+            for zs, tid in ordered]

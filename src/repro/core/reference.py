@@ -1,0 +1,115 @@
+"""Trajectory discretization into reference trajectories (Definition 4).
+
+A reference trajectory replaces each sample point by the center of its
+grid cell; equivalently it is the sequence of z-values of the cells the
+trajectory visits.  Three encoding modes exist, selected by measure:
+
+* ``"collapse"`` — consecutive duplicate z-values are merged.  Used for
+  Hausdorff (unoptimized trie), Frechet and DTW, whose couplings allow
+  many-to-one matching, so collapsing preserves the bounds.
+* ``"dedup"`` — *all* duplicates are dropped (the z-value set).  Only
+  valid for order-independent measures (Hausdorff); this is step (1) of
+  the Section III-C optimization, with re-ordering handled by
+  :mod:`repro.core.rearrange`.
+* ``"full"`` — one z-value per sample point, no merging.  Required by
+  the edit-distance measures (LCSS, EDR, ERP) whose alignments consume
+  each element exactly once, so reference and trajectory positions must
+  stay 1:1 for the relaxed-DP bounds to be valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..distances.base import Measure
+from ..types import Trajectory
+from .grid import Grid
+
+__all__ = ["ReferenceTrajectory", "ReferenceEncoder", "encoder_mode_for"]
+
+_MODES = ("collapse", "dedup", "full")
+
+
+def encoder_mode_for(measure: Measure, optimized: bool = False) -> str:
+    """Default encoding mode for a measure.
+
+    ``optimized=True`` requests the Section III-C deduplicated encoding,
+    which is only honoured for order-independent measures.
+    """
+    if not measure.order_sensitive and optimized:
+        return "dedup"
+    if measure.name in ("lcss", "edr", "erp"):
+        return "full"
+    return "collapse"
+
+
+@dataclass(frozen=True)
+class ReferenceTrajectory:
+    """A trajectory's z-value sequence plus its id."""
+
+    traj_id: int
+    z_values: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.z_values)
+
+    def reference_points(self, grid: Grid) -> np.ndarray:
+        """The ``(n, 2)`` array of cell-center coordinates."""
+        out = np.empty((len(self.z_values), 2), dtype=np.float64)
+        for i, z in enumerate(self.z_values):
+            out[i] = grid.reference_point(z)
+        return out
+
+
+class ReferenceEncoder:
+    """Converts trajectories to reference trajectories for one grid."""
+
+    def __init__(self, grid: Grid, mode: str = "collapse"):
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.grid = grid
+        self.mode = mode
+
+    def encode(self, traj: Trajectory) -> ReferenceTrajectory:
+        """Reference trajectory of ``traj``."""
+        if traj.traj_id is None:
+            raise ValueError("trajectory must have an id before encoding")
+        zs = self.grid.z_values_of(traj.points)
+        if self.mode == "dedup":
+            z_values = self._dedup_all(zs)
+        elif self.mode == "collapse":
+            z_values = self._collapse_consecutive(zs)
+        else:
+            z_values = tuple(int(z) for z in zs)
+        return ReferenceTrajectory(traj_id=traj.traj_id, z_values=z_values)
+
+    def encode_many(self, trajs) -> list[ReferenceTrajectory]:
+        """Encode an iterable of trajectories."""
+        return [self.encode(t) for t in trajs]
+
+    @staticmethod
+    def _collapse_consecutive(zs: np.ndarray) -> tuple[int, ...]:
+        if len(zs) == 0:
+            return ()
+        keep = np.empty(len(zs), dtype=bool)
+        keep[0] = True
+        keep[1:] = zs[1:] != zs[:-1]
+        return tuple(int(z) for z in zs[keep])
+
+    @staticmethod
+    def _dedup_all(zs: np.ndarray) -> tuple[int, ...]:
+        """Drop duplicate z-values, keeping first-visit order.
+
+        First-visit order is only a default; the re-arrangement module
+        is free to re-order these (Hausdorff is order independent).
+        """
+        seen: set[int] = set()
+        ordered: list[int] = []
+        for z in zs:
+            zi = int(z)
+            if zi not in seen:
+                seen.add(zi)
+                ordered.append(zi)
+        return tuple(ordered)

@@ -1,0 +1,224 @@
+"""Best-first top-k search over an RP-Trie (paper, Algorithm 2).
+
+Nodes are explored in ascending order of their lower bound.  Internal
+nodes are ranked by ``max(LBo, LBp)``; ``$`` leaves by ``max(LBt, LBp)``.
+A node is pruned when its bound reaches the current k-th best distance
+``dk``; because bounds are sound for whole subtrees, the loop may break
+as soon as the popped bound reaches ``dk``.
+
+Search statistics (nodes visited/pruned, refinements) are collected so
+experiments can report pruning effectiveness.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..distances.threshold import distance_with_threshold
+from ..types import Trajectory
+from .bounds import make_bound_computer
+
+__all__ = ["TopKResult", "SearchStats", "local_search", "local_range_search"]
+
+
+@dataclass
+class SearchStats:
+    """Counters describing one search run."""
+
+    nodes_visited: int = 0
+    nodes_pruned: int = 0
+    leaf_refinements: int = 0
+    distance_computations: int = 0
+
+
+@dataclass
+class TopKResult:
+    """Top-k result: (distance, trajectory id) pairs, ascending."""
+
+    items: list[tuple[float, int]] = field(default_factory=list)
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    def ids(self) -> list[int]:
+        return [tid for _, tid in self.items]
+
+    def distances(self) -> list[float]:
+        return [d for d, _ in self.items]
+
+    def kth_distance(self) -> float:
+        return self.items[-1][0] if self.items else float("inf")
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class _ResultHeap:
+    """Fixed-capacity max-heap over (distance, tid): tracks dk."""
+
+    def __init__(self, k: int):
+        self.k = k
+        self._heap: list[tuple[float, int]] = []  # (-distance, tid)
+
+    @property
+    def dk(self) -> float:
+        if len(self._heap) < self.k:
+            return float("inf")
+        return -self._heap[0][0]
+
+    def offer(self, distance: float, tid: int) -> None:
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (-distance, tid))
+        elif distance < -self._heap[0][0]:
+            heapq.heapreplace(self._heap, (-distance, tid))
+
+    def sorted_items(self) -> list[tuple[float, int]]:
+        return sorted(((-nd, tid) for nd, tid in self._heap),
+                      key=lambda item: (item[0], item[1]))
+
+
+def _pivot_bound(dqp: np.ndarray | None, node) -> float:
+    """``LBp``: triangle-inequality bound from the node's HR array."""
+    if dqp is None or node.hr_min is None:
+        return 0.0
+    low = dqp - node.hr_max
+    high = node.hr_min - dqp
+    return max(float(low.max()), float(high.max()), 0.0)
+
+
+def local_search(trie, query: Trajectory, k: int,
+                 use_pivots: bool = True, use_lbt: bool = True,
+                 use_lbo: bool = True,
+                 dqp: np.ndarray | None = None) -> TopKResult:
+    """Top-k search on one RP-Trie (Algorithm 2).
+
+    Parameters
+    ----------
+    trie:
+        A built :class:`~repro.core.rptrie.RPTrie` (or the frozen
+        succinct variant, which shares the node interface).
+    query:
+        Query trajectory.
+    k:
+        Number of results.
+    use_pivots, use_lbt, use_lbo:
+        Ablation switches; disabling a bound replaces it with 0 (never
+        prunes), preserving exactness.
+    dqp:
+        Precomputed query-to-pivot distances.  Pivots are global in the
+        distributed setting, so the driver computes ``dqp`` once per
+        query and shares it with every partition (paper, Section IV-D);
+        when None, the distances are computed here.
+    """
+    trie._require_built()
+    measure = trie.measure
+    stats = SearchStats()
+    results = _ResultHeap(k)
+
+    computer = make_bound_computer(measure, trie.grid, query.points)
+    if not (use_pivots and trie.pivots):
+        dqp = None
+    elif dqp is None:
+        dqp = np.array([measure.distance(query, p) for p in trie.pivots])
+        stats.distance_computations += len(trie.pivots)
+
+    counter = itertools.count()
+    root_state = computer.initial_state()
+    # Entries: (priority, tiebreak, node, path_state, depth)
+    heap: list[tuple[float, int, object, object, int]] = [
+        (0.0, next(counter), trie.root, root_state, 0)
+    ]
+
+    while heap:
+        priority, _, node, state, depth = heapq.heappop(heap)
+        dk = results.dk
+        if priority >= dk:
+            break
+        stats.nodes_visited += 1
+
+        if node.is_leaf:
+            stats.leaf_refinements += 1
+            for tid in node.tids:
+                traj = trie.trajectory(tid)
+                stats.distance_computations += 1
+                dist = distance_with_threshold(
+                    measure, query.points, traj.points, results.dk)
+                results.offer(dist, tid)
+            continue
+
+        for child in node.iter_children():
+            if child.is_leaf:
+                bound = (computer.leaf_bound(state, child.dmax, depth)
+                         if use_lbt else 0.0)
+                child_state = state
+                child_depth = depth
+            else:
+                child_state, lbo = computer.extend(
+                    state, child.z_value, child.max_traj_len)
+                bound = lbo if use_lbo else 0.0
+                child_depth = depth + 1
+            bound = max(bound, _pivot_bound(dqp, child) if use_pivots else 0.0)
+            if bound < results.dk:
+                heapq.heappush(
+                    heap, (bound, next(counter), child, child_state, child_depth))
+            else:
+                stats.nodes_pruned += 1
+
+    return TopKResult(items=results.sorted_items(), stats=stats)
+
+
+def local_range_search(trie, query: Trajectory, radius: float,
+                       use_pivots: bool = True) -> TopKResult:
+    """All trajectories within ``radius`` of the query, ascending.
+
+    Reuses the top-k machinery with a fixed threshold instead of the
+    adaptive ``dk``: a subtree is pruned as soon as its lower bound
+    reaches ``radius``.  (Range search is the primitive DITA builds its
+    top-k on; REPOSE supports it natively with the same bounds.)
+    """
+    trie._require_built()
+    measure = trie.measure
+    stats = SearchStats()
+    items: list[tuple[float, int]] = []
+
+    computer = make_bound_computer(measure, trie.grid, query.points)
+    dqp: np.ndarray | None = None
+    if use_pivots and trie.pivots:
+        dqp = np.array([measure.distance(query, p) for p in trie.pivots])
+        stats.distance_computations += len(trie.pivots)
+
+    stack = [(trie.root, computer.initial_state(), 0)]
+    while stack:
+        node, state, depth = stack.pop()
+        stats.nodes_visited += 1
+        if node.is_leaf:
+            stats.leaf_refinements += 1
+            for tid in node.tids:
+                traj = trie.trajectory(tid)
+                stats.distance_computations += 1
+                # Threshold just above the radius so distances equal to
+                # the radius are computed exactly and included.
+                dist = distance_with_threshold(
+                    measure, query.points, traj.points,
+                    float(np.nextafter(radius, np.inf)))
+                if dist <= radius:
+                    items.append((dist, tid))
+            continue
+        for child in node.iter_children():
+            if child.is_leaf:
+                bound = computer.leaf_bound(state, child.dmax, depth)
+                child_state = state
+                child_depth = depth
+            else:
+                child_state, bound = computer.extend(
+                    state, child.z_value, child.max_traj_len)
+                child_depth = depth + 1
+            bound = max(bound, _pivot_bound(dqp, child) if use_pivots else 0.0)
+            if bound <= radius:
+                stack.append((child, child_state, child_depth))
+            else:
+                stats.nodes_pruned += 1
+
+    return TopKResult(items=sorted(items), stats=stats)

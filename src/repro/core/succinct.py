@@ -1,0 +1,338 @@
+"""Succinct frozen RP-Trie (paper, Section III-B "Succinct trie structure").
+
+Inspired by SuRF, the frozen representation switches encodings by level:
+
+* **Upper levels** (few, frequently accessed, dense nodes): per level,
+  the child bitmaps ``Bc`` and leaf-state bitmaps ``Bl`` of all nodes
+  are **concatenated in breadth-first order** into one
+  :class:`~repro.core.bitvector.BitVector` of ``M`` bits per node
+  (``M`` = number of grid cells).  Navigation is rank arithmetic, as in
+  SuRF/FST: the child reached through the i-th set bit of a level's
+  ``Bc`` is the i-th node of the next level, so
+  ``child = level_start[l+1] + Bc.rank1(bit position)``.
+* **Lower levels** (many, sparse nodes): children serialized as sorted
+  byte sequences (8-byte little-endian z-values) with explicit
+  first-child pointers.
+
+A level is only bitmap-encoded while ``M x nodes`` stays within a bit
+budget, so huge grids degrade gracefully to byte encoding — the adaptive
+spirit of the paper's design.
+
+Nodes live in one BFS-ordered array; the children of node ``i`` are
+BFS-contiguous.  Leaf payloads (tids, ``Dmax``) and per-node ``HR``
+annotations live in parallel arrays.  The frozen trie implements the
+same traversal interface as :class:`~repro.core.rptrie.RPTrie`, so
+:func:`~repro.core.search.local_search` runs on it unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..exceptions import IndexNotBuiltError
+from ..types import Trajectory
+from .bitvector import BitVector
+from .node import TERMINAL
+
+__all__ = ["SuccinctRPTrie", "FrozenNode"]
+
+_LABEL_BYTES = 8
+#: Per-level bitmap budget: levels whose concatenated bitmap would
+#: exceed this many bits fall back to byte encoding.
+_BITMAP_BIT_BUDGET = 1 << 24
+
+
+class FrozenNode:
+    """Lightweight handle over one node of a :class:`SuccinctRPTrie`."""
+
+    __slots__ = ("_trie", "index", "z_value", "is_leaf")
+
+    def __init__(self, trie: "SuccinctRPTrie", index: int, z_value: int,
+                 is_leaf: bool):
+        self._trie = trie
+        self.index = index
+        self.z_value = z_value
+        self.is_leaf = is_leaf
+
+    @property
+    def tids(self) -> tuple[int, ...]:
+        return self._trie._leaf_tids[self.index] if self.is_leaf else ()
+
+    @property
+    def dmax(self) -> float:
+        return float(self._trie._leaf_dmax[self.index]) if self.is_leaf else 0.0
+
+    @property
+    def hr_min(self) -> np.ndarray | None:
+        trie = self._trie
+        if trie._hr_min is None:
+            return None
+        if self.is_leaf:
+            return trie._leaf_hr_min[self.index]
+        return trie._hr_min[self.index]
+
+    @property
+    def hr_max(self) -> np.ndarray | None:
+        trie = self._trie
+        if trie._hr_max is None:
+            return None
+        if self.is_leaf:
+            return trie._leaf_hr_max[self.index]
+        return trie._hr_max[self.index]
+
+    @property
+    def max_traj_len(self) -> int:
+        if self.is_leaf:
+            return 0
+        return int(self._trie._max_traj_len[self.index])
+
+    def iter_children(self):
+        return self._trie._iter_children(self.index)
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else "internal"
+        return f"FrozenNode({kind}, index={self.index}, z={self.z_value})"
+
+
+class SuccinctRPTrie:
+    """Immutable, memory-compact snapshot of a built RP-Trie.
+
+    Parameters
+    ----------
+    source:
+        A built :class:`~repro.core.rptrie.RPTrie`.
+    bitmap_levels:
+        Number of upper levels encoded with concatenated bitmaps (the
+        rest use byte sequences).  The default of 2 follows the paper's
+        observation that only the top of the trie is dense and hot.
+    """
+
+    def __init__(self, source, bitmap_levels: int = 2):
+        if not source.built:
+            raise IndexNotBuiltError("freeze requires a built RPTrie")
+        self.grid = source.grid
+        self.measure = source.measure
+        self.pivots = source.pivots
+        self.bitmap_levels = bitmap_levels
+        self._trajectories = {t.traj_id: t for t in source.trajectories()}
+        self._build_from(source)
+
+    # -- construction -------------------------------------------------------
+
+    def _build_from(self, source) -> None:
+        num_pivots = len(self.pivots)
+        has_hr = num_pivots > 0 and source.root.hr_min is not None
+        cells = self.grid.num_cells
+
+        # BFS over internal nodes only; $ leaves become payload entries.
+        nodes = []
+        levels = []
+        queue = deque([(source.root, 0)])
+        while queue:
+            node, level = queue.popleft()
+            nodes.append(node)
+            levels.append(level)
+            for z in sorted(k for k in node.children if k != TERMINAL):
+                queue.append((node.children[z], level + 1))
+
+        count = len(nodes)
+        num_levels = (max(levels) + 1) if nodes else 0
+        self._num_nodes = count
+        self._levels = np.array(levels, dtype=np.int32)
+        # level_start[l] = BFS index of the first node at level l.
+        self._level_start = np.zeros(num_levels + 1, dtype=np.int64)
+        for level in levels:
+            self._level_start[level + 1] += 1
+        np.cumsum(self._level_start, out=self._level_start)
+
+        level_counts = np.bincount(levels, minlength=num_levels) if nodes else []
+        self._bitmap_level_set = {
+            level for level in range(min(self.bitmap_levels, num_levels))
+            if cells * int(level_counts[level]) <= _BITMAP_BIT_BUDGET
+        }
+
+        self._first_child = np.zeros(count, dtype=np.int64)
+        self._child_count = np.zeros(count, dtype=np.int32)
+        self._max_traj_len = np.zeros(count, dtype=np.int32)
+        self._byte_children: dict[int, bytes] = {}
+        self._leaf_of: dict[int, int] = {}   # internal index -> leaf index
+        leaf_tids: list[tuple[int, ...]] = []
+        leaf_dmax: list[float] = []
+        leaf_hr_min: list[np.ndarray] = []
+        leaf_hr_max: list[np.ndarray] = []
+        bc_positions: dict[int, list[int]] = {l: [] for l in self._bitmap_level_set}
+        bl_positions: dict[int, list[int]] = {l: [] for l in self._bitmap_level_set}
+
+        if has_hr:
+            self._hr_min = np.full((count, num_pivots), np.inf)
+            self._hr_max = np.full((count, num_pivots), -np.inf)
+        else:
+            self._hr_min = None
+            self._hr_max = None
+
+        # Children of BFS node i are BFS-contiguous because the queue
+        # preserves per-parent grouping; within a parent, label order.
+        next_child = 1
+        for i, node in enumerate(nodes):
+            level = levels[i]
+            self._max_traj_len[i] = node.max_traj_len
+            if has_hr and node.hr_min is not None:
+                self._hr_min[i] = node.hr_min
+                self._hr_max[i] = node.hr_max
+            internal_labels = sorted(k for k in node.children if k != TERMINAL)
+            self._first_child[i] = next_child
+            self._child_count[i] = len(internal_labels)
+            next_child += len(internal_labels)
+            if TERMINAL in node.children:
+                leaf = node.children[TERMINAL]
+                leaf_index = len(leaf_tids)
+                self._leaf_of[i] = leaf_index
+                leaf_tids.append(tuple(leaf.tids))
+                leaf_dmax.append(leaf.dmax)
+                if has_hr:
+                    leaf_hr_min.append(np.array(leaf.hr_min))
+                    leaf_hr_max.append(np.array(leaf.hr_max))
+            if level in self._bitmap_level_set:
+                slot = i - int(self._level_start[level])
+                base = slot * cells
+                for z in internal_labels:
+                    bc_positions[level].append(base + z)
+                    # Bl marks children terminating a reference
+                    # trajectory ($ payload), mirroring SuRF's
+                    # leaf-state bitmap.
+                    if TERMINAL in node.children[z].children:
+                        bl_positions[level].append(base + z)
+            else:
+                encoded = b"".join(
+                    z.to_bytes(_LABEL_BYTES, "little") for z in internal_labels)
+                self._byte_children[i] = encoded
+
+        self._bc: dict[int, BitVector] = {}
+        self._bl: dict[int, BitVector] = {}
+        for level in self._bitmap_level_set:
+            width = cells * int(level_counts[level])
+            self._bc[level] = BitVector(width, bc_positions[level])
+            self._bl[level] = BitVector(width, bl_positions[level])
+
+        self._leaf_tids = leaf_tids
+        self._leaf_dmax = np.array(leaf_dmax, dtype=np.float64)
+        self._leaf_hr_min = leaf_hr_min
+        self._leaf_hr_max = leaf_hr_max
+
+    # -- traversal interface --------------------------------------------------
+
+    @property
+    def root(self) -> FrozenNode:
+        return FrozenNode(self, 0, TERMINAL - 1, False)
+
+    def _byte_labels_of(self, index: int) -> list[int]:
+        encoded = self._byte_children.get(index, b"")
+        return [int.from_bytes(encoded[j:j + _LABEL_BYTES], "little")
+                for j in range(0, len(encoded), _LABEL_BYTES)]
+
+    def _iter_children(self, index: int):
+        level = int(self._levels[index])
+        if level in self._bitmap_level_set:
+            cells = self.grid.num_cells
+            bc = self._bc[level]
+            slot = index - int(self._level_start[level])
+            base = slot * cells
+            child = int(self._level_start[level + 1]) + bc.rank1(base)
+            for position in bc.iter_ones(base, base + cells):
+                yield FrozenNode(self, child, position - base, False)
+                child += 1
+        else:
+            first = int(self._first_child[index])
+            for offset, z in enumerate(self._byte_labels_of(index)):
+                yield FrozenNode(self, first + offset, z, False)
+        leaf_index = self._leaf_of.get(index)
+        if leaf_index is not None:
+            yield FrozenNode(self, leaf_index, TERMINAL, True)
+
+    def find_child(self, index: int, z: int) -> FrozenNode | None:
+        """Child with label ``z`` via bitmap rank / binary search."""
+        level = int(self._levels[index])
+        if level in self._bitmap_level_set:
+            cells = self.grid.num_cells
+            if not 0 <= z < cells:
+                return None
+            bc = self._bc[level]
+            position = (index - int(self._level_start[level])) * cells + z
+            if not bc[position]:
+                return None
+            child = int(self._level_start[level + 1]) + bc.rank1(position)
+            return FrozenNode(self, child, z, False)
+        labels = self._byte_labels_of(index)
+        lo, hi = 0, len(labels)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if labels[mid] < z:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(labels) and labels[lo] == z:
+            return FrozenNode(self, int(self._first_child[index]) + lo, z,
+                              False)
+        return None
+
+    def has_terminal(self, index: int, z: int) -> bool | None:
+        """``Bl`` probe: does the child labelled ``z`` end a reference
+        trajectory?  None when the level is not bitmap-encoded."""
+        level = int(self._levels[index])
+        if level not in self._bitmap_level_set:
+            return None
+        cells = self.grid.num_cells
+        position = (index - int(self._level_start[level])) * cells + z
+        return bool(self._bl[level][position])
+
+    # -- RPTrie-compatible accessors -------------------------------------------
+
+    def _require_built(self) -> None:
+        return None  # frozen tries are always built
+
+    @property
+    def built(self) -> bool:
+        return True
+
+    @property
+    def num_trajectories(self) -> int:
+        return len(self._trajectories)
+
+    @property
+    def node_count(self) -> int:
+        """Internal nodes plus ``$`` leaves, excluding the root sentinel."""
+        return self._num_nodes - 1 + len(self._leaf_tids)
+
+    def trajectory(self, tid: int) -> Trajectory:
+        return self._trajectories[tid]
+
+    def trajectories(self) -> list[Trajectory]:
+        return list(self._trajectories.values())
+
+    def memory_bytes(self) -> int:
+        """Footprint of the frozen structure (excludes raw trajectories)."""
+        total = (self._first_child.nbytes + self._child_count.nbytes
+                 + self._max_traj_len.nbytes + self._levels.nbytes
+                 + self._level_start.nbytes + self._leaf_dmax.nbytes)
+        for vector in self._bc.values():
+            total += vector.memory_bytes()
+        for vector in self._bl.values():
+            total += vector.memory_bytes()
+        for encoded in self._byte_children.values():
+            total += len(encoded)
+        for tids in self._leaf_tids:
+            total += 8 * len(tids)
+        if self._hr_min is not None:
+            total += self._hr_min.nbytes + self._hr_max.nbytes
+        for arr in self._leaf_hr_min:
+            total += arr.nbytes
+        for arr in self._leaf_hr_max:
+            total += arr.nbytes
+        return total
+
+    def __repr__(self) -> str:
+        return (f"SuccinctRPTrie(measure={self.measure.name}, "
+                f"nodes={self.node_count}, "
+                f"bitmap_levels={sorted(self._bitmap_level_set)})")

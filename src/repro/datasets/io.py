@@ -1,0 +1,49 @@
+"""Plain-text trajectory I/O.
+
+Format: one CSV row per point, ``traj_id,x,y``, rows grouped by
+trajectory and ordered by time.  This is the least-common-denominator
+format the public taxi datasets (Porto, T-drive) convert to easily.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from ..types import Trajectory, TrajectoryDataset
+
+__all__ = ["load_csv", "save_csv"]
+
+
+def save_csv(dataset: TrajectoryDataset, path: str | Path) -> None:
+    """Write ``traj_id,x,y`` rows for every point of every trajectory."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["traj_id", "x", "y"])
+        for traj in dataset:
+            for x, y in traj.points:
+                writer.writerow([traj.traj_id, repr(float(x)), repr(float(y))])
+
+
+def load_csv(path: str | Path, name: str | None = None) -> TrajectoryDataset:
+    """Read a dataset written by :func:`save_csv` (header optional)."""
+    path = Path(path)
+    groups: dict[int, list[tuple[float, float]]] = {}
+    order: list[int] = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        for row in reader:
+            if not row or row[0] == "traj_id":
+                continue
+            tid = int(row[0])
+            if tid not in groups:
+                groups[tid] = []
+                order.append(tid)
+            groups[tid].append((float(row[1]), float(row[2])))
+    dataset = TrajectoryDataset(name=name or path.stem)
+    for tid in order:
+        dataset.add(Trajectory(np.asarray(groups[tid]), traj_id=tid))
+    return dataset

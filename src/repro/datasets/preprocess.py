@@ -1,0 +1,53 @@
+"""Dataset preprocessing, matching the paper's Section VII-A.
+
+"In the preprocessing stage, we remove the trajectories with length
+smaller than 10, and we split the trajectories with length larger than
+1,000 into multiple trajectories.  We uniformly and randomly select 100
+trajectories as the query set."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import Trajectory, TrajectoryDataset
+
+__all__ = ["preprocess", "sample_queries"]
+
+
+def preprocess(dataset: TrajectoryDataset, min_length: int = 10,
+               max_length: int = 1000) -> TrajectoryDataset:
+    """Drop short trajectories; split long ones into chunks.
+
+    Split chunks shorter than ``min_length`` are merged into the
+    previous chunk so no undersized fragment survives.  Output ids are
+    reassigned densely.
+    """
+    out = TrajectoryDataset(name=dataset.name)
+    for traj in dataset:
+        if len(traj) < min_length:
+            continue
+        for chunk in _split(traj.points, min_length, max_length):
+            out.add(Trajectory(chunk))
+    return out
+
+
+def _split(points: np.ndarray, min_length: int,
+           max_length: int) -> list[np.ndarray]:
+    if len(points) <= max_length:
+        return [points]
+    chunks = [points[start:start + max_length]
+              for start in range(0, len(points), max_length)]
+    if len(chunks) > 1 and len(chunks[-1]) < min_length:
+        tail = chunks.pop()
+        chunks[-1] = np.vstack([chunks[-1], tail])
+    return chunks
+
+
+def sample_queries(dataset: TrajectoryDataset, count: int = 100,
+                   seed: int = 99) -> list[Trajectory]:
+    """Uniformly sample ``count`` query trajectories (with their ids)."""
+    rng = np.random.default_rng(seed)
+    size = min(count, len(dataset))
+    index = rng.choice(len(dataset.trajectories), size=size, replace=False)
+    return [dataset.trajectories[int(i)] for i in index]

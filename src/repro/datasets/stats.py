@@ -1,0 +1,63 @@
+"""Published statistics of the paper's seven datasets (Table III).
+
+The synthetic generators target these numbers (scaled); the
+experiment harness uses them to pick per-dataset grid granularities
+``delta`` exactly as the paper's Section VII-A parameter settings do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DatasetSpec", "DATASET_SPECS", "PAPER_DELTAS", "paper_delta"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of the paper's Table III."""
+
+    name: str
+    cardinality: int
+    avg_length: float
+    span_x: float
+    span_y: float
+    size_gb: float
+    #: Number of hot-spot centers used by the synthetic generator;
+    #: dense urban taxi datasets concentrate traffic far more than OSM.
+    hotspots: int = 8
+
+    @property
+    def span(self) -> tuple[float, float]:
+        return (self.span_x, self.span_y)
+
+
+DATASET_SPECS: dict[str, DatasetSpec] = {
+    "t-drive": DatasetSpec("t-drive", 356_228, 22.6, 1.89, 1.17, 0.16, hotspots=6),
+    "sf": DatasetSpec("sf", 343_696, 27.5, 0.54, 0.76, 0.19, hotspots=6),
+    "rome": DatasetSpec("rome", 99_473, 152.4, 1.21, 0.86, 0.28, hotspots=5),
+    "porto": DatasetSpec("porto", 1_613_284, 48.9, 11.7, 14.2, 1.24, hotspots=10),
+    "xian": DatasetSpec("xian", 6_645_727, 230.1, 0.09, 0.08, 26.8, hotspots=4),
+    "chengdu": DatasetSpec("chengdu", 11_327_466, 188.9, 0.09, 0.07, 37.7, hotspots=4),
+    "osm": DatasetSpec("osm", 4_464_399, 596.3, 360.0, 180.0, 50.8, hotspots=24),
+}
+
+#: Grid side lengths per dataset and measure, from Section VII-A
+#: ("Parameter settings").  Keys: (dataset, measure) with "*" wildcard.
+PAPER_DELTAS: dict[tuple[str, str], float] = {
+    ("sf", "*"): 0.05,
+    ("porto", "*"): 0.05,
+    ("rome", "*"): 0.05,
+    ("t-drive", "*"): 0.15,
+    ("osm", "*"): 1.0,
+    ("chengdu", "hausdorff"): 0.01,
+    ("chengdu", "*"): 0.02,
+    ("xian", "hausdorff"): 0.01,
+    ("xian", "*"): 0.03,
+}
+
+
+def paper_delta(dataset: str, measure: str) -> float:
+    """The paper's delta for a (dataset, measure) pair."""
+    if (dataset, measure) in PAPER_DELTAS:
+        return PAPER_DELTAS[(dataset, measure)]
+    return PAPER_DELTAS[(dataset, "*")]

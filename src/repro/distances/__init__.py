@@ -1,0 +1,40 @@
+"""Trajectory similarity measures.
+
+The paper's framework supports six measures (Section I): Hausdorff,
+Frechet, DTW, LCSS, EDR, and ERP.  Each measure is registered in
+:mod:`repro.distances.base` with the two properties that drive index
+behaviour:
+
+* ``is_metric`` — whether the triangle inequality holds, enabling pivot
+  based pruning (Hausdorff, Frechet, ERP);
+* ``order_sensitive`` — whether point order matters, which decides if the
+  z-value re-arrangement optimization may be applied (only Hausdorff is
+  order independent).
+"""
+
+from .base import (
+    Measure,
+    get_measure,
+    list_measures,
+    register_measure,
+)
+from .hausdorff import hausdorff_distance
+from .frechet import frechet_distance
+from .dtw import dtw_distance
+from .lcss import lcss_distance, lcss_similarity
+from .edr import edr_distance
+from .erp import erp_distance
+
+__all__ = [
+    "Measure",
+    "get_measure",
+    "list_measures",
+    "register_measure",
+    "hausdorff_distance",
+    "frechet_distance",
+    "dtw_distance",
+    "lcss_distance",
+    "lcss_similarity",
+    "edr_distance",
+    "erp_distance",
+]

@@ -1,0 +1,86 @@
+"""Dynamic time warping distance (paper, Eq. 12).
+
+``DTW(t_q, t) = d(q_m, p_n) + min(DTW(m-1, n-1), DTW(m-1, n), DTW(m, n-1))``
+
+with pure accumulation along the first row/column.  DTW is *not* a
+metric (no triangle inequality) and is order sensitive, so the index
+uses only the basic RP-Trie and the one/two-side bounds built from
+point-to-cell minimum distances (paper, Eq. 15 note).
+
+:func:`dtw_next_column` exposes a single column step for incremental
+bound maintenance along trie paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Measure, register_measure
+from .matrix import point_distance_matrix
+
+__all__ = ["dtw_distance", "dtw_next_column"]
+
+
+def dtw_next_column(prev_column: np.ndarray,
+                    new_distances: np.ndarray) -> np.ndarray:
+    """One column step of the DTW DP (paper, Eq. 15).
+
+    Parameters
+    ----------
+    prev_column:
+        ``f[:, j-1]``, shape ``(m,)``; empty array for the first column.
+    new_distances:
+        Cost of matching each query point with the new point, shape
+        ``(m,)``.
+
+    Returns
+    -------
+    ``f[:, j]``, shape ``(m,)``.
+    """
+    m = new_distances.shape[0]
+    if prev_column.size == 0:
+        return np.cumsum(new_distances)
+    # Min-plus scan: column[i] = min(c[i], column[i-1] + cost[i]) where
+    # c[i] folds the diagonal and horizontal moves (known vectors).
+    candidates = np.empty(m, dtype=np.float64)
+    candidates[0] = prev_column[0]
+    np.minimum(prev_column[:-1], prev_column[1:], out=candidates[1:])
+    candidates += new_distances
+    prefix = np.cumsum(new_distances)
+    return prefix + np.minimum.accumulate(candidates - prefix)
+
+
+def dtw_distance(a: np.ndarray, b: np.ndarray,
+                 dm: np.ndarray | None = None) -> float:
+    """DTW distance between two point arrays.
+
+    Evaluated row by row; the in-row recurrence
+    ``f[i, j] = min(c[j], f[i, j-1] + D[i, j])`` is a min-plus prefix
+    scan, solved in vectorized form via
+    ``f = S + cummin(c - S)`` with ``S`` the row's cost prefix sums.
+
+    ``dm`` optionally supplies the precomputed pairwise-distance matrix
+    (callers that already built it for a lower bound pass it through).
+    """
+    if dm is None:
+        dm = point_distance_matrix(a, b)
+    m, n = dm.shape
+    row = np.cumsum(dm[0])  # f[0, j]: horizontal accumulation only
+    for i in range(1, m):
+        costs = dm[i]
+        # Best entry from the previous row: diagonal or vertical move.
+        candidates = np.empty(n, dtype=np.float64)
+        candidates[0] = row[0]
+        np.minimum(row[:-1], row[1:], out=candidates[1:])
+        candidates += costs
+        prefix = np.cumsum(costs)
+        row = prefix + np.minimum.accumulate(candidates - prefix)
+    return float(row[-1])
+
+
+register_measure(Measure(
+    name="dtw",
+    fn=dtw_distance,
+    is_metric=False,
+    order_sensitive=True,
+))

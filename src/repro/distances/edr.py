@@ -1,0 +1,45 @@
+"""Edit distance on real sequences, EDR (Chen, Ozsu, Oria; SIGMOD 2005).
+
+Edit distance where substituting two points costs 0 when they match
+within ``eps`` (both coordinates) and 1 otherwise; insert/delete cost 1.
+EDR is not a metric (it violates the triangle inequality) and is order
+sensitive, so only the basic RP-Trie applies (paper, Section VI).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Measure, register_measure
+from .lcss import _match_matrix
+
+__all__ = ["edr_distance"]
+
+DEFAULT_EPS = 0.001
+
+
+def edr_distance(a: np.ndarray, b: np.ndarray, eps: float = DEFAULT_EPS) -> float:
+    """EDR distance (integer-valued edit distance, returned as float)."""
+    match = _match_matrix(a, b, eps)
+    m, n = match.shape
+    # Row scan: f[i, j] = min(c[j], f[i, j-1] + 1) is a min-plus scan
+    # with unit weights, i.e. f = j + cummin(c - j).
+    positions = np.arange(n + 1, dtype=np.float64)
+    prev = positions.copy()  # f[0, j] = j
+    for i in range(m):
+        sub_cost = np.where(match[i], 0.0, 1.0)
+        candidates = np.empty(n + 1, dtype=np.float64)
+        candidates[0] = prev[0] + 1.0
+        np.minimum(prev[:-1] + sub_cost, prev[1:] + 1.0,
+                   out=candidates[1:])
+        prev = positions + np.minimum.accumulate(candidates - positions)
+    return float(prev[n])
+
+
+register_measure(Measure(
+    name="edr",
+    fn=edr_distance,
+    is_metric=False,
+    order_sensitive=True,
+    params={"eps": DEFAULT_EPS},
+))

@@ -1,0 +1,116 @@
+"""Discrete Frechet distance (paper, Eq. 6).
+
+The recurrence over the ``m x n`` distance matrix is::
+
+    f[i, j] = max(d(q_i, p_j), min(f[i-1, j-1], f[i-1, j], f[i, j-1]))
+
+with first-row/column accumulation by running maximum.  The discrete
+Frechet distance is a metric on point sequences and is order sensitive,
+so the RP-Trie for Frechet uses pivot pruning but not the re-arrangement
+optimization.
+
+The DP is evaluated column by column; :func:`frechet_next_column` exposes
+one column step so the index can extend bounds incrementally along a trie
+path (paper, Eq. 9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Measure, register_measure
+from .matrix import point_distance_matrix
+
+__all__ = ["frechet_distance", "frechet_next_column"]
+
+
+def frechet_next_column(prev_column: np.ndarray,
+                        new_distances: np.ndarray) -> np.ndarray:
+    """One column step of the discrete Frechet DP (paper, Eq. 9).
+
+    Parameters
+    ----------
+    prev_column:
+        ``f[:, j-1]``, shape ``(m,)``.  Pass an empty array for the first
+        column.
+    new_distances:
+        ``d(q_i, p_j)`` for the new point ``p_j``, shape ``(m,)``.
+
+    Returns
+    -------
+    ``f[:, j]``, shape ``(m,)``.
+    """
+    m = new_distances.shape[0]
+    if prev_column.size == 0:
+        # First column: f[i, 0] = max(d[0..i, 0]) (running maximum).
+        return np.maximum.accumulate(new_distances)
+    # The in-column dependency forces a sequential scan; plain-float
+    # lists run it ~10x faster than per-element numpy indexing.
+    dist = new_distances.tolist()
+    prev = prev_column.tolist()
+    column = [0.0] * m
+    running = max(dist[0], prev[0])
+    column[0] = running
+    for i in range(1, m):
+        best_prev = min(prev[i - 1], prev[i], running)
+        running = best_prev if best_prev > dist[i] else dist[i]
+        column[i] = running
+    return np.asarray(column)
+
+
+def frechet_distance(a: np.ndarray, b: np.ndarray,
+                     dm: np.ndarray | None = None) -> float:
+    """Discrete Frechet distance between two point arrays.
+
+    The DP is swept along anti-diagonals: every cell on diagonal
+    ``i + j = s`` depends only on diagonals ``s-1`` and ``s-2``, so each
+    diagonal updates as one vectorized expression.  Cost: ``m + n - 1``
+    numpy steps instead of ``m * n`` Python steps.
+
+    ``dm`` optionally supplies the precomputed pairwise-distance matrix.
+    """
+    if dm is None:
+        dm = point_distance_matrix(a, b)
+    m, n = dm.shape
+    if m == 1:
+        return float(dm[0].max())
+    if n == 1:
+        return float(dm[:, 0].max())
+    # prev2 / prev1: f values on diagonals s-2 and s-1, indexed by row i
+    # starting at i_lo_prev2 / i_lo_prev1.
+    inf = np.inf
+    prev2 = np.empty(0)
+    prev1 = np.array([dm[0, 0]])
+    i_lo_prev2 = 0
+    i_lo_prev1 = 0
+
+    def gather(diag, diag_lo, wanted):
+        """Values of a previous diagonal at row indices ``wanted``
+        (inf outside the diagonal's row range — a missing neighbour)."""
+        out = np.full(len(wanted), inf)
+        ok = (wanted >= diag_lo) & (wanted < diag_lo + len(diag))
+        out[ok] = diag[wanted[ok] - diag_lo]
+        return out
+
+    for s in range(1, m + n - 1):
+        i_lo = max(0, s - n + 1)
+        i_hi = min(m - 1, s)
+        ii = np.arange(i_lo, i_hi + 1)
+        costs = dm[ii, s - ii]
+        # Missing neighbours gather as inf, which the min discards —
+        # this also covers the first row/column automatically.
+        best = gather(prev2, i_lo_prev2, ii - 1)                    # f[i-1, j-1]
+        best = np.minimum(best, gather(prev1, i_lo_prev1, ii - 1))  # f[i-1, j]
+        best = np.minimum(best, gather(prev1, i_lo_prev1, ii))      # f[i, j-1]
+        current = np.maximum(costs, best)
+        prev2, prev1 = prev1, current
+        i_lo_prev2, i_lo_prev1 = i_lo_prev1, i_lo
+    return float(prev1[-1])
+
+
+register_measure(Measure(
+    name="frechet",
+    fn=frechet_distance,
+    is_metric=True,
+    order_sensitive=True,
+))

@@ -1,0 +1,55 @@
+"""Longest common subsequence similarity/distance (Vlachos et al.).
+
+Two points match when both coordinate differences are below ``eps``.
+``lcss_similarity`` is the matched-subsequence length; the normalized
+distance is ``1 - LCSS / min(m, n)``.  LCSS is not a metric and is order
+sensitive: the index uses the basic RP-Trie for it (paper, Section VI).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Measure, register_measure
+
+__all__ = ["lcss_similarity", "lcss_distance"]
+
+DEFAULT_EPS = 0.001
+
+
+def _match_matrix(a: np.ndarray, b: np.ndarray, eps: float) -> np.ndarray:
+    """Boolean matrix of points within ``eps`` in both coordinates."""
+    dx = np.abs(a[:, np.newaxis, 0] - b[np.newaxis, :, 0])
+    dy = np.abs(a[:, np.newaxis, 1] - b[np.newaxis, :, 1])
+    return (dx <= eps) & (dy <= eps)
+
+
+def lcss_similarity(a: np.ndarray, b: np.ndarray, eps: float = DEFAULT_EPS) -> int:
+    """Length of the longest common (eps-matched) subsequence."""
+    match = _match_matrix(a, b, eps)
+    m, n = match.shape
+    # Row scan via the identity
+    # l[i, j] = max(l[i-1, j], l[i, j-1], l[i-1, j-1] + match), whose
+    # in-row term carries no penalty: a plain running maximum.
+    prev = np.zeros(n + 1, dtype=np.int64)
+    for i in range(m):
+        candidates = np.empty(n + 1, dtype=np.int64)
+        candidates[0] = 0
+        np.maximum(prev[1:], prev[:-1] + match[i], out=candidates[1:])
+        prev = np.maximum.accumulate(candidates)
+    return int(prev[n])
+
+
+def lcss_distance(a: np.ndarray, b: np.ndarray, eps: float = DEFAULT_EPS) -> float:
+    """Normalized LCSS distance ``1 - LCSS / min(m, n)`` in [0, 1]."""
+    sim = lcss_similarity(a, b, eps=eps)
+    return 1.0 - sim / min(a.shape[0], b.shape[0])
+
+
+register_measure(Measure(
+    name="lcss",
+    fn=lcss_distance,
+    is_metric=False,
+    order_sensitive=True,
+    params={"eps": DEFAULT_EPS},
+))

@@ -1,0 +1,34 @@
+"""Shared helpers for pairwise point-distance computation.
+
+Every measure in this package reduces to operations over the ``m x n``
+matrix of Euclidean distances between the points of two trajectories.
+Computing that matrix with numpy broadcasting is the single biggest
+speed lever for a pure-Python reproduction, so it lives here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["point_distance_matrix", "euclidean"]
+
+
+def euclidean(p: np.ndarray, q: np.ndarray) -> float:
+    """Euclidean distance between two points given as length-2 arrays."""
+    return float(np.hypot(p[0] - q[0], p[1] - q[1]))
+
+
+def point_distance_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix ``D[i, j] = ||a[i] - b[j]||`` for point arrays a, b.
+
+    Parameters
+    ----------
+    a, b:
+        Arrays of shape ``(m, 2)`` and ``(n, 2)``.
+
+    Returns
+    -------
+    numpy.ndarray of shape ``(m, n)``.
+    """
+    diff = a[:, np.newaxis, :] - b[np.newaxis, :, :]
+    return np.sqrt((diff * diff).sum(axis=2))

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError` so that callers can catch library failures without
+masking programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class InvalidTrajectoryError(ReproError):
+    """A trajectory violates a structural requirement (e.g. empty)."""
+
+
+class GridError(ReproError):
+    """A grid parameter is invalid (non power-of-two resolution, etc.)."""
+
+
+class UnsupportedMeasureError(ReproError):
+    """The requested similarity measure is unknown or unsupported here.
+
+    Mirrors the paper's compatibility matrix: e.g. DITA does not support
+    Hausdorff, so asking the DITA baseline for Hausdorff raises this.
+    """
+
+
+class IndexNotBuiltError(ReproError):
+    """A query was issued against an index that has not been built."""
+
+
+class PartitioningError(ReproError):
+    """A partitioning strategy produced an invalid partition assignment."""

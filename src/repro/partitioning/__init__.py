@@ -1,0 +1,27 @@
+"""Global partitioning strategies (paper, Section V).
+
+REPOSE's *heterogeneous* strategy places similar trajectories in
+*different* partitions so that every partition has a similar composition
+and every compute node contributes to every query.  The *homogeneous*
+strategy (what DITA/DFT do) and *random* assignment are provided as the
+comparison points of Table VII.
+"""
+
+from .geohash import geohash_cell, trajectory_signature
+from .clustering import GeohashClustering
+from .strategies import (
+    heterogeneous_partitions,
+    homogeneous_partitions,
+    random_partitions,
+    make_strategy,
+)
+
+__all__ = [
+    "geohash_cell",
+    "trajectory_signature",
+    "GeohashClustering",
+    "heterogeneous_partitions",
+    "homogeneous_partitions",
+    "random_partitions",
+    "make_strategy",
+]

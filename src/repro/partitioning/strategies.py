@@ -1,0 +1,104 @@
+"""Global partitioning strategies (paper, Sections V-A and V-B).
+
+All strategies return a list of ``num_partitions`` trajectory lists and
+never lose or duplicate a trajectory.
+
+* :func:`heterogeneous_partitions` — REPOSE's strategy: cluster similar
+  trajectories (geohash/SOM-TC), sort by (cluster id, trajectory id),
+  deal round-robin.  Similar trajectories land in *different*
+  partitions, giving every partition a similar composition.
+* :func:`homogeneous_partitions` — the DITA/DFT-style opposite: the same
+  sorted order is cut into contiguous chunks, so each partition holds
+  one group of similar trajectories.
+* :func:`random_partitions` — uniform random assignment (the strawman
+  of Section V-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import PartitioningError
+from ..types import Trajectory, TrajectoryDataset
+from .clustering import GeohashClustering
+
+__all__ = [
+    "heterogeneous_partitions",
+    "homogeneous_partitions",
+    "random_partitions",
+    "make_strategy",
+]
+
+
+def _clustered_order(dataset: TrajectoryDataset,
+                     num_partitions: int) -> list[Trajectory]:
+    """Trajectories sorted by (cluster id, trajectory id)."""
+    target = max(1, len(dataset) // num_partitions)
+    clustering = GeohashClustering(target_clusters=target)
+    result = clustering.cluster(dataset)
+    order = sorted(
+        range(len(dataset.trajectories)),
+        key=lambda i: (result.labels[i], dataset.trajectories[i].traj_id),
+    )
+    return [dataset.trajectories[i] for i in order]
+
+
+def heterogeneous_partitions(dataset: TrajectoryDataset,
+                             num_partitions: int) -> list[list[Trajectory]]:
+    """REPOSE's heterogeneous strategy (Section V-B)."""
+    ordered = _clustered_order(dataset, num_partitions)
+    partitions: list[list[Trajectory]] = [[] for _ in range(num_partitions)]
+    for index, traj in enumerate(ordered):
+        partitions[index % num_partitions].append(traj)
+    return _validated(partitions, len(dataset))
+
+
+def homogeneous_partitions(dataset: TrajectoryDataset,
+                           num_partitions: int) -> list[list[Trajectory]]:
+    """DITA/DFT-style: similar trajectories share a partition."""
+    ordered = _clustered_order(dataset, num_partitions)
+    partitions: list[list[Trajectory]] = [[] for _ in range(num_partitions)]
+    base, extra = divmod(len(ordered), num_partitions)
+    start = 0
+    for pid in range(num_partitions):
+        size = base + (1 if pid < extra else 0)
+        partitions[pid] = ordered[start:start + size]
+        start += size
+    return _validated(partitions, len(dataset))
+
+
+def random_partitions(dataset: TrajectoryDataset, num_partitions: int,
+                      seed: int = 42) -> list[list[Trajectory]]:
+    """Uniform random assignment with near-equal partition sizes."""
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(dataset.trajectories))
+    partitions: list[list[Trajectory]] = [[] for _ in range(num_partitions)]
+    for index, traj_index in enumerate(order):
+        partitions[index % num_partitions].append(
+            dataset.trajectories[int(traj_index)])
+    return _validated(partitions, len(dataset))
+
+
+_STRATEGIES = {
+    "heterogeneous": heterogeneous_partitions,
+    "homogeneous": homogeneous_partitions,
+    "random": random_partitions,
+}
+
+
+def make_strategy(name: str):
+    """Strategy function by name ("heterogeneous", "homogeneous", "random")."""
+    key = name.strip().lower()
+    if key not in _STRATEGIES:
+        raise PartitioningError(
+            f"unknown strategy {name!r}; known: {sorted(_STRATEGIES)}")
+    return _STRATEGIES[key]
+
+
+def _validated(partitions: list[list[Trajectory]],
+               expected_total: int) -> list[list[Trajectory]]:
+    total = sum(len(p) for p in partitions)
+    if total != expected_total:
+        raise PartitioningError(
+            f"partitioning lost trajectories: {total} != {expected_total}")
+    return partitions

@@ -1,0 +1,195 @@
+"""Index persistence: save and load built RP-Tries.
+
+The paper's setting is in-memory, but a deployable service needs warm
+restarts.  The format is a single ``.npz`` archive (numpy's zip
+container) holding:
+
+* the trajectory payloads (one concatenated point array + offsets),
+* the trie structure flattened in DFS order (labels, parent pointers,
+  leaf payloads, HR arrays),
+* grid/measure/pivot metadata as a JSON header.
+
+Loading rebuilds the dict-based :class:`~repro.core.rptrie.RPTrie`
+without recomputing pivot distances or ``Dmax`` — O(nodes) instead of
+O(N * L^2 * Np).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .core.grid import Grid
+from .core.node import TrieNode
+from .core.rptrie import RPTrie
+from .distances.base import get_measure
+from .types import Trajectory
+
+__all__ = ["save_index", "load_index"]
+
+_FORMAT_VERSION = 1
+
+
+def _flatten_trie(trie: RPTrie):
+    """DFS arrays: labels, parents, leaf flags/payloads, HR, lengths."""
+    labels: list[int] = []
+    parents: list[int] = []
+    dmaxes: list[float] = []
+    max_lens: list[int] = []
+    tid_offsets: list[int] = [0]
+    tid_values: list[int] = []
+    hr_min_rows: list[np.ndarray] = []
+    hr_max_rows: list[np.ndarray] = []
+    num_pivots = len(trie.pivots)
+
+    stack = [(trie.root, -1)]
+    while stack:
+        node, parent_index = stack.pop()
+        index = len(labels)
+        labels.append(node.z_value)
+        parents.append(parent_index)
+        dmaxes.append(node.dmax)
+        max_lens.append(node.max_traj_len)
+        tid_values.extend(node.tids)
+        tid_offsets.append(len(tid_values))
+        if num_pivots and node.hr_min is not None:
+            hr_min_rows.append(node.hr_min)
+            hr_max_rows.append(node.hr_max)
+        elif num_pivots:
+            hr_min_rows.append(np.full(num_pivots, np.inf))
+            hr_max_rows.append(np.full(num_pivots, -np.inf))
+        for child in node.children.values():
+            stack.append((child, index))
+
+    arrays = {
+        "trie_labels": np.array(labels, dtype=np.int64),
+        "trie_parents": np.array(parents, dtype=np.int64),
+        "trie_dmax": np.array(dmaxes, dtype=np.float64),
+        "trie_max_len": np.array(max_lens, dtype=np.int64),
+        "trie_tid_offsets": np.array(tid_offsets, dtype=np.int64),
+        "trie_tid_values": np.array(tid_values, dtype=np.int64),
+    }
+    if num_pivots:
+        arrays["trie_hr_min"] = np.vstack(hr_min_rows)
+        arrays["trie_hr_max"] = np.vstack(hr_max_rows)
+    return arrays
+
+
+def _flatten_trajectories(trajectories: list[Trajectory]):
+    ids = np.array([t.traj_id for t in trajectories], dtype=np.int64)
+    offsets = np.zeros(len(trajectories) + 1, dtype=np.int64)
+    for i, traj in enumerate(trajectories):
+        offsets[i + 1] = offsets[i] + len(traj)
+    points = (np.vstack([t.points for t in trajectories])
+              if trajectories else np.empty((0, 2)))
+    return {"traj_ids": ids, "traj_offsets": offsets, "traj_points": points}
+
+
+def save_index(trie: RPTrie, path: str | Path) -> None:
+    """Serialize a built RP-Trie (with its trajectories) to ``path``."""
+    trie._require_built()
+    header = {
+        "version": _FORMAT_VERSION,
+        "measure": trie.measure.name,
+        "measure_params": _jsonable(trie.measure.params),
+        "optimized": trie.optimized,
+        "grid": {
+            "origin_x": trie.grid.origin_x,
+            "origin_y": trie.grid.origin_y,
+            "delta": trie.grid.delta,
+            "resolution": trie.grid.resolution,
+        },
+        "pivot_ids": [p.traj_id for p in trie.pivots],
+    }
+    arrays = {"header": np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8)}
+    arrays.update(_flatten_trajectories(trie.trajectories()))
+    pivot_external = [p for p in trie.pivots
+                      if p.traj_id not in trie._trajectories]
+    arrays.update({f"pivot_points_{i}": p.points
+                   for i, p in enumerate(pivot_external)})
+    header["external_pivot_ids"] = [p.traj_id for p in pivot_external]
+    arrays["header"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8)
+    arrays.update(_flatten_trie(trie))
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+
+
+def load_index(path: str | Path) -> RPTrie:
+    """Load an RP-Trie previously written by :func:`save_index`."""
+    with np.load(path) as archive:
+        header = json.loads(bytes(archive["header"]).decode("utf-8"))
+        if header["version"] != _FORMAT_VERSION:
+            raise ValueError(f"unsupported index format {header['version']}")
+        grid = Grid(**header["grid"])
+        params = header["measure_params"]
+        if "gap" in params:
+            params["gap"] = tuple(params["gap"])
+        measure = get_measure(header["measure"], **params)
+
+        trajectories = _unflatten_trajectories(archive)
+        by_id = {t.traj_id: t for t in trajectories}
+        pivots = []
+        external = {tid: archive[f"pivot_points_{i}"] for i, tid
+                    in enumerate(header.get("external_pivot_ids", []))}
+        for tid in header["pivot_ids"]:
+            if tid in by_id:
+                pivots.append(by_id[tid])
+            else:
+                pivots.append(Trajectory(external[tid], traj_id=tid))
+
+        trie = RPTrie(grid, measure, optimized=header["optimized"],
+                      num_pivots=len(pivots), pivots=pivots)
+        trie._trajectories = by_id
+        trie.root = _unflatten_trie(archive, len(pivots))
+        trie._node_count = trie.root.count_nodes() - 1
+        trie._built = True
+        return trie
+
+
+def _unflatten_trajectories(archive) -> list[Trajectory]:
+    ids = archive["traj_ids"]
+    offsets = archive["traj_offsets"]
+    points = archive["traj_points"]
+    return [Trajectory(points[offsets[i]:offsets[i + 1]], traj_id=int(ids[i]))
+            for i in range(len(ids))]
+
+
+def _unflatten_trie(archive, num_pivots: int) -> TrieNode:
+    labels = archive["trie_labels"]
+    parents = archive["trie_parents"]
+    dmaxes = archive["trie_dmax"]
+    max_lens = archive["trie_max_len"]
+    tid_offsets = archive["trie_tid_offsets"]
+    tid_values = archive["trie_tid_values"]
+    hr_min = archive["trie_hr_min"] if num_pivots else None
+    hr_max = archive["trie_hr_max"] if num_pivots else None
+
+    nodes: list[TrieNode] = []
+    for i in range(len(labels)):
+        node = TrieNode(int(labels[i]))
+        node.dmax = float(dmaxes[i])
+        node.max_traj_len = int(max_lens[i])
+        node.tids = [int(t) for t
+                     in tid_values[tid_offsets[i]:tid_offsets[i + 1]]]
+        if hr_min is not None and np.isfinite(hr_min[i]).all():
+            node.hr_min = hr_min[i].copy()
+            node.hr_max = hr_max[i].copy()
+        nodes.append(node)
+        parent = int(parents[i])
+        if parent >= 0:
+            nodes[parent].children[node.z_value] = node
+    return nodes[0]
+
+
+def _jsonable(params: dict) -> dict:
+    out = {}
+    for key, value in params.items():
+        if isinstance(value, tuple):
+            out[key] = list(value)
+        else:
+            out[key] = value
+    return out

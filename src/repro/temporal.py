@@ -1,0 +1,160 @@
+"""Spatio-temporal top-k search — the paper's stated future work.
+
+Section IX: "it is of interest to take the temporal dimension into
+account to enable top-k spatial-temporal trajectory similarity search
+in distributed settings".  This module implements that extension on
+top of the unmodified RP-Trie machinery:
+
+* :class:`TimedTrajectory` — a trajectory plus per-point timestamps;
+* :func:`st_hausdorff` — the spatio-temporal distance
+  ``max(DH_spatial(a, b), w * DH_temporal(a, b))`` where the temporal
+  part is the 1-d Hausdorff distance between the timestamp sequences
+  and ``w`` converts seconds into distance units;
+* :class:`STLocalIndex` — an exact index: because
+  ``D_st >= DH_spatial`` by construction, the *spatial* RP-Trie bounds
+  (LBo/LBt/LBp) remain sound lower bounds for the spatio-temporal
+  distance, so the index is the plain spatial RP-Trie with
+  spatio-temporal refinement at the leaves.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from .core.bounds import make_bound_computer
+from .core.grid import Grid
+from .core.rptrie import RPTrie
+from .core.search import SearchStats, TopKResult
+from .distances import get_measure
+from .exceptions import IndexNotBuiltError, InvalidTrajectoryError
+from .types import Trajectory
+
+__all__ = ["TimedTrajectory", "st_hausdorff", "STLocalIndex"]
+
+
+class TimedTrajectory(Trajectory):
+    """A trajectory whose points carry timestamps (seconds, ascending)."""
+
+    __slots__ = ("timestamps",)
+
+    def __init__(self, points, timestamps, traj_id=None):
+        super().__init__(points, traj_id=traj_id)
+        stamps = np.asarray(timestamps, dtype=np.float64)
+        if stamps.shape != (len(self),):
+            raise InvalidTrajectoryError(
+                f"need one timestamp per point: {stamps.shape} vs {len(self)}")
+        if np.any(np.diff(stamps) < 0):
+            raise InvalidTrajectoryError("timestamps must be non-decreasing")
+        stamps.setflags(write=False)
+        self.timestamps = stamps
+
+
+def _hausdorff_1d(a: np.ndarray, b: np.ndarray) -> float:
+    """Hausdorff distance between two 1-d value sets (timestamps)."""
+    diff = np.abs(a[:, np.newaxis] - b[np.newaxis, :])
+    return float(max(diff.min(axis=1).max(), diff.min(axis=0).max()))
+
+
+def st_hausdorff(a: TimedTrajectory, b: TimedTrajectory,
+                 time_weight: float = 1.0) -> float:
+    """Spatio-temporal Hausdorff: spatial and (weighted) temporal terms
+    combined with max, so it upper-bounds plain spatial Hausdorff."""
+    measure = get_measure("hausdorff")
+    spatial = measure.distance(a, b)
+    temporal = _hausdorff_1d(a.timestamps, b.timestamps)
+    return max(spatial, time_weight * temporal)
+
+
+class STLocalIndex:
+    """Exact spatio-temporal top-k over a spatial RP-Trie.
+
+    Since ``D_st >= DH_spatial``, every spatial lower bound also lower
+    bounds ``D_st``; the best-first traversal needs no change beyond
+    refining leaves with :func:`st_hausdorff`.
+
+    Parameters
+    ----------
+    grid:
+        Spatial discretization grid.
+    time_weight:
+        Weight ``w`` converting temporal Hausdorff (seconds) into the
+        spatial distance unit.
+    """
+
+    def __init__(self, grid: Grid, time_weight: float = 1.0,
+                 num_pivots: int = 5):
+        self.grid = grid
+        self.time_weight = time_weight
+        self.measure = get_measure("hausdorff")
+        self._trie: RPTrie | None = None
+
+    def build(self, trajectories: list[TimedTrajectory]) -> "STLocalIndex":
+        for traj in trajectories:
+            if not isinstance(traj, TimedTrajectory):
+                raise InvalidTrajectoryError(
+                    "STLocalIndex requires TimedTrajectory inputs")
+        self._trie = RPTrie(self.grid, self.measure, optimized=True)
+        self._trie.build(list(trajectories))
+        return self
+
+    def top_k(self, query: TimedTrajectory, k: int) -> TopKResult:
+        """Best-first search with spatial bounds, ST refinement."""
+        if self._trie is None:
+            raise IndexNotBuiltError("call build() before top_k()")
+        trie = self._trie
+        stats = SearchStats()
+        computer = make_bound_computer(self.measure, trie.grid, query.points)
+        dqp = None
+        if trie.pivots:
+            # Pivot distances stay spatial: HR ranges were computed with
+            # the spatial measure, and spatial bounds suffice.
+            dqp = np.array([self.measure.distance(query, p)
+                            for p in trie.pivots])
+            stats.distance_computations += len(trie.pivots)
+
+        counter = itertools.count()
+        heap = [(0.0, next(counter), trie.root, computer.initial_state(), 0)]
+        results: list[tuple[float, int]] = []  # (-distance, tid)
+
+        def dk() -> float:
+            return -results[0][0] if len(results) == k else float("inf")
+
+        while heap:
+            priority, _, node, state, depth = heapq.heappop(heap)
+            if priority >= dk():
+                break
+            stats.nodes_visited += 1
+            if node.is_leaf:
+                stats.leaf_refinements += 1
+                for tid in node.tids:
+                    traj = trie.trajectory(tid)
+                    stats.distance_computations += 1
+                    dist = st_hausdorff(query, traj, self.time_weight)
+                    if len(results) < k:
+                        heapq.heappush(results, (-dist, tid))
+                    elif dist < -results[0][0]:
+                        heapq.heapreplace(results, (-dist, tid))
+                continue
+            for child in node.iter_children():
+                if child.is_leaf:
+                    bound = computer.leaf_bound(state, child.dmax, depth)
+                    child_state, child_depth = state, depth
+                else:
+                    child_state, bound = computer.extend(
+                        state, child.z_value, child.max_traj_len)
+                    child_depth = depth + 1
+                if dqp is not None and child.hr_min is not None:
+                    low = dqp - child.hr_max
+                    high = child.hr_min - dqp
+                    bound = max(bound, float(low.max()), float(high.max()))
+                if bound < dk():
+                    heapq.heappush(heap, (bound, next(counter), child,
+                                          child_state, child_depth))
+                else:
+                    stats.nodes_pruned += 1
+
+        items = sorted((-nd, tid) for nd, tid in results)
+        return TopKResult(items=items, stats=stats)

@@ -1,0 +1,217 @@
+"""Core data containers: trajectories and trajectory datasets.
+
+A trajectory is a finite time-ordered sequence of sample points, each a
+(longitude, latitude) pair (paper, Definition 1).  Internally points are
+stored as a contiguous ``float64`` numpy array of shape ``(n, 2)`` so that
+distance kernels can vectorize over them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .exceptions import InvalidTrajectoryError
+
+__all__ = ["Trajectory", "TrajectoryDataset", "BoundingBox"]
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Axis-aligned bounding box in (x, y) space."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def span(self) -> tuple[float, float]:
+        """Spatial span as reported in the paper's Table III."""
+        return (self.width, self.height)
+
+    def contains(self, x: float, y: float) -> bool:
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        return BoundingBox(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def min_distance(self, x: float, y: float) -> float:
+        """Euclidean distance from a point to this box (0 if inside)."""
+        dx = max(self.min_x - x, 0.0, x - self.max_x)
+        dy = max(self.min_y - y, 0.0, y - self.max_y)
+        return float(np.hypot(dx, dy))
+
+
+class Trajectory:
+    """A finite, time-ordered sequence of 2-d sample points.
+
+    Parameters
+    ----------
+    points:
+        Anything convertible to an ``(n, 2)`` float array: a list of
+        ``(x, y)`` tuples or a numpy array.
+    traj_id:
+        Optional stable identifier.  Dataset containers assign one when
+        the trajectory is added without an id.
+    """
+
+    __slots__ = ("points", "traj_id")
+
+    def __init__(self, points: Iterable[Sequence[float]] | np.ndarray,
+                 traj_id: int | None = None):
+        array = np.asarray(points, dtype=np.float64)
+        if array.ndim != 2 or array.shape[1] != 2:
+            raise InvalidTrajectoryError(
+                f"trajectory points must have shape (n, 2), got {array.shape}"
+            )
+        if array.shape[0] == 0:
+            raise InvalidTrajectoryError("trajectory must contain at least one point")
+        if not np.isfinite(array).all():
+            raise InvalidTrajectoryError("trajectory contains non-finite coordinates")
+        array.setflags(write=False)
+        self.points = array
+        self.traj_id = traj_id
+
+    def __len__(self) -> int:
+        return self.points.shape[0]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self.points)
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        return self.points[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trajectory):
+            return NotImplemented
+        return (self.traj_id == other.traj_id
+                and self.points.shape == other.points.shape
+                and bool(np.array_equal(self.points, other.points)))
+
+    def __hash__(self) -> int:
+        return hash((self.traj_id, self.points.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"Trajectory(id={self.traj_id}, n={len(self)})"
+
+    def bounding_box(self) -> BoundingBox:
+        mins = self.points.min(axis=0)
+        maxs = self.points.max(axis=0)
+        return BoundingBox(float(mins[0]), float(mins[1]),
+                           float(maxs[0]), float(maxs[1]))
+
+    def length(self) -> float:
+        """Total polyline length (sum of segment lengths)."""
+        if len(self) < 2:
+            return 0.0
+        deltas = np.diff(self.points, axis=0)
+        return float(np.hypot(deltas[:, 0], deltas[:, 1]).sum())
+
+    def centroid(self) -> tuple[float, float]:
+        center = self.points.mean(axis=0)
+        return (float(center[0]), float(center[1]))
+
+    def slice(self, start: int, stop: int) -> "Trajectory":
+        """Sub-trajectory over point indices ``[start, stop)``."""
+        return Trajectory(self.points[start:stop], traj_id=self.traj_id)
+
+    def segments(self) -> np.ndarray:
+        """All consecutive point pairs, shape ``(n - 1, 2, 2)``."""
+        if len(self) < 2:
+            return np.empty((0, 2, 2), dtype=np.float64)
+        return np.stack([self.points[:-1], self.points[1:]], axis=1)
+
+
+@dataclass
+class TrajectoryDataset:
+    """An ordered collection of trajectories with unique ids.
+
+    The dataset owns id assignment: trajectories appended without an id
+    receive the next free integer.  Lookups by id are O(1).
+    """
+
+    name: str = "dataset"
+    trajectories: list[Trajectory] = field(default_factory=list)
+    _by_id: dict[int, Trajectory] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        fixed: list[Trajectory] = []
+        for traj in self.trajectories:
+            fixed.append(self._with_id(traj))
+        self.trajectories = fixed
+
+    def _with_id(self, traj: Trajectory) -> Trajectory:
+        if traj.traj_id is None:
+            traj = Trajectory(traj.points, traj_id=self._next_id())
+        if traj.traj_id in self._by_id:
+            raise InvalidTrajectoryError(f"duplicate trajectory id {traj.traj_id}")
+        self._by_id[traj.traj_id] = traj
+        return traj
+
+    def _next_id(self) -> int:
+        return max(self._by_id, default=-1) + 1
+
+    def add(self, traj: Trajectory) -> Trajectory:
+        """Add a trajectory, assigning an id when it has none."""
+        traj = self._with_id(traj)
+        self.trajectories.append(traj)
+        return traj
+
+    def extend(self, trajs: Iterable[Trajectory]) -> None:
+        for traj in trajs:
+            self.add(traj)
+
+    def get(self, traj_id: int) -> Trajectory:
+        return self._by_id[traj_id]
+
+    def __len__(self) -> int:
+        return len(self.trajectories)
+
+    def __iter__(self) -> Iterator[Trajectory]:
+        return iter(self.trajectories)
+
+    def __contains__(self, traj_id: int) -> bool:
+        return traj_id in self._by_id
+
+    def ids(self) -> list[int]:
+        return [t.traj_id for t in self.trajectories]  # type: ignore[misc]
+
+    def bounding_box(self) -> BoundingBox:
+        if not self.trajectories:
+            raise InvalidTrajectoryError("dataset is empty")
+        box = self.trajectories[0].bounding_box()
+        for traj in self.trajectories[1:]:
+            box = box.union(traj.bounding_box())
+        return box
+
+    def average_length(self) -> float:
+        """Mean number of points per trajectory (AvgLen in Table III)."""
+        if not self.trajectories:
+            return 0.0
+        return sum(len(t) for t in self.trajectories) / len(self.trajectories)
+
+    def subset(self, fraction: float, name: str | None = None) -> "TrajectoryDataset":
+        """Prefix subset with ``fraction`` of the trajectories (Fig. 8)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        count = max(1, int(round(len(self.trajectories) * fraction)))
+        out = TrajectoryDataset(name=name or f"{self.name}@{fraction:g}")
+        for traj in self.trajectories[:count]:
+            out.add(Trajectory(traj.points, traj_id=traj.traj_id))
+        return out

@@ -1,0 +1,97 @@
+"""Cross-algorithm validation harness.
+
+A downstream adopter's first question is "do all these engines agree?"
+:func:`validate_dataset` builds REPOSE (all trie variants) and every
+compatible baseline over the same dataset, runs a query sample through
+each, and verifies that the returned top-k distances coincide.  It is
+also used by the test suite as a single-call integration check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .distances.base import Measure, get_measure
+from .exceptions import UnsupportedMeasureError
+from .repose import Repose, make_baseline
+from .types import Trajectory, TrajectoryDataset
+
+__all__ = ["ValidationReport", "validate_dataset"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one validation run."""
+
+    measure: str
+    engines: list[str]
+    queries_checked: int
+    agreed: bool
+    mismatches: list[str] = field(default_factory=list)
+
+    def raise_on_mismatch(self) -> None:
+        if not self.agreed:
+            details = "; ".join(self.mismatches)
+            raise AssertionError(f"engines disagree ({self.measure}): {details}")
+
+
+def validate_dataset(dataset: TrajectoryDataset,
+                     measure: Measure | str = "hausdorff",
+                     k: int = 10, num_queries: int = 3,
+                     num_partitions: int = 8, delta: float | None = None,
+                     seed: int = 0, tolerance: float = 1e-8) -> ValidationReport:
+    """Verify that every compatible engine returns identical top-k
+    distances on ``num_queries`` sampled queries.
+
+    Engines: REPOSE (plain, optimized, succinct) plus LS always, DFT
+    and DITA when they support the measure.
+    """
+    measure_obj = get_measure(measure) if isinstance(measure, str) else measure
+    rng = np.random.default_rng(seed)
+    index = rng.choice(len(dataset.trajectories),
+                       size=min(num_queries, len(dataset)), replace=False)
+    queries: list[Trajectory] = [dataset.trajectories[int(i)] for i in index]
+
+    engines: dict[str, object] = {
+        "repose": Repose.build(dataset, measure=measure_obj, delta=delta,
+                               num_partitions=num_partitions),
+        "repose-unopt": Repose.build(dataset, measure=measure_obj,
+                                     delta=delta, optimized=False,
+                                     num_partitions=num_partitions),
+        "repose-succinct": Repose.build(dataset, measure=measure_obj,
+                                        delta=delta, succinct=True,
+                                        num_partitions=num_partitions),
+    }
+    for name in ("ls", "dft", "dita"):
+        try:
+            baseline = make_baseline(name, dataset, measure_obj,
+                                     num_partitions=num_partitions)
+            baseline.build()
+            engines[name] = baseline
+        except UnsupportedMeasureError:
+            continue
+
+    mismatches: list[str] = []
+    for qi, query in enumerate(queries):
+        reference: list[float] | None = None
+        reference_name = ""
+        for name, engine in engines.items():
+            distances = engine.top_k(query, k).result.distances()
+            if reference is None:
+                reference = distances
+                reference_name = name
+                continue
+            if len(distances) != len(reference) or any(
+                    abs(a - b) > tolerance
+                    for a, b in zip(distances, reference)):
+                mismatches.append(
+                    f"query {qi}: {name} != {reference_name}")
+    return ValidationReport(
+        measure=measure_obj.name,
+        engines=sorted(engines),
+        queries_checked=len(queries),
+        agreed=not mismatches,
+        mismatches=mismatches,
+    )

@@ -1,0 +1,67 @@
+"""Shared fixtures: the paper's running example and small random data."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid
+from repro.types import BoundingBox, Trajectory, TrajectoryDataset
+
+# Table II of the paper (coordinates of the running example).
+PAPER_TRAJECTORIES = {
+    1: [(0.5, 7.5), (2.5, 7.5), (6.5, 7.5), (6.5, 4.5)],
+    2: [(1.5, 0.5), (2.5, 0.5), (2.5, 4.5), (4.5, 4.5)],
+    3: [(4.5, 0.5), (7.5, 0.5), (7.5, 2.5), (4.5, 2.5), (4.5, 1.5)],
+    4: [(0.5, 7.5), (2.5, 7.5), (5.5, 7.5), (5.5, 3.5)],
+    5: [(1.5, 0.5), (2.5, 0.5), (2.5, 5.5), (0.5, 5.5), (0.5, 2.5)],
+}
+PAPER_QUERY = [(0.5, 6.5), (2.5, 6.5), (4.5, 6.5)]
+
+
+@pytest.fixture
+def paper_trajectories() -> list[Trajectory]:
+    return [Trajectory(points, traj_id=tid)
+            for tid, points in PAPER_TRAJECTORIES.items()]
+
+
+@pytest.fixture
+def paper_query() -> Trajectory:
+    return Trajectory(PAPER_QUERY, traj_id=100)
+
+
+@pytest.fixture
+def paper_grid() -> Grid:
+    """The paper's Fig. 1 example: 8 x 8 grid with unit cells."""
+    return Grid(origin_x=0.0, origin_y=0.0, delta=1.0, resolution=8)
+
+
+def random_walk_trajectories(count: int, seed: int = 0,
+                             min_len: int = 5, max_len: int = 25,
+                             span: float = 8.0) -> list[Trajectory]:
+    """Deterministic random-walk trajectories inside [0, span]^2."""
+    rng = np.random.default_rng(seed)
+    trajectories = []
+    for i in range(count):
+        n = int(rng.integers(min_len, max_len))
+        start = rng.uniform(0.1 * span, 0.9 * span, 2)
+        steps = rng.normal(0, 0.04 * span, (n - 1, 2))
+        points = np.vstack([start, start + np.cumsum(steps, axis=0)])
+        np.clip(points, 0.001, span - 0.001, out=points)
+        trajectories.append(Trajectory(points, traj_id=i))
+    return trajectories
+
+
+@pytest.fixture
+def small_trajectories() -> list[Trajectory]:
+    return random_walk_trajectories(60, seed=3)
+
+
+@pytest.fixture
+def small_dataset(small_trajectories) -> TrajectoryDataset:
+    return TrajectoryDataset(name="small", trajectories=list(small_trajectories))
+
+
+@pytest.fixture
+def small_grid() -> Grid:
+    return Grid.fit(BoundingBox(0.0, 0.0, 8.0, 8.0), delta=0.5)

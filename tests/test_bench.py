@@ -1,0 +1,99 @@
+"""Tests for the benchmark harness utilities."""
+
+import pytest
+
+from repro.bench import (
+    BenchConfig,
+    ExperimentHarness,
+    format_series,
+    format_table,
+    make_workload,
+    scaled_cardinality,
+)
+from repro.bench.harness import AlgorithmRun
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        table = format_table("T", ["a", "bb"], [["x", 1], ["yy", 22]])
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        # All body rows align to the same width.
+        assert len(lines[4]) == len(lines[5])
+
+    def test_format_series_layout(self):
+        text = format_series("F", "k", [1, 2], {"REPOSE": [0.5, 0.25]})
+        assert "REPOSE" in text
+        assert "0.5" in text and "0.25" in text
+
+    def test_float_formatting(self):
+        table = format_table("T", ["v"], [[0.000001], [12345.6], [0.5]])
+        assert "1e-06" in table
+        assert "1.23e+04" in table
+        assert "0.5" in table
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = BenchConfig()
+        assert cfg.cluster_spec.total_cores == 16
+        assert cfg.k == 10
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_K", "33")
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "2")
+        cfg = BenchConfig.from_env()
+        assert cfg.k == 33
+        assert cfg.cluster_spec.num_workers == 2
+
+
+class TestWorkloads:
+    def test_scaled_cardinality(self):
+        assert scaled_cardinality("t-drive", 0.001) == 356
+        assert scaled_cardinality("rome", 1e-9) == 20  # floor
+
+    def test_workload_uses_paper_delta(self):
+        workload = make_workload("osm", "hausdorff", scale=1e-5,
+                                 num_queries=1)
+        assert workload.delta == 1.0
+
+    def test_queries_come_from_dataset(self):
+        workload = make_workload("sf", "hausdorff", scale=0.0005,
+                                 num_queries=4)
+        ids = set(workload.dataset.ids())
+        assert all(q.traj_id in ids for q in workload.queries)
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def harness(self):
+        workload = make_workload("t-drive", "hausdorff", scale=0.0004,
+                                 num_queries=2)
+        return ExperimentHarness(workload, "hausdorff", num_partitions=4)
+
+    def test_run_repose(self, harness):
+        run = harness.run_algorithm("repose", k=5)
+        assert run.supported
+        assert run.query_seconds > 0
+        assert run.index_bytes > 0
+        assert len(run.per_query_seconds) == 2
+
+    def test_unsupported_pair_reports_slash(self, harness):
+        run = harness.run_algorithm("dita", k=5)  # DITA has no Hausdorff
+        assert not run.supported
+        assert run.display_qt == "/"
+
+    def test_run_all_covers_algorithms(self, harness):
+        runs = harness.run_all(k=3, algorithms=("repose", "ls"))
+        assert set(runs) == {"repose", "ls"}
+        # Identical result distances across algorithms (exactness).
+        a = [tuple(round(d, 8) for d in ds)
+             for ds in runs["repose"].result_distances]
+        b = [tuple(round(d, 8) for d in ds)
+             for ds in runs["ls"].result_distances]
+        assert a == b
+
+    def test_display_qt_formats_seconds(self):
+        run = AlgorithmRun(algorithm="x", query_seconds=0.12345)
+        assert run.display_qt == "0.1235"

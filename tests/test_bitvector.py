@@ -1,0 +1,114 @@
+"""Tests for the rank/select bitvector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitvector import BitVector
+
+
+class TestBasics:
+    def test_empty(self):
+        bv = BitVector(0)
+        assert len(bv) == 0
+        assert bv.num_ones == 0
+        assert list(bv.iter_ones()) == []
+
+    def test_all_zeros(self):
+        bv = BitVector(100)
+        assert bv.num_ones == 0
+        assert bv.rank1(100) == 0
+        assert not bv[50]
+
+    def test_set_positions(self):
+        bv = BitVector(10, [0, 3, 9])
+        assert [bv[i] for i in range(10)] == [
+            True, False, False, True, False,
+            False, False, False, False, True]
+
+    def test_out_of_range_position_rejected(self):
+        with pytest.raises(IndexError):
+            BitVector(4, [4])
+        with pytest.raises(IndexError):
+            BitVector(4, [-1])
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector(-1)
+
+    def test_getitem_bounds(self):
+        bv = BitVector(8, [1])
+        with pytest.raises(IndexError):
+            bv[8]
+        with pytest.raises(IndexError):
+            bv[-1]
+
+
+class TestRank:
+    def test_rank_examples(self):
+        bv = BitVector(10, [0, 3, 9])
+        assert bv.rank1(0) == 0
+        assert bv.rank1(1) == 1
+        assert bv.rank1(4) == 2
+        assert bv.rank1(9) == 2
+        assert bv.rank1(10) == 3
+
+    def test_rank_across_word_boundaries(self):
+        positions = [0, 63, 64, 65, 127, 128, 200]
+        bv = BitVector(256, positions)
+        for p in range(257):
+            expected = sum(1 for q in positions if q < p)
+            assert bv.rank1(p) == expected
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(IndexError):
+            BitVector(4).rank1(5)
+
+
+class TestSelect:
+    def test_select_examples(self):
+        bv = BitVector(10, [0, 3, 9])
+        assert bv.select1(0) == 0
+        assert bv.select1(1) == 3
+        assert bv.select1(2) == 9
+
+    def test_select_inverse_of_rank(self):
+        rng = np.random.default_rng(0)
+        positions = sorted(set(rng.integers(0, 1000, 80).tolist()))
+        bv = BitVector(1000, positions)
+        for k, p in enumerate(positions):
+            assert bv.select1(k) == p
+            assert bv.rank1(p) == k
+
+    def test_select_out_of_range(self):
+        with pytest.raises(IndexError):
+            BitVector(10, [1]).select1(1)
+
+
+class TestIterOnes:
+    def test_full_range(self):
+        positions = [2, 5, 64, 100]
+        bv = BitVector(128, positions)
+        assert list(bv.iter_ones()) == positions
+
+    def test_windowed(self):
+        bv = BitVector(128, [2, 5, 64, 100])
+        assert list(bv.iter_ones(3, 65)) == [5, 64]
+        assert list(bv.iter_ones(65, 128)) == [100]
+
+    def test_bad_range(self):
+        with pytest.raises(IndexError):
+            list(BitVector(8).iter_ones(5, 3))
+
+
+@given(st.sets(st.integers(0, 499), max_size=60))
+@settings(max_examples=50)
+def test_property_rank_select_consistency(positions):
+    ordered = sorted(positions)
+    bv = BitVector(500, ordered)
+    assert bv.num_ones == len(ordered)
+    assert list(bv.iter_ones()) == ordered
+    for k, p in enumerate(ordered):
+        assert bv.select1(k) == p
+        assert bv.rank1(p + 1) == k + 1

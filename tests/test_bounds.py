@@ -1,0 +1,193 @@
+"""Tests for the incremental lower bounds (Algorithm 1 and extensions).
+
+The soundness invariants here are the heart of the paper's correctness:
+``LBo <= LBt <= Dist(query, traj)`` for every trajectory in a leaf, and
+``LBo`` monotonically non-decreasing along any root-to-leaf path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import make_bound_computer
+from repro.core.grid import Grid
+from repro.core.reference import ReferenceEncoder, encoder_mode_for
+from repro.distances import get_measure
+from repro.exceptions import UnsupportedMeasureError
+from repro.types import Trajectory
+
+MEASURES = {
+    "hausdorff": get_measure("hausdorff"),
+    "frechet": get_measure("frechet"),
+    "dtw": get_measure("dtw"),
+    "lcss": get_measure("lcss", eps=0.4),
+    "edr": get_measure("edr", eps=0.4),
+    "erp": get_measure("erp"),
+}
+
+
+@pytest.fixture
+def grid():
+    return Grid(origin_x=0.0, origin_y=0.0, delta=0.5, resolution=16)
+
+
+def _random_trajectories(count, seed, n_lo=4, n_hi=12):
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(count):
+        n = int(rng.integers(n_lo, n_hi))
+        points = rng.uniform(0.01, 7.99, (n, 2))
+        out.append(Trajectory(points, traj_id=i))
+    return out
+
+
+def _walk_bounds(computer, z_values, max_traj_len):
+    """Extend the bound along a full reference path; return LBo list and
+    final state."""
+    state = computer.initial_state()
+    bounds = []
+    for z in z_values:
+        state, lbo = computer.extend(state, z, max_traj_len)
+        bounds.append(lbo)
+    return bounds, state
+
+
+@pytest.mark.parametrize("name", list(MEASURES))
+class TestBoundSoundness:
+    def test_leaf_bound_below_true_distance(self, grid, name):
+        measure = MEASURES[name]
+        encoder = ReferenceEncoder(grid, mode=encoder_mode_for(measure))
+        trajectories = _random_trajectories(15, seed=1)
+        query = _random_trajectories(1, seed=99)[0]
+        computer = make_bound_computer(measure, grid, query.points)
+        for traj in trajectories:
+            ref = encoder.encode(traj)
+            _, state = _walk_bounds(computer, ref.z_values, len(traj))
+            if measure.name in ("hausdorff", "frechet"):
+                dmax = measure.distance(traj.points,
+                                        ref.reference_points(grid))
+            else:
+                dmax = 0.0
+            lbt = computer.leaf_bound(state, dmax, len(ref))
+            true = measure.distance(query, traj)
+            assert lbt <= true + 1e-9, (
+                f"{name}: LBt {lbt} exceeds true distance {true}")
+
+    def test_lbo_below_true_distance(self, grid, name):
+        measure = MEASURES[name]
+        encoder = ReferenceEncoder(grid, mode=encoder_mode_for(measure))
+        trajectories = _random_trajectories(15, seed=2)
+        query = _random_trajectories(1, seed=98)[0]
+        computer = make_bound_computer(measure, grid, query.points)
+        for traj in trajectories:
+            ref = encoder.encode(traj)
+            bounds, _ = _walk_bounds(computer, ref.z_values, len(traj))
+            true = measure.distance(query, traj)
+            assert bounds[-1] <= true + 1e-9
+
+    def test_lbo_monotone_along_path(self, grid, name):
+        measure = MEASURES[name]
+        encoder = ReferenceEncoder(grid, mode=encoder_mode_for(measure))
+        query = _random_trajectories(1, seed=97)[0]
+        computer = make_bound_computer(measure, grid, query.points)
+        for traj in _random_trajectories(15, seed=3):
+            ref = encoder.encode(traj)
+            bounds, _ = _walk_bounds(computer, ref.z_values, len(traj))
+            for earlier, later in zip(bounds, bounds[1:]):
+                assert later >= earlier - 1e-9, (
+                    f"{name}: LBo decreased along path: {bounds}")
+
+    def test_leaf_bound_at_least_final_lbo(self, grid, name):
+        measure = MEASURES[name]
+        encoder = ReferenceEncoder(grid, mode=encoder_mode_for(measure))
+        query = _random_trajectories(1, seed=96)[0]
+        computer = make_bound_computer(measure, grid, query.points)
+        for traj in _random_trajectories(15, seed=4):
+            ref = encoder.encode(traj)
+            bounds, state = _walk_bounds(computer, ref.z_values, len(traj))
+            if measure.name in ("hausdorff", "frechet"):
+                dmax = measure.distance(traj.points,
+                                        ref.reference_points(grid))
+            else:
+                dmax = 0.0
+            lbt = computer.leaf_bound(state, dmax, len(ref))
+            assert lbt >= bounds[-1] - 1e-9
+
+    def test_bounds_nonnegative(self, grid, name):
+        measure = MEASURES[name]
+        encoder = ReferenceEncoder(grid, mode=encoder_mode_for(measure))
+        query = _random_trajectories(1, seed=95)[0]
+        computer = make_bound_computer(measure, grid, query.points)
+        for traj in _random_trajectories(10, seed=5):
+            ref = encoder.encode(traj)
+            bounds, _ = _walk_bounds(computer, ref.z_values, len(traj))
+            assert all(b >= 0.0 for b in bounds)
+
+
+class TestHausdorffIntermediate:
+    """Algorithm 1: incremental == direct recomputation."""
+
+    def test_incremental_matches_direct(self, grid):
+        measure = MEASURES["hausdorff"]
+        rng = np.random.default_rng(6)
+        query = Trajectory(rng.uniform(0, 8, (6, 2)), traj_id=0)
+        traj = Trajectory(rng.uniform(0, 8, (10, 2)), traj_id=1)
+        encoder = ReferenceEncoder(grid, mode="collapse")
+        ref = encoder.encode(traj)
+        computer = make_bound_computer(measure, grid, query.points)
+        _, state = _walk_bounds(computer, ref.z_values, len(traj))
+        # Direct: DH(query, reference trajectory) from scratch.
+        direct = measure.distance(query.points, ref.reference_points(grid))
+        r, cmax = state
+        assert max(float(r.max()), cmax) == pytest.approx(direct)
+
+    def test_order_independence_of_state(self, grid):
+        """Hausdorff bound state is identical under z-value permutation."""
+        measure = MEASURES["hausdorff"]
+        rng = np.random.default_rng(7)
+        query = Trajectory(rng.uniform(0, 8, (5, 2)), traj_id=0)
+        traj = Trajectory(rng.uniform(0, 8, (8, 2)), traj_id=1)
+        ref = ReferenceEncoder(grid, mode="dedup").encode(traj)
+        computer = make_bound_computer(measure, grid, query.points)
+        _, state_fwd = _walk_bounds(computer, ref.z_values, len(traj))
+        _, state_rev = _walk_bounds(computer, ref.z_values[::-1], len(traj))
+        np.testing.assert_allclose(state_fwd[0], state_rev[0])
+        assert state_fwd[1] == pytest.approx(state_rev[1])
+
+
+class TestFrechetColumns:
+    def test_final_column_equals_frechet_of_references(self, grid):
+        measure = MEASURES["frechet"]
+        rng = np.random.default_rng(8)
+        query = Trajectory(rng.uniform(0, 8, (5, 2)), traj_id=0)
+        traj = Trajectory(rng.uniform(0, 8, (9, 2)), traj_id=1)
+        ref = ReferenceEncoder(grid, mode="collapse").encode(traj)
+        computer = make_bound_computer(measure, grid, query.points)
+        _, column = _walk_bounds(computer, ref.z_values, len(traj))
+        direct = measure.distance(query.points, ref.reference_points(grid))
+        assert float(column[-1]) == pytest.approx(direct)
+
+
+class TestDTWCellCosts:
+    def test_dtw_bound_uses_cell_not_center(self, grid):
+        """The DTW LB must use d'(q, cell); centers would overestimate."""
+        measure = MEASURES["dtw"]
+        # Query point inside the trajectory's cell (delta = 0.5) but far
+        # from the cell center.
+        query = Trajectory([(0.45, 0.45)], traj_id=0)
+        traj = Trajectory([(0.05, 0.05)], traj_id=1)
+        ref = ReferenceEncoder(grid, mode="collapse").encode(traj)
+        computer = make_bound_computer(measure, grid, query.points)
+        bounds, state = _walk_bounds(computer, ref.z_values, 1)
+        true = measure.distance(query, traj)
+        lbt = computer.leaf_bound(state, 0.0, len(ref))
+        assert lbt <= true + 1e-12
+        # Same cell -> zero cell distance -> zero bound.
+        assert bounds[0] == 0.0
+
+
+class TestFactory:
+    def test_unknown_measure_raises(self, grid):
+        from dataclasses import replace
+        fake = replace(get_measure("dtw"), name="mystery")
+        with pytest.raises(UnsupportedMeasureError):
+            make_bound_computer(fake, grid, np.zeros((1, 2)))

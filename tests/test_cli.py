@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.io import load_csv
+
+
+@pytest.fixture
+def csv_dataset(tmp_path):
+    path = tmp_path / "data.csv"
+    exit_code = main(["generate", "t-drive", str(path),
+                      "--scale", "0.0002", "--seed", "3"])
+    assert exit_code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "sf", "out.csv", "--scale", "0.01"])
+        assert args.dataset == "sf"
+        assert args.scale == 0.01
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "mars", "out.csv"])
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "d.csv", "--measure", "l7"])
+
+
+class TestGenerate(object):
+    def test_writes_loadable_csv(self, csv_dataset):
+        data = load_csv(csv_dataset)
+        assert len(data) > 0
+        assert all(len(t) >= 10 for t in data)  # preprocessed
+
+    def test_no_preprocess_keeps_short(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        main(["generate", "t-drive", str(path), "--scale", "0.0002",
+              "--no-preprocess"])
+        data = load_csv(path)
+        assert len(data) > 0
+
+
+class TestInfo:
+    def test_prints_statistics(self, csv_dataset, capsys):
+        assert main(["info", str(csv_dataset)]) == 0
+        out = capsys.readouterr().out
+        assert "trajectories:" in out
+        assert "avg length:" in out
+
+
+class TestQuery:
+    def test_topk_output(self, csv_dataset, capsys):
+        assert main(["query", str(csv_dataset), "--k", "3",
+                     "--partitions", "4", "--delta", "0.15"]) == 0
+        out = capsys.readouterr().out
+        assert "top-3" in out
+        assert "distance 0.000000" in out  # query itself at rank 1
+
+    def test_specific_query_id(self, csv_dataset, capsys):
+        data = load_csv(csv_dataset)
+        qid = data.trajectories[0].traj_id
+        assert main(["query", str(csv_dataset), "--k", "2",
+                     "--partitions", "4", "--delta", "0.15",
+                     "--query-id", str(qid)]) == 0
+        assert f"trajectory {qid}" in capsys.readouterr().out
+
+    def test_range_query(self, csv_dataset, capsys):
+        assert main(["query", str(csv_dataset), "--partitions", "4",
+                     "--delta", "0.15", "--radius", "0.2"]) == 0
+        assert "range query" in capsys.readouterr().out
+
+    def test_measure_selection(self, csv_dataset, capsys):
+        assert main(["query", str(csv_dataset), "--k", "2",
+                     "--partitions", "4", "--delta", "0.15",
+                     "--measure", "frechet"]) == 0
+        assert "frechet" in capsys.readouterr().out

@@ -1,0 +1,150 @@
+"""Tests for synthetic generation, preprocessing and CSV I/O."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import load_csv, save_csv
+from repro.datasets.preprocess import preprocess, sample_queries
+from repro.datasets.stats import DATASET_SPECS, paper_delta
+from repro.datasets.synthetic import TrajectoryGenerator, generate_dataset
+from repro.types import Trajectory, TrajectoryDataset
+
+
+class TestSpecs:
+    def test_all_seven_paper_datasets_present(self):
+        assert set(DATASET_SPECS) == {"t-drive", "sf", "rome", "porto",
+                                      "xian", "chengdu", "osm"}
+
+    def test_table3_statistics(self):
+        assert DATASET_SPECS["t-drive"].cardinality == 356_228
+        assert DATASET_SPECS["osm"].avg_length == pytest.approx(596.3)
+        assert DATASET_SPECS["chengdu"].span == (0.09, 0.07)
+
+    def test_paper_deltas(self):
+        # Section VII-A parameter settings.
+        assert paper_delta("t-drive", "hausdorff") == 0.15
+        assert paper_delta("osm", "frechet") == 1.0
+        assert paper_delta("xian", "hausdorff") == 0.01
+        assert paper_delta("xian", "frechet") == 0.03
+        assert paper_delta("chengdu", "dtw") == 0.02
+
+
+class TestGenerator:
+    def test_deterministic_by_seed(self):
+        a = generate_dataset("t-drive", scale=0.0002, seed=5)
+        b = generate_dataset("t-drive", scale=0.0002, seed=5)
+        assert len(a) == len(b)
+        np.testing.assert_array_equal(a.trajectories[3].points,
+                                      b.trajectories[3].points)
+
+    def test_different_seeds_differ(self):
+        a = generate_dataset("t-drive", scale=0.0002, seed=1)
+        b = generate_dataset("t-drive", scale=0.0002, seed=2)
+        assert not np.array_equal(a.trajectories[0].points,
+                                  b.trajectories[0].points)
+
+    def test_cardinality_scales(self):
+        spec = DATASET_SPECS["sf"]
+        data = generate_dataset("sf", scale=0.001, seed=0)
+        assert len(data) == pytest.approx(spec.cardinality * 0.001, rel=0.05)
+
+    def test_points_within_span(self):
+        spec = DATASET_SPECS["rome"]
+        data = generate_dataset("rome", scale=0.0005, seed=0)
+        box = data.bounding_box()
+        assert box.min_x >= 0.0 and box.min_y >= 0.0
+        assert box.max_x <= spec.span_x + 1e-9
+        assert box.max_y <= spec.span_y + 1e-9
+
+    def test_average_length_roughly_matches_spec(self):
+        spec = DATASET_SPECS["xian"]
+        data = generate_dataset("xian", scale=0.0001, seed=3)
+        assert data.average_length() == pytest.approx(spec.avg_length, rel=0.5)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            generate_dataset("atlantis")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            generate_dataset("sf", scale=0.0)
+
+    def test_spec_override(self):
+        data = generate_dataset("sf", scale=0.001, seed=0, hotspots=1)
+        assert len(data) > 0
+
+    def test_spatial_skew_present(self):
+        """Hot spots concentrate trajectory starts: the densest 10% of
+        space holds far more than 10% of the starts."""
+        data = generate_dataset("t-drive", scale=0.003, seed=0)
+        spec = DATASET_SPECS["t-drive"]
+        starts = np.array([t.points[0] for t in data])
+        grid_counts, _, _ = np.histogram2d(
+            starts[:, 0], starts[:, 1], bins=10,
+            range=[[0, spec.span_x], [0, spec.span_y]])
+        top_cells = np.sort(grid_counts.ravel())[::-1][:10]
+        assert top_cells.sum() > 0.3 * len(starts)
+
+
+class TestPreprocess:
+    def test_drops_short_trajectories(self):
+        ds = TrajectoryDataset()
+        ds.add(Trajectory([(0.0, 0.0)] * 5))
+        ds.add(Trajectory([(0.0, 0.0)] * 15))
+        out = preprocess(ds, min_length=10)
+        assert len(out) == 1
+        assert len(out.trajectories[0]) == 15
+
+    def test_splits_long_trajectories(self):
+        ds = TrajectoryDataset()
+        ds.add(Trajectory(np.random.default_rng(0).uniform(0, 1, (2500, 2))))
+        out = preprocess(ds, min_length=10, max_length=1000)
+        assert len(out) == 3
+        assert sum(len(t) for t in out) == 2500
+        assert all(len(t) <= 1000 + 10 for t in out)
+
+    def test_merges_undersized_tail(self):
+        ds = TrajectoryDataset()
+        ds.add(Trajectory(np.random.default_rng(0).uniform(0, 1, (1005, 2))))
+        out = preprocess(ds, min_length=10, max_length=1000)
+        assert len(out) == 1
+        assert len(out.trajectories[0]) == 1005
+
+    def test_ids_dense_after_preprocess(self):
+        ds = TrajectoryDataset()
+        for _ in range(3):
+            ds.add(Trajectory([(0.0, 0.0)] * 20))
+        out = preprocess(ds)
+        assert out.ids() == [0, 1, 2]
+
+
+class TestSampleQueries:
+    def test_count_and_membership(self, small_dataset):
+        queries = sample_queries(small_dataset, count=10, seed=1)
+        assert len(queries) == 10
+        ids = set(small_dataset.ids())
+        assert all(q.traj_id in ids for q in queries)
+
+    def test_no_duplicates(self, small_dataset):
+        queries = sample_queries(small_dataset, count=20, seed=2)
+        assert len({q.traj_id for q in queries}) == 20
+
+    def test_caps_at_dataset_size(self, small_dataset):
+        queries = sample_queries(small_dataset, count=10_000)
+        assert len(queries) == len(small_dataset)
+
+
+class TestCsvIO:
+    def test_roundtrip(self, tmp_path, small_dataset):
+        path = tmp_path / "data.csv"
+        save_csv(small_dataset, path)
+        loaded = load_csv(path)
+        assert len(loaded) == len(small_dataset)
+        for original, restored in zip(small_dataset, loaded):
+            assert original.traj_id == restored.traj_id
+            np.testing.assert_allclose(original.points, restored.points)
+
+    def test_load_names_dataset_after_file(self, tmp_path, small_dataset):
+        path = tmp_path / "porto_sample.csv"
+        save_csv(small_dataset, path)
+        assert load_csv(path).name == "porto_sample"

@@ -1,0 +1,139 @@
+"""Extra cross-checks for the vectorized distance kernels.
+
+The vectorized implementations (min-plus scans, anti-diagonal sweep)
+are compared against straightforward O(mn) loop references on random
+inputs, including degenerate shapes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distances import (
+    dtw_distance,
+    edr_distance,
+    erp_distance,
+    frechet_distance,
+    lcss_similarity,
+)
+from repro.distances.matrix import point_distance_matrix
+
+
+def _dtw_loop(a, b):
+    dm = point_distance_matrix(a, b)
+    m, n = dm.shape
+    f = np.full((m + 1, n + 1), np.inf)
+    f[0, 0] = 0.0
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            f[i, j] = dm[i - 1, j - 1] + min(f[i - 1, j - 1],
+                                             f[i - 1, j], f[i, j - 1])
+    return float(f[m, n])
+
+
+def _erp_loop(a, b, gap=(0.0, 0.0)):
+    g = np.asarray(gap)
+    ga = np.hypot(a[:, 0] - g[0], a[:, 1] - g[1])
+    gb = np.hypot(b[:, 0] - g[0], b[:, 1] - g[1])
+    dm = point_distance_matrix(a, b)
+    m, n = dm.shape
+    f = np.zeros((m + 1, n + 1))
+    f[1:, 0] = np.cumsum(ga)
+    f[0, 1:] = np.cumsum(gb)
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            f[i, j] = min(f[i - 1, j - 1] + dm[i - 1, j - 1],
+                          f[i - 1, j] + ga[i - 1],
+                          f[i, j - 1] + gb[j - 1])
+    return float(f[m, n])
+
+
+def _edr_loop(a, b, eps):
+    m, n = len(a), len(b)
+    f = np.zeros((m + 1, n + 1))
+    f[:, 0] = np.arange(m + 1)
+    f[0, :] = np.arange(n + 1)
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            match = (abs(a[i - 1, 0] - b[j - 1, 0]) <= eps
+                     and abs(a[i - 1, 1] - b[j - 1, 1]) <= eps)
+            f[i, j] = min(f[i - 1, j - 1] + (0 if match else 1),
+                          f[i - 1, j] + 1, f[i, j - 1] + 1)
+    return float(f[m, n])
+
+
+def _lcss_loop(a, b, eps):
+    m, n = len(a), len(b)
+    f = np.zeros((m + 1, n + 1), dtype=int)
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            match = (abs(a[i - 1, 0] - b[j - 1, 0]) <= eps
+                     and abs(a[i - 1, 1] - b[j - 1, 1]) <= eps)
+            if match:
+                f[i, j] = f[i - 1, j - 1] + 1
+            else:
+                f[i, j] = max(f[i - 1, j], f[i, j - 1])
+    return int(f[m, n])
+
+
+def _random_pair(rng, lo=1, hi=15):
+    a = rng.uniform(0, 3, (int(rng.integers(lo, hi)), 2))
+    b = rng.uniform(0, 3, (int(rng.integers(lo, hi)), 2))
+    return a, b
+
+
+class TestVectorizedAgainstLoops:
+    def test_dtw(self):
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            a, b = _random_pair(rng)
+            assert dtw_distance(a, b) == pytest.approx(_dtw_loop(a, b))
+
+    def test_erp_default_gap(self):
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            a, b = _random_pair(rng)
+            assert erp_distance(a, b) == pytest.approx(_erp_loop(a, b))
+
+    def test_erp_custom_gap(self):
+        rng = np.random.default_rng(2)
+        gap = (1.5, -0.5)
+        for _ in range(20):
+            a, b = _random_pair(rng)
+            assert erp_distance(a, b, gap=gap) == pytest.approx(
+                _erp_loop(a, b, gap=gap))
+
+    def test_edr(self):
+        rng = np.random.default_rng(3)
+        for _ in range(30):
+            a, b = _random_pair(rng)
+            assert edr_distance(a, b, eps=0.5) == pytest.approx(
+                _edr_loop(a, b, eps=0.5))
+
+    def test_lcss(self):
+        rng = np.random.default_rng(4)
+        for _ in range(30):
+            a, b = _random_pair(rng)
+            assert lcss_similarity(a, b, eps=0.5) == _lcss_loop(a, b, eps=0.5)
+
+    def test_rectangular_extremes(self):
+        rng = np.random.default_rng(5)
+        one = rng.uniform(0, 1, (1, 2))
+        many = rng.uniform(0, 1, (40, 2))
+        assert dtw_distance(one, many) == pytest.approx(_dtw_loop(one, many))
+        assert dtw_distance(many, one) == pytest.approx(_dtw_loop(many, one))
+        assert frechet_distance(one, many) == pytest.approx(
+            float(np.hypot(*(many - one[0]).T).max()))
+        assert erp_distance(one, many) == pytest.approx(_erp_loop(one, many))
+
+    def test_two_by_two_frechet(self):
+        # Hand-checkable 2x2 case.
+        a = np.array([(0.0, 0.0), (1.0, 0.0)])
+        b = np.array([(0.0, 1.0), (1.0, 1.0)])
+        assert frechet_distance(a, b) == pytest.approx(1.0)
+
+    def test_long_sequences_stay_consistent(self):
+        rng = np.random.default_rng(6)
+        a = rng.uniform(0, 1, (150, 2))
+        b = rng.uniform(0, 1, (130, 2))
+        assert dtw_distance(a, b) == pytest.approx(_dtw_loop(a, b))
+        assert erp_distance(a, b) == pytest.approx(_erp_loop(a, b))

@@ -1,0 +1,127 @@
+"""End-to-end integration tests across the full stack.
+
+These exercise the pipelines the benchmarks rely on: synthetic data ->
+preprocessing -> partitioning -> distributed build -> queries -> merge,
+for REPOSE and every baseline, and the cross-algorithm agreement that
+underpins Table IV.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import make_workload
+from repro.cluster.scheduler import ClusterSpec
+from repro.datasets import generate_dataset, preprocess, sample_queries
+from repro.distances import get_measure
+from repro.repose import Repose, make_baseline
+
+
+@pytest.fixture(scope="module")
+def tdrive():
+    data = preprocess(generate_dataset("t-drive", scale=0.0006, seed=4))
+    queries = sample_queries(data, count=2, seed=9)
+    return data, queries
+
+
+class TestCrossAlgorithmAgreement:
+    def test_all_algorithms_same_hausdorff_results(self, tdrive):
+        data, queries = tdrive
+        engines = {
+            "repose": Repose.build(data, measure="hausdorff", delta=0.15,
+                                   num_partitions=8),
+            "dft": make_baseline("dft", data, "hausdorff", num_partitions=8),
+            "ls": make_baseline("ls", data, "hausdorff", num_partitions=8),
+        }
+        engines["dft"].build()
+        engines["ls"].build()
+        for query in queries:
+            reference = None
+            for name, engine in engines.items():
+                got = [round(d, 8)
+                       for d in engine.top_k(query, 10).result.distances()]
+                if reference is None:
+                    reference = got
+                else:
+                    assert got == reference, f"{name} disagrees"
+
+    def test_all_algorithms_same_frechet_results(self, tdrive):
+        data, queries = tdrive
+        engines = {
+            "repose": Repose.build(data, measure="frechet", delta=0.15,
+                                   num_partitions=8),
+            "dita": make_baseline("dita", data, "frechet", num_partitions=8),
+            "dft": make_baseline("dft", data, "frechet", num_partitions=8),
+            "ls": make_baseline("ls", data, "frechet", num_partitions=8),
+        }
+        for name in ("dita", "dft", "ls"):
+            engines[name].build()
+        query = queries[0]
+        results = {
+            name: [round(d, 8)
+                   for d in engine.top_k(query, 10).result.distances()]
+            for name, engine in engines.items()
+        }
+        assert len({tuple(r) for r in results.values()}) == 1, results
+
+
+class TestPartitionIndependence:
+    @pytest.mark.parametrize("num_partitions", [1, 3, 8])
+    def test_result_independent_of_partition_count(self, tdrive,
+                                                   num_partitions):
+        data, queries = tdrive
+        engine = Repose.build(data, measure="hausdorff", delta=0.15,
+                              num_partitions=num_partitions)
+        got = engine.top_k(queries[0], 5).result.distances()
+        ls = make_baseline("ls", data, "hausdorff", num_partitions=2)
+        ls.build()
+        want = ls.top_k(queries[0], 5).result.distances()
+        assert [round(d, 8) for d in got] == [round(d, 8) for d in want]
+
+
+class TestMeasureMatrix:
+    """Every (algorithm, measure) combination of the paper's Table IV."""
+
+    @pytest.mark.parametrize("measure", ["hausdorff", "frechet", "dtw"])
+    def test_repose_supports(self, tdrive, measure):
+        data, queries = tdrive
+        engine = Repose.build(data, measure=measure, delta=0.15,
+                              num_partitions=4)
+        assert len(engine.top_k(queries[0], 5).result) == 5
+
+    @pytest.mark.parametrize("measure", ["lcss", "edr", "erp"])
+    def test_repose_supports_edit_measures(self, tdrive, measure):
+        data, queries = tdrive
+        measure_obj = (get_measure(measure, eps=0.01)
+                       if measure in ("lcss", "edr") else get_measure(measure))
+        engine = Repose.build(data, measure=measure_obj, delta=0.15,
+                              num_partitions=4)
+        got = engine.top_k(queries[0], 5).result.distances()
+        ls = make_baseline("ls", data, measure_obj, num_partitions=4)
+        ls.build()
+        want = ls.top_k(queries[0], 5).result.distances()
+        assert [round(d, 8) for d in got] == [round(d, 8) for d in want]
+
+
+class TestWorkloadFactory:
+    def test_make_workload_shapes(self):
+        workload = make_workload("t-drive", "hausdorff", scale=0.0005,
+                                 num_queries=3)
+        assert workload.cardinality > 0
+        assert len(workload.queries) == 3
+        assert workload.delta == 0.15
+
+    def test_cap_limits_cardinality(self):
+        workload = make_workload("chengdu", "hausdorff", scale=1.0,
+                                 num_queries=1, cap=100)
+        assert workload.cardinality <= 110  # preprocessing may split a few
+
+
+class TestSimulatedCluster:
+    def test_more_partitions_do_not_change_results(self, tdrive):
+        data, queries = tdrive
+        spec = ClusterSpec(num_workers=4, cores_per_worker=2)
+        engine = Repose.build(data, measure="hausdorff", delta=0.15,
+                              num_partitions=16, cluster_spec=spec)
+        outcome = engine.top_k(queries[0], 5)
+        assert outcome.schedule is not None
+        assert outcome.schedule.makespan >= max(outcome.per_partition_seconds) - 1e-9

@@ -1,0 +1,62 @@
+"""The paper's parameter settings (Section VII-A) are the library
+defaults, so an out-of-the-box run matches the published configuration."""
+
+from repro.baselines.dft import DFTIndex
+from repro.baselines.dita import DITAIndex
+from repro.cluster.scheduler import ClusterSpec
+from repro.core.rptrie import RPTrie
+from repro.core.grid import Grid
+
+
+class TestPaperDefaults:
+    def test_repose_np_is_5(self):
+        """'We choose Np = 5 pivot trajectories.'"""
+        trie = RPTrie(Grid(0, 0, 1.0, 8), "hausdorff")
+        assert trie.num_pivots == 5
+
+    def test_dft_c_is_5(self):
+        """'For DFT, we set the partition pruning parameter C = 5.'"""
+        assert DFTIndex("hausdorff").threshold_multiplier == 5
+
+    def test_dita_nl_32_and_4_pivots(self):
+        """'For DITA, we set NL = 32 and the pivot size is set to 4.'"""
+        index = DITAIndex("frechet")
+        assert index.grid_resolution == 32
+        assert index.pivot_count == 4
+
+    def test_cluster_is_16_workers_4_cores(self):
+        """'1 master node and 16 worker nodes ... 4-core' -> 64 cores,
+        64 partitions by default (one per core)."""
+        spec = ClusterSpec()
+        assert spec.num_workers == 16
+        assert spec.cores_per_worker == 4
+        assert spec.total_cores == 64
+
+    def test_default_partitions_64(self):
+        """'we set the default number of partitions to 64.'"""
+        import inspect
+
+        from repro.repose import DistributedTopK
+        signature = inspect.signature(DistributedTopK.__init__)
+        assert signature.parameters["num_partitions"].default == 64
+
+    def test_default_k_100_in_paper_vs_bench(self):
+        """The paper queries k=100; the bench default scales k with the
+        reduced cardinality but remains overridable to 100."""
+        import os
+        from repro.bench import BenchConfig
+        os.environ["REPRO_BENCH_K"] = "100"
+        try:
+            assert BenchConfig.from_env().k == 100
+        finally:
+            del os.environ["REPRO_BENCH_K"]
+
+    def test_preprocessing_bounds(self):
+        """'remove trajectories with length smaller than 10 ... split
+        larger than 1,000.'"""
+        import inspect
+
+        from repro.datasets.preprocess import preprocess
+        signature = inspect.signature(preprocess)
+        assert signature.parameters["min_length"].default == 10
+        assert signature.parameters["max_length"].default == 1000

@@ -1,0 +1,101 @@
+"""Tests for index save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core.rptrie import RPTrie
+from repro.core.search import local_search
+from repro.distances import get_measure
+from repro.persistence import load_index, save_index
+from repro.types import Trajectory
+
+
+@pytest.mark.parametrize("name,params", [("hausdorff", {}),
+                                         ("frechet", {}),
+                                         ("dtw", {}),
+                                         ("lcss", {"eps": 0.4}),
+                                         ("erp", {})])
+def test_roundtrip_preserves_search_results(tmp_path, small_grid,
+                                            small_trajectories, name, params):
+    measure = get_measure(name, **params)
+    trie = RPTrie(small_grid, measure, num_pivots=3,
+                  pivot_groups=3).build(small_trajectories)
+    path = tmp_path / "index.npz"
+    save_index(trie, path)
+    restored = load_index(path)
+
+    query = small_trajectories[4]
+    original = local_search(trie, query, 10)
+    reloaded = local_search(restored, query, 10)
+    assert [round(d, 12) for d in original.distances()] == \
+        [round(d, 12) for d in reloaded.distances()]
+    # Ids must agree except where distances tie at the k-th value
+    # (tie-breaking among equal distances is traversal-order dependent).
+    kth = original.distances()[-1]
+    original_strict = {tid for d, tid in original.items if d < kth}
+    reloaded_strict = {tid for d, tid in reloaded.items if d < kth}
+    assert original_strict == reloaded_strict
+
+
+def test_roundtrip_preserves_structure(tmp_path, small_grid,
+                                       small_trajectories):
+    trie = RPTrie(small_grid, "hausdorff", num_pivots=2,
+                  pivot_groups=2).build(small_trajectories)
+    path = tmp_path / "index.npz"
+    save_index(trie, path)
+    restored = load_index(path)
+    assert restored.node_count == trie.node_count
+    assert restored.num_trajectories == trie.num_trajectories
+    assert restored.grid == trie.grid
+    assert [p.traj_id for p in restored.pivots] == \
+        [p.traj_id for p in trie.pivots]
+    assert restored.measure.name == "hausdorff"
+
+
+def test_roundtrip_optimized_trie(tmp_path, small_grid, small_trajectories):
+    trie = RPTrie(small_grid, "hausdorff",
+                  optimized=True).build(small_trajectories)
+    path = tmp_path / "index.npz"
+    save_index(trie, path)
+    restored = load_index(path)
+    assert restored.optimized
+    assert restored.node_count == trie.node_count
+
+
+def test_loaded_index_supports_insert(tmp_path, small_grid,
+                                      small_trajectories):
+    trie = RPTrie(small_grid, "hausdorff", num_pivots=2,
+                  pivot_groups=2).build(small_trajectories)
+    path = tmp_path / "index.npz"
+    save_index(trie, path)
+    restored = load_index(path)
+    rng = np.random.default_rng(3)
+    new = Trajectory(rng.uniform(0.2, 7.8, (6, 2)), traj_id=888)
+    restored.insert(new)
+    assert local_search(restored, new, 1).ids() == [888]
+
+
+def test_unbuilt_index_rejected(tmp_path, small_grid):
+    with pytest.raises(Exception):
+        save_index(RPTrie(small_grid, "hausdorff"), tmp_path / "x.npz")
+
+
+def test_empty_index_roundtrip(tmp_path, small_grid):
+    trie = RPTrie(small_grid, "hausdorff").build([])
+    path = tmp_path / "empty.npz"
+    save_index(trie, path)
+    restored = load_index(path)
+    assert restored.num_trajectories == 0
+    query = Trajectory([(1.0, 1.0)], traj_id=0)
+    assert local_search(restored, query, 3).items == []
+
+
+def test_erp_gap_parameter_roundtrip(tmp_path, small_grid,
+                                     small_trajectories):
+    measure = get_measure("erp", gap=(4.0, 4.0))
+    trie = RPTrie(small_grid, measure, num_pivots=2,
+                  pivot_groups=2).build(small_trajectories)
+    path = tmp_path / "erp.npz"
+    save_index(trie, path)
+    restored = load_index(path)
+    assert restored.measure.params["gap"] == (4.0, 4.0)

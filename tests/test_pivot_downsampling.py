@@ -1,0 +1,71 @@
+"""Tests for pivot downsampling (construction-cost cap)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pivots import (
+    DEFAULT_MAX_PIVOT_LENGTH,
+    downsample_trajectory,
+    select_pivots,
+)
+from repro.core.rptrie import RPTrie
+from repro.core.search import local_search
+from repro.distances import get_measure
+from repro.types import Trajectory
+
+
+class TestDownsample:
+    def test_short_trajectory_untouched(self):
+        traj = Trajectory(np.random.default_rng(0).uniform(0, 1, (10, 2)),
+                          traj_id=0)
+        assert downsample_trajectory(traj, 128) is traj
+
+    def test_long_trajectory_capped(self):
+        points = np.random.default_rng(1).uniform(0, 1, (700, 2))
+        traj = Trajectory(points, traj_id=0)
+        short = downsample_trajectory(traj, 64)
+        assert len(short) <= 64
+        np.testing.assert_array_equal(short.points[0], points[0])
+        np.testing.assert_array_equal(short.points[-1], points[-1])
+
+    def test_subsample_preserves_order(self):
+        points = np.column_stack([np.arange(500.0), np.zeros(500)])
+        short = downsample_trajectory(Trajectory(points, traj_id=0), 50)
+        xs = short.points[:, 0]
+        assert (np.diff(xs) > 0).all()
+
+
+class TestSelectionWithLongTrajectories:
+    def test_selected_pivots_are_capped(self):
+        rng = np.random.default_rng(2)
+        pool = [Trajectory(rng.uniform(0, 1, (600, 2)), traj_id=i)
+                for i in range(12)]
+        pivots = select_pivots(pool, get_measure("hausdorff"), num_pivots=3,
+                               num_groups=3)
+        assert all(len(p) <= DEFAULT_MAX_PIVOT_LENGTH for p in pivots)
+
+    def test_small_pool_also_capped(self):
+        rng = np.random.default_rng(3)
+        pool = [Trajectory(rng.uniform(0, 1, (600, 2)), traj_id=i)
+                for i in range(2)]
+        pivots = select_pivots(pool, get_measure("hausdorff"), num_pivots=5)
+        assert all(len(p) <= DEFAULT_MAX_PIVOT_LENGTH for p in pivots)
+
+
+class TestSearchExactWithDownsampledPivots:
+    def test_exactness_preserved(self, small_grid):
+        """Pivot pruning with downsampled pivots must stay exact."""
+        rng = np.random.default_rng(4)
+        trajs = [Trajectory(np.clip(
+            rng.uniform(1, 7, 2) + np.cumsum(rng.normal(0, 0.05, (300, 2)),
+                                             axis=0), 0.01, 7.99), traj_id=i)
+            for i in range(25)]
+        measure = get_measure("frechet")
+        trie = RPTrie(small_grid, measure, num_pivots=3,
+                      pivot_groups=2).build(trajs)
+        assert all(len(p) <= DEFAULT_MAX_PIVOT_LENGTH for p in trie.pivots)
+        query = trajs[7]
+        result = local_search(trie, query, 5)
+        expected = sorted(measure.distance(query, t) for t in trajs)[:5]
+        assert [round(d, 9) for d in result.distances()] == \
+            [round(d, 9) for d in expected]

@@ -1,0 +1,67 @@
+"""Tests for pivot trajectory selection (Section III-B)."""
+
+import numpy as np
+
+from repro.core.pivots import select_pivots
+from repro.distances import get_measure
+from repro.types import Trajectory
+
+
+def _cluster_data():
+    """Two tight clusters far apart plus one singleton in between."""
+    rng = np.random.default_rng(0)
+    trajectories = []
+    tid = 0
+    for center in ((0.0, 0.0), (100.0, 100.0)):
+        for _ in range(10):
+            points = rng.normal(center, 0.1, (5, 2))
+            trajectories.append(Trajectory(points, traj_id=tid))
+            tid += 1
+    trajectories.append(
+        Trajectory(rng.normal((50.0, 50.0), 0.1, (5, 2)), traj_id=tid))
+    return trajectories
+
+
+class TestSelectPivots:
+    def test_returns_requested_count(self):
+        measure = get_measure("hausdorff")
+        pivots = select_pivots(_cluster_data(), measure, num_pivots=3,
+                               num_groups=5)
+        assert len(pivots) == 3
+
+    def test_small_pool_returns_everything(self):
+        measure = get_measure("hausdorff")
+        data = _cluster_data()[:3]
+        assert select_pivots(data, measure, num_pivots=5) == data
+
+    def test_zero_pivots(self):
+        measure = get_measure("hausdorff")
+        assert select_pivots(_cluster_data(), measure, num_pivots=0) == []
+
+    def test_prefers_spread_out_groups(self):
+        """With enough sampled groups, chosen pivots span both clusters."""
+        measure = get_measure("hausdorff")
+        data = _cluster_data()
+        pivots = select_pivots(data, measure, num_pivots=2, num_groups=40,
+                               rng=np.random.default_rng(1))
+        centroids = [p.centroid() for p in pivots]
+        spread = max(
+            np.hypot(a[0] - b[0], a[1] - b[1])
+            for a in centroids for b in centroids)
+        assert spread > 50.0  # one pivot per far-apart cluster
+
+    def test_deterministic_with_seeded_rng(self):
+        measure = get_measure("hausdorff")
+        data = _cluster_data()
+        first = select_pivots(data, measure, num_pivots=3,
+                              rng=np.random.default_rng(5))
+        second = select_pivots(data, measure, num_pivots=3,
+                               rng=np.random.default_rng(5))
+        assert [p.traj_id for p in first] == [p.traj_id for p in second]
+
+    def test_pivots_are_dataset_members(self):
+        measure = get_measure("frechet")
+        data = _cluster_data()
+        ids = {t.traj_id for t in data}
+        pivots = select_pivots(data, measure, num_pivots=4)
+        assert all(p.traj_id in ids for p in pivots)

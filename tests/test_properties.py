@@ -1,0 +1,222 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These cover DESIGN.md section 5: z-order bijectivity, bound soundness,
+exactness of trie search vs brute force, partitioning conservation, and
+greedy-hitting-set set preservation — all over generated inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.grid import Grid
+from repro.core.rearrange import greedy_hitting_set_order
+from repro.core.rptrie import RPTrie
+from repro.core.search import local_search
+from repro.core.zorder import z_decode, z_encode
+from repro.distances import (
+    dtw_distance,
+    erp_distance,
+    frechet_distance,
+    get_measure,
+    hausdorff_distance,
+)
+from repro.partitioning.strategies import heterogeneous_partitions
+from repro.types import BoundingBox, Trajectory, TrajectoryDataset
+
+# -- strategies ---------------------------------------------------------------
+
+coordinates = st.integers(min_value=0, max_value=2**20 - 1)
+
+finite_points = st.lists(
+    st.tuples(st.floats(0.01, 7.99), st.floats(0.01, 7.99)),
+    min_size=1, max_size=12,
+)
+
+
+def trajectory_lists(min_count=2, max_count=12):
+    return st.lists(finite_points, min_size=min_count, max_size=max_count)
+
+
+GRID = Grid(origin_x=0.0, origin_y=0.0, delta=0.5, resolution=16)
+
+MEASURES = [
+    get_measure("hausdorff"),
+    get_measure("frechet"),
+    get_measure("dtw"),
+    get_measure("lcss", eps=0.3),
+    get_measure("edr", eps=0.3),
+    get_measure("erp"),
+]
+
+
+# -- z-order -------------------------------------------------------------------
+
+@given(coordinates, coordinates)
+def test_zorder_roundtrip(x, y):
+    assert z_decode(z_encode(x, y)) == (x, y)
+
+
+@given(coordinates, coordinates, coordinates, coordinates)
+def test_zorder_injective(x1, y1, x2, y2):
+    if (x1, y1) != (x2, y2):
+        assert z_encode(x1, y1) != z_encode(x2, y2)
+
+
+# -- metric properties ----------------------------------------------------------
+
+@given(finite_points, finite_points)
+def test_hausdorff_symmetric(a, b):
+    pa, pb = np.array(a), np.array(b)
+    assert hausdorff_distance(pa, pb) == pytest.approx(
+        hausdorff_distance(pb, pa))
+
+
+@given(finite_points, finite_points, finite_points)
+@settings(max_examples=50)
+def test_hausdorff_triangle_inequality(a, b, c):
+    pa, pb, pc = np.array(a), np.array(b), np.array(c)
+    assert (hausdorff_distance(pa, pc)
+            <= hausdorff_distance(pa, pb) + hausdorff_distance(pb, pc) + 1e-7)
+
+
+@given(finite_points, finite_points, finite_points)
+@settings(max_examples=50)
+def test_erp_triangle_inequality(a, b, c):
+    pa, pb, pc = np.array(a), np.array(b), np.array(c)
+    assert (erp_distance(pa, pc)
+            <= erp_distance(pa, pb) + erp_distance(pb, pc) + 1e-7)
+
+
+@given(finite_points)
+def test_identity_of_indiscernibles(points):
+    pa = np.array(points)
+    assert hausdorff_distance(pa, pa) == 0.0
+    assert frechet_distance(pa, pa) == 0.0
+    assert dtw_distance(pa, pa) == 0.0
+
+
+@given(finite_points, finite_points)
+def test_frechet_dominates_hausdorff(a, b):
+    pa, pb = np.array(a), np.array(b)
+    assert frechet_distance(pa, pb) >= hausdorff_distance(pa, pb) - 1e-9
+
+
+# -- trie search exactness --------------------------------------------------------
+
+@given(trajectory_lists(min_count=3, max_count=10),
+       st.integers(min_value=1, max_value=5),
+       st.integers(min_value=0, max_value=5))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_search_exact_for_every_measure(point_lists, k, measure_index):
+    measure = MEASURES[measure_index]
+    trajectories = [Trajectory(np.array(p), traj_id=i)
+                    for i, p in enumerate(point_lists)]
+    trie = RPTrie(GRID, measure, num_pivots=2, pivot_groups=2)
+    trie.build(trajectories)
+    query = trajectories[0]
+    result = local_search(trie, query, k)
+    expected = sorted(measure.distance(query, t) for t in trajectories)[:k]
+    got = result.distances()
+    assert len(got) == min(k, len(trajectories))
+    for g, e in zip(got, expected):
+        assert g == pytest.approx(e, abs=1e-9)
+
+
+@given(trajectory_lists(min_count=3, max_count=10),
+       st.integers(min_value=1, max_value=5))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_optimized_trie_exact_hausdorff(point_lists, k):
+    measure = get_measure("hausdorff")
+    trajectories = [Trajectory(np.array(p), traj_id=i)
+                    for i, p in enumerate(point_lists)]
+    trie = RPTrie(GRID, measure, optimized=True).build(trajectories)
+    query = trajectories[-1]
+    result = local_search(trie, query, k)
+    expected = sorted(measure.distance(query, t) for t in trajectories)[:k]
+    for g, e in zip(result.distances(), expected):
+        assert g == pytest.approx(e, abs=1e-9)
+
+
+@given(trajectory_lists(min_count=3, max_count=10),
+       st.integers(min_value=1, max_value=5))
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_frozen_trie_equivalent_to_dict_trie(point_lists, k):
+    from repro.core.succinct import SuccinctRPTrie
+    measure = get_measure("hausdorff")
+    trajectories = [Trajectory(np.array(p), traj_id=i)
+                    for i, p in enumerate(point_lists)]
+    trie = RPTrie(GRID, measure, num_pivots=2, pivot_groups=2)
+    trie.build(trajectories)
+    frozen = SuccinctRPTrie(trie)
+    query = trajectories[0]
+    live = local_search(trie, query, k).distances()
+    cold = local_search(frozen, query, k).distances()
+    assert len(live) == len(cold)
+    for a, b in zip(live, cold):
+        assert a == pytest.approx(b, abs=1e-12)
+
+
+# -- hitting set -------------------------------------------------------------------
+
+z_set_lists = st.lists(
+    st.frozensets(st.integers(0, 20), min_size=1, max_size=6),
+    min_size=1, max_size=25,
+)
+
+
+@given(z_set_lists)
+def test_greedy_hitting_set_preserves_sets(z_sets):
+    tagged = [(zs, tid) for tid, zs in enumerate(z_sets)]
+    ordered = greedy_hitting_set_order(tagged)
+    assert len(ordered) == len(tagged)
+    by_tid = {tid: set(zs) for zs, tid in ordered}
+    for tid, zs in enumerate(z_sets):
+        assert by_tid[tid] == set(zs)
+
+
+@given(z_set_lists)
+def test_greedy_hitting_set_orders_are_permutations(z_sets):
+    tagged = [(zs, tid) for tid, zs in enumerate(z_sets)]
+    for zs, tid in greedy_hitting_set_order(tagged):
+        assert len(zs) == len(set(zs))
+
+
+# -- partitioning conservation -------------------------------------------------------
+
+@given(trajectory_lists(min_count=2, max_count=30),
+       st.integers(min_value=1, max_value=8))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_heterogeneous_partitioning_conserves(point_lists, num_partitions):
+    dataset = TrajectoryDataset(trajectories=[
+        Trajectory(np.array(p)) for p in point_lists])
+    partitions = heterogeneous_partitions(dataset, num_partitions)
+    assert len(partitions) == num_partitions
+    ids = sorted(t.traj_id for part in partitions for t in part)
+    assert ids == sorted(dataset.ids())
+    sizes = [len(p) for p in partitions]
+    assert max(sizes) - min(sizes) <= 1
+
+
+# -- grid containment ------------------------------------------------------------------
+
+@given(st.floats(0.0, 15.99), st.floats(0.0, 15.99))
+def test_grid_point_in_its_cell(x, y):
+    grid = Grid(0.0, 0.0, 0.5, 32)
+    z = grid.z_value_of(x, y)
+    box = grid.cell_bounds(z)
+    assert box.min_x - 1e-9 <= x <= box.max_x + 1e-9
+    assert box.min_y - 1e-9 <= y <= box.max_y + 1e-9
+    assert grid.min_distance_to_cell(x, y, z) == 0.0
+
+
+@given(st.floats(0.0, 7.99), st.floats(0.0, 7.99))
+def test_reference_point_within_half_diagonal(x, y):
+    z = GRID.z_value_of(x, y)
+    px, py = GRID.reference_point(z)
+    assert np.hypot(px - x, py - y) <= GRID.half_diagonal + 1e-9

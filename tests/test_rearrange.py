@@ -1,0 +1,100 @@
+"""Tests for z-value re-arrangement (greedy hitting set, Section III-C)."""
+
+import pytest
+
+from repro.core.reference import ReferenceTrajectory
+from repro.core.rearrange import greedy_hitting_set_order, rearrange_dataset
+from repro.core.rptrie import RPTrie
+from repro.types import Trajectory
+
+
+def _count_trie_nodes(ordered_refs):
+    """Nodes of the trie induced by ordered z-value tuples ($ excluded)."""
+    paths = set()
+    for zs, _ in ordered_refs:
+        for depth in range(1, len(zs) + 1):
+            paths.add(zs[:depth])
+    return len(paths)
+
+
+class TestGreedyHittingSet:
+    def test_paper_appendix_example(self):
+        """Table X / Example 3: first-level children are 0011, 0100, 0101."""
+        z_sets = [
+            (frozenset({0b0001, 0b0011}), 1),
+            (frozenset({0b0001, 0b0011, 0b0101}), 2),
+            (frozenset({0b0010, 0b0011}), 3),
+            (frozenset({0b0010, 0b0011, 0b0101}), 4),
+            (frozenset({0b0011, 0b0101}), 5),
+            (frozenset({0b0001, 0b0100}), 6),
+            (frozenset({0b0010, 0b0100}), 7),
+            (frozenset({0b0101, 0b0110}), 8),
+        ]
+        ordered = greedy_hitting_set_order(z_sets)
+        first = {zs[0] for zs, _ in ordered}
+        assert first == {0b0011, 0b0100, 0b0101}
+        # Z1..Z5 all hang under 0011 (frequency 5).
+        under_root = {tid for zs, tid in ordered if zs[0] == 0b0011}
+        assert under_root == {1, 2, 3, 4, 5}
+
+    def test_preserves_value_sets(self):
+        z_sets = [(frozenset({1, 5, 9}), 0), (frozenset({5}), 1)]
+        ordered = greedy_hitting_set_order(z_sets)
+        by_tid = {tid: set(zs) for zs, tid in ordered}
+        assert by_tid == {0: {1, 5, 9}, 1: {5}}
+
+    def test_empty_input(self):
+        assert greedy_hitting_set_order([]) == []
+
+    def test_single_set(self):
+        ordered = greedy_hitting_set_order([(frozenset({3, 1, 2}), 7)])
+        assert len(ordered) == 1
+        assert set(ordered[0][0]) == {1, 2, 3}
+
+    def test_identical_sets_share_full_path(self):
+        z_sets = [(frozenset({1, 2}), 0), (frozenset({1, 2}), 1)]
+        ordered = greedy_hitting_set_order(z_sets)
+        assert ordered[0][0] == ordered[1][0]
+
+    def test_reduces_nodes_on_paper_fig3_example(self):
+        """Fig. 3: tau_2 and tau_5 share a longer prefix after swapping."""
+        tau2 = frozenset({0b000010, 0b000100, 0b001000, 0b010001, 0b011001})
+        tau5 = frozenset({0b000010, 0b000100, 0b001000, 0b011000, 0b110000})
+        naive = [(tuple(sorted(tau2, reverse=True)), 2),
+                 (tuple(sorted(tau5, reverse=True)), 5)]
+        ordered = greedy_hitting_set_order([(tau2, 2), (tau5, 5)])
+        assert _count_trie_nodes(ordered) <= _count_trie_nodes(naive)
+        # The three shared z-values form a shared prefix.
+        a, b = (zs for zs, _ in ordered)
+        assert a[:3] == b[:3]
+
+    def test_never_worse_than_arbitrary_order(self):
+        import numpy as np
+        rng = np.random.default_rng(0)
+        for trial in range(10):
+            z_sets = []
+            for tid in range(20):
+                size = int(rng.integers(1, 6))
+                z_sets.append(
+                    (frozenset(int(v) for v in rng.integers(0, 12, size)), tid))
+            ordered = greedy_hitting_set_order(z_sets)
+            arbitrary = [(tuple(sorted(zs)), tid) for zs, tid in z_sets]
+            assert _count_trie_nodes(ordered) <= _count_trie_nodes(arbitrary)
+
+
+class TestRearrangeDataset:
+    def test_same_ids_and_sets(self):
+        refs = [ReferenceTrajectory(0, (4, 2, 7)),
+                ReferenceTrajectory(1, (2, 9))]
+        out = rearrange_dataset(refs)
+        assert {r.traj_id for r in out} == {0, 1}
+        by_id = {r.traj_id: set(r.z_values) for r in out}
+        assert by_id[0] == {4, 2, 7}
+        assert by_id[1] == {2, 9}
+
+    def test_trie_shrinks_on_real_data(self, small_grid, small_trajectories):
+        plain = RPTrie(small_grid, "hausdorff",
+                       optimized=False).build(small_trajectories)
+        optimized = RPTrie(small_grid, "hausdorff",
+                           optimized=True).build(small_trajectories)
+        assert optimized.node_count <= plain.node_count

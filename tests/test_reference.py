@@ -1,0 +1,104 @@
+"""Unit tests for reference-trajectory encoding."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid
+from repro.core.reference import ReferenceEncoder, encoder_mode_for
+from repro.distances import get_measure
+from repro.types import Trajectory
+
+
+@pytest.fixture
+def grid() -> Grid:
+    return Grid(origin_x=0.0, origin_y=0.0, delta=1.0, resolution=8)
+
+
+class TestEncoderModes:
+    def test_collapse_merges_consecutive_only(self, grid):
+        traj = Trajectory([(0.5, 0.5), (0.6, 0.6), (1.5, 0.5), (0.5, 0.5)],
+                          traj_id=0)
+        ref = ReferenceEncoder(grid, mode="collapse").encode(traj)
+        # First two points share a cell; the revisit at the end stays.
+        assert len(ref) == 3
+        assert ref.z_values[0] == ref.z_values[2]
+
+    def test_dedup_removes_all_duplicates(self, grid):
+        traj = Trajectory([(0.5, 0.5), (1.5, 0.5), (0.5, 0.5)], traj_id=0)
+        ref = ReferenceEncoder(grid, mode="dedup").encode(traj)
+        assert len(ref) == 2
+        assert len(set(ref.z_values)) == 2
+
+    def test_full_keeps_every_point(self, grid):
+        traj = Trajectory([(0.5, 0.5), (0.6, 0.6), (0.7, 0.7)], traj_id=0)
+        ref = ReferenceEncoder(grid, mode="full").encode(traj)
+        assert len(ref) == 3
+
+    def test_invalid_mode_rejected(self, grid):
+        with pytest.raises(ValueError):
+            ReferenceEncoder(grid, mode="bogus")
+
+    def test_encode_requires_id(self, grid):
+        with pytest.raises(ValueError):
+            ReferenceEncoder(grid).encode(Trajectory([(0.5, 0.5)]))
+
+
+class TestModeSelection:
+    def test_hausdorff_optimized_dedups(self):
+        measure = get_measure("hausdorff")
+        assert encoder_mode_for(measure, optimized=True) == "dedup"
+
+    def test_hausdorff_unoptimized_collapses(self):
+        measure = get_measure("hausdorff")
+        assert encoder_mode_for(measure, optimized=False) == "collapse"
+
+    def test_order_sensitive_ignores_optimized(self):
+        for name in ("frechet", "dtw"):
+            assert encoder_mode_for(get_measure(name), optimized=True) == "collapse"
+
+    def test_edit_measures_use_full(self):
+        for name in ("lcss", "edr", "erp"):
+            assert encoder_mode_for(get_measure(name), optimized=True) == "full"
+
+
+class TestReferencePoints:
+    def test_reference_points_are_cell_centers(self, grid):
+        traj = Trajectory([(0.2, 0.2), (3.7, 4.2)], traj_id=0)
+        ref = ReferenceEncoder(grid).encode(traj)
+        points = ref.reference_points(grid)
+        assert points[0] == pytest.approx([0.5, 0.5])
+        assert points[1] == pytest.approx([3.5, 4.5])
+
+    def test_hausdorff_fidelity_bound(self, grid):
+        """DH(traj, reference) <= sqrt(2) * delta / 2 (collapse mode)."""
+        measure = get_measure("hausdorff")
+        rng = np.random.default_rng(0)
+        encoder = ReferenceEncoder(grid, mode="collapse")
+        for _ in range(20):
+            points = rng.uniform(0.01, 7.99, (10, 2))
+            traj = Trajectory(points, traj_id=0)
+            ref_points = encoder.encode(traj).reference_points(grid)
+            assert measure.distance(points, ref_points) <= grid.half_diagonal + 1e-9
+
+    def test_frechet_fidelity_bound(self, grid):
+        measure = get_measure("frechet")
+        rng = np.random.default_rng(1)
+        encoder = ReferenceEncoder(grid, mode="collapse")
+        for _ in range(20):
+            points = rng.uniform(0.01, 7.99, (10, 2))
+            traj = Trajectory(points, traj_id=0)
+            ref_points = encoder.encode(traj).reference_points(grid)
+            assert measure.distance(points, ref_points) <= grid.half_diagonal + 1e-9
+
+    def test_smaller_delta_higher_fidelity(self):
+        """Section III-A: small delta ensures high fidelity."""
+        measure = get_measure("hausdorff")
+        rng = np.random.default_rng(2)
+        points = rng.uniform(0.01, 7.99, (15, 2))
+        errors = []
+        for delta in (2.0, 1.0, 0.5, 0.25):
+            grid = Grid(0.0, 0.0, delta, int(8 / delta) if delta >= 1 else 32)
+            encoder = ReferenceEncoder(grid, mode="collapse")
+            ref = encoder.encode(Trajectory(points, traj_id=0))
+            errors.append(measure.distance(points, ref.reference_points(grid)))
+        assert errors[0] >= errors[-1]

@@ -1,0 +1,141 @@
+"""Unit tests for RP-Trie construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.node import TERMINAL, TrieNode
+from repro.core.rptrie import RPTrie
+from repro.distances import get_measure
+from repro.exceptions import IndexNotBuiltError
+from repro.types import Trajectory
+
+
+class TestTrieNode:
+    def test_terminal_is_leaf(self):
+        assert TrieNode(TERMINAL).is_leaf
+        assert not TrieNode(5).is_leaf
+
+    def test_get_or_create_child_idempotent(self):
+        node = TrieNode(0)
+        a = node.get_or_create_child(3)
+        b = node.get_or_create_child(3)
+        assert a is b
+        assert node.child(3) is a
+        assert node.child(4) is None
+
+    def test_update_hr_folds_min_max(self):
+        node = TrieNode(0)
+        node.update_hr(np.array([1.0, 5.0]))
+        node.update_hr(np.array([3.0, 2.0]))
+        np.testing.assert_allclose(node.hr_min, [1.0, 2.0])
+        np.testing.assert_allclose(node.hr_max, [3.0, 5.0])
+
+    def test_count_nodes(self):
+        root = TrieNode(0)
+        root.get_or_create_child(1).get_or_create_child(2)
+        root.get_or_create_child(3)
+        assert root.count_nodes() == 4
+
+
+class TestBuild:
+    def test_unbuilt_query_raises(self, paper_grid, paper_query):
+        trie = RPTrie(paper_grid, "hausdorff")
+        with pytest.raises(IndexNotBuiltError):
+            trie.node_count
+
+    def test_every_trajectory_reaches_a_leaf(self, paper_grid,
+                                             paper_trajectories):
+        trie = RPTrie(paper_grid, "hausdorff").build(paper_trajectories)
+        stored = sorted(tid for leaf in trie.iter_leaves() for tid in leaf.tids)
+        assert stored == sorted(t.traj_id for t in paper_trajectories)
+
+    def test_prefix_trajectory_gets_own_leaf(self, paper_grid):
+        """A trajectory that is a prefix of another ends at a $ leaf."""
+        long = Trajectory([(0.5, 0.5), (1.5, 0.5), (2.5, 0.5)], traj_id=0)
+        prefix = Trajectory([(0.5, 0.5), (1.5, 0.5)], traj_id=1)
+        trie = RPTrie(paper_grid, "frechet").build([long, prefix])
+        leaves = {tuple(leaf.tids) for leaf in trie.iter_leaves()}
+        assert (0,) in leaves and (1,) in leaves
+
+    def test_identical_references_share_one_leaf(self, paper_grid):
+        a = Trajectory([(0.5, 0.5), (1.5, 0.5)], traj_id=0)
+        b = Trajectory([(0.6, 0.6), (1.6, 0.4)], traj_id=1)  # same cells
+        trie = RPTrie(paper_grid, "hausdorff").build([a, b])
+        leaves = [leaf for leaf in trie.iter_leaves() if leaf.tids]
+        assert len(leaves) == 1
+        assert sorted(leaves[0].tids) == [0, 1]
+
+    def test_dmax_bounded_by_half_diagonal(self, paper_grid,
+                                           paper_trajectories):
+        trie = RPTrie(paper_grid, "hausdorff").build(paper_trajectories)
+        for leaf in trie.iter_leaves():
+            assert leaf.dmax <= paper_grid.half_diagonal + 1e-12
+
+    def test_hr_present_for_metric(self, paper_grid, paper_trajectories):
+        trie = RPTrie(paper_grid, "hausdorff", num_pivots=2,
+                      pivot_groups=3).build(paper_trajectories)
+        for child in trie.root.children.values():
+            assert child.hr_min is not None
+            assert (child.hr_min <= child.hr_max + 1e-12).all()
+
+    def test_hr_absent_for_non_metric(self, paper_grid, paper_trajectories):
+        trie = RPTrie(paper_grid, "dtw").build(paper_trajectories)
+        assert trie.num_pivots == 0
+        for child in trie.root.children.values():
+            assert child.hr_min is None
+
+    def test_hr_nested_in_parent(self, small_grid, small_trajectories):
+        """Child HR intervals lie within the parent's (enables monotone
+        pivot bounds)."""
+        trie = RPTrie(small_grid, "hausdorff", num_pivots=3,
+                      pivot_groups=3).build(small_trajectories)
+        stack = [trie.root]
+        while stack:
+            node = stack.pop()
+            for child in node.children.values():
+                if node is not trie.root and node.hr_min is not None:
+                    assert (child.hr_min >= node.hr_min - 1e-12).all()
+                    assert (child.hr_max <= node.hr_max + 1e-12).all()
+                stack.append(child)
+
+    def test_max_traj_len_is_subtree_max(self, small_grid,
+                                         small_trajectories):
+        trie = RPTrie(small_grid, "hausdorff").build(small_trajectories)
+        overall = max(len(t) for t in small_trajectories)
+        assert trie.root.max_traj_len == overall
+
+    def test_optimized_flag_ignored_for_order_sensitive(self, paper_grid,
+                                                        paper_trajectories):
+        trie = RPTrie(paper_grid, "frechet", optimized=True)
+        assert not trie.optimized
+
+    def test_optimized_no_more_nodes_than_plain(self, small_grid,
+                                                small_trajectories):
+        plain = RPTrie(small_grid, "hausdorff").build(small_trajectories)
+        optimized = RPTrie(small_grid, "hausdorff",
+                           optimized=True).build(small_trajectories)
+        assert optimized.node_count <= plain.node_count
+
+    def test_rebuild_is_idempotent(self, paper_grid, paper_trajectories):
+        trie = RPTrie(paper_grid, "hausdorff")
+        trie.build(paper_trajectories)
+        first = trie.node_count
+        trie.build(paper_trajectories)
+        assert trie.node_count == first
+
+    def test_depth_matches_longest_reference(self, paper_grid,
+                                             paper_trajectories):
+        trie = RPTrie(paper_grid, "frechet").build(paper_trajectories)
+        assert trie.depth() == 5  # longest collapsed reference (tau_3/tau_5)
+
+    def test_memory_bytes_positive_and_grows(self, small_grid,
+                                             small_trajectories):
+        small = RPTrie(small_grid, "hausdorff").build(small_trajectories[:10])
+        large = RPTrie(small_grid, "hausdorff").build(small_trajectories)
+        assert 0 < small.memory_bytes() < large.memory_bytes()
+
+    def test_shared_pivots_are_used(self, small_grid, small_trajectories):
+        pivots = small_trajectories[:3]
+        trie = RPTrie(small_grid, "hausdorff", num_pivots=3,
+                      pivots=pivots).build(small_trajectories)
+        assert trie.pivots == pivots

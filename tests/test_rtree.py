@@ -1,0 +1,99 @@
+"""Tests for the STR-packed R-tree substrate."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rtree import RTree, RTreeEntry, _box_distance, _str_pack
+from repro.types import BoundingBox
+
+
+def _random_entries(count, seed=0):
+    rng = np.random.default_rng(seed)
+    entries = []
+    for i in range(count):
+        x, y = rng.uniform(0, 100, 2)
+        w, h = rng.uniform(0, 5, 2)
+        entries.append(RTreeEntry(BoundingBox(x, y, x + w, y + h), payload=i))
+    return entries
+
+
+class TestBoxDistance:
+    def test_overlapping_is_zero(self):
+        a = BoundingBox(0, 0, 2, 2)
+        b = BoundingBox(1, 1, 3, 3)
+        assert _box_distance(a, b) == 0.0
+
+    def test_axis_gap(self):
+        a = BoundingBox(0, 0, 1, 1)
+        b = BoundingBox(3, 0, 4, 1)
+        assert _box_distance(a, b) == pytest.approx(2.0)
+
+    def test_diagonal_gap(self):
+        a = BoundingBox(0, 0, 1, 1)
+        b = BoundingBox(4, 5, 6, 7)
+        assert _box_distance(a, b) == pytest.approx(5.0)
+
+
+class TestStrPack:
+    def test_groups_cover_all(self):
+        entries = _random_entries(100)
+        groups = _str_pack(entries, 16, key_box=lambda e: e.box)
+        flattened = [e.payload for g in groups for e in g]
+        assert sorted(flattened) == list(range(100))
+
+    def test_group_sizes_bounded(self):
+        entries = _random_entries(100)
+        for group in _str_pack(entries, 16, key_box=lambda e: e.box):
+            assert 1 <= len(group) <= 16
+
+
+class TestRTree:
+    def test_empty_tree(self):
+        tree = RTree([])
+        assert list(tree.entries_within(BoundingBox(0, 0, 1, 1), 10)) == []
+        assert tree.memory_bytes() == 0
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ValueError):
+            RTree([], fanout=1)
+
+    def test_all_entries_preserved(self):
+        entries = _random_entries(77)
+        tree = RTree(entries, fanout=8)
+        assert sorted(e.payload for e in tree.all_entries()) == list(range(77))
+
+    def test_range_query_matches_linear_scan(self):
+        entries = _random_entries(200, seed=1)
+        tree = RTree(entries, fanout=8)
+        probe = BoundingBox(40, 40, 45, 45)
+        for radius in (0.0, 5.0, 20.0, 200.0):
+            expected = {e.payload for e in entries
+                        if _box_distance(e.box, probe) <= radius}
+            got = {e.payload for e in tree.entries_within(probe, radius)}
+            assert got == expected
+
+    def test_tree_is_balanced(self):
+        tree = RTree(_random_entries(500), fanout=8)
+        # STR packing: height close to log_fanout(n / fanout).
+        assert 1 <= tree.height <= 4
+
+    def test_parent_boxes_contain_children(self):
+        tree = RTree(_random_entries(120, seed=2), fanout=8)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                children_boxes = [e.box for e in node.entries]
+            else:
+                children_boxes = [c.box for c in node.children]
+                stack.extend(node.children)
+            for box in children_boxes:
+                assert node.box.min_x <= box.min_x
+                assert node.box.min_y <= box.min_y
+                assert node.box.max_x >= box.max_x
+                assert node.box.max_y >= box.max_y
+
+    def test_memory_grows_with_size(self):
+        small = RTree(_random_entries(50))
+        large = RTree(_random_entries(500))
+        assert small.memory_bytes() < large.memory_bytes()

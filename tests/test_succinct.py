@@ -1,0 +1,108 @@
+"""Tests for the SuRF-style succinct frozen trie."""
+
+import pytest
+
+from repro.core.node import TERMINAL
+from repro.core.rptrie import RPTrie
+from repro.core.succinct import SuccinctRPTrie
+from repro.exceptions import IndexNotBuiltError
+
+
+@pytest.fixture
+def built_trie(small_grid, small_trajectories):
+    return RPTrie(small_grid, "hausdorff", num_pivots=3,
+                  pivot_groups=3).build(small_trajectories)
+
+
+class TestFreeze:
+    def test_requires_built_source(self, small_grid):
+        with pytest.raises(IndexNotBuiltError):
+            SuccinctRPTrie(RPTrie(small_grid, "hausdorff"))
+
+    def test_node_count_matches_source(self, built_trie):
+        frozen = SuccinctRPTrie(built_trie)
+        assert frozen.node_count == built_trie.node_count
+
+    def test_same_trajectories(self, built_trie):
+        frozen = SuccinctRPTrie(built_trie)
+        assert frozen.num_trajectories == built_trie.num_trajectories
+        some_id = built_trie.trajectories()[0].traj_id
+        assert frozen.trajectory(some_id) == built_trie.trajectory(some_id)
+
+    def test_structure_identical(self, built_trie):
+        """DFS through both tries yields identical label structure,
+        payloads, HR arrays and max_traj_len."""
+        import numpy as np
+
+        def walk(dyn_node, frz_node):
+            dyn_children = {c.z_value: c for c in dyn_node.iter_children()}
+            frz_children = {c.z_value: c for c in frz_node.iter_children()}
+            assert dyn_children.keys() == frz_children.keys()
+            for z, dyn_child in dyn_children.items():
+                frz_child = frz_children[z]
+                assert dyn_child.is_leaf == frz_child.is_leaf
+                if dyn_child.is_leaf:
+                    assert sorted(dyn_child.tids) == sorted(frz_child.tids)
+                    assert dyn_child.dmax == pytest.approx(frz_child.dmax)
+                else:
+                    assert dyn_child.max_traj_len == frz_child.max_traj_len
+                if dyn_child.hr_min is not None:
+                    np.testing.assert_allclose(frz_child.hr_min,
+                                               dyn_child.hr_min)
+                    np.testing.assert_allclose(frz_child.hr_max,
+                                               dyn_child.hr_max)
+                if not dyn_child.is_leaf:
+                    walk(dyn_child, frz_child)
+
+        frozen = SuccinctRPTrie(built_trie)
+        walk(built_trie.root, frozen.root)
+
+    def test_bitmap_level_encoding_used(self, built_trie):
+        frozen = SuccinctRPTrie(built_trie, bitmap_levels=2)
+        assert len(frozen._bc) > 0
+        assert len(frozen._byte_children) > 0
+
+    def test_all_byte_encoding(self, built_trie):
+        frozen = SuccinctRPTrie(built_trie, bitmap_levels=0)
+        assert len(frozen._bc) == 0
+
+    def test_find_child_bitmap_and_bytes(self, built_trie):
+        for levels in (0, 3):
+            frozen = SuccinctRPTrie(built_trie, bitmap_levels=levels)
+            root = frozen.root
+            for child in root.iter_children():
+                if child.is_leaf:
+                    continue
+                found = frozen.find_child(root.index, child.z_value)
+                assert found is not None
+                assert found.index == child.index
+            assert frozen.find_child(root.index, 10**9) is None
+
+    def test_memory_smaller_than_dict_trie(self, built_trie):
+        frozen = SuccinctRPTrie(built_trie)
+        assert 0 < frozen.memory_bytes() < built_trie.memory_bytes()
+
+    def test_bl_bitmap_marks_prefix_ends(self, small_grid):
+        """Bl must flag children that terminate a reference trajectory."""
+        from repro.types import Trajectory
+        long = Trajectory([(0.5, 0.5), (1.5, 0.5), (2.5, 0.5)], traj_id=0)
+        prefix = Trajectory([(0.5, 0.5), (1.5, 0.5)], traj_id=1)
+        trie = RPTrie(small_grid, "frechet").build([long, prefix])
+        frozen = SuccinctRPTrie(trie, bitmap_levels=4)
+        # Walk to depth 2 (where `prefix` ends): its node must be marked
+        # in its parent's Bl; the deeper `long` node at depth 3 must not.
+        level1 = next(c for c in frozen.root.iter_children() if not c.is_leaf)
+        level2 = next(c for c in level1.iter_children() if not c.is_leaf)
+        assert frozen.has_terminal(level1.index, level2.z_value) is True
+        level3 = next(c for c in level2.iter_children() if not c.is_leaf)
+        assert frozen.has_terminal(level2.index, level3.z_value) is True
+
+    def test_rank_navigation_matches_first_child(self, built_trie):
+        """Bitmap-level rank navigation and BFS contiguity agree."""
+        frozen = SuccinctRPTrie(built_trie, bitmap_levels=3)
+        for child in frozen.root.iter_children():
+            if child.is_leaf:
+                continue
+            via_rank = frozen.find_child(frozen.root.index, child.z_value)
+            assert via_rank is not None
+            assert via_rank.index == child.index

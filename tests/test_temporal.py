@@ -1,0 +1,114 @@
+"""Tests for the spatio-temporal extension (paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid
+from repro.exceptions import IndexNotBuiltError, InvalidTrajectoryError
+from repro.temporal import STLocalIndex, TimedTrajectory, st_hausdorff
+from repro.types import BoundingBox
+
+
+def _timed(count, seed=0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(count):
+        n = int(rng.integers(4, 12))
+        points = rng.uniform(0.1, 7.9, (n, 2))
+        start = rng.uniform(0, 3600)
+        stamps = start + np.cumsum(rng.uniform(1, 30, n))
+        out.append(TimedTrajectory(points, stamps, traj_id=i))
+    return out
+
+
+@pytest.fixture
+def grid():
+    return Grid.fit(BoundingBox(0, 0, 8, 8), delta=0.5)
+
+
+class TestTimedTrajectory:
+    def test_requires_matching_lengths(self):
+        with pytest.raises(InvalidTrajectoryError):
+            TimedTrajectory([(0.0, 0.0), (1.0, 1.0)], [0.0])
+
+    def test_requires_monotone_timestamps(self):
+        with pytest.raises(InvalidTrajectoryError):
+            TimedTrajectory([(0.0, 0.0), (1.0, 1.0)], [5.0, 1.0])
+
+    def test_timestamps_immutable(self):
+        traj = TimedTrajectory([(0.0, 0.0)], [1.0], traj_id=0)
+        with pytest.raises(ValueError):
+            traj.timestamps[0] = 2.0
+
+    def test_is_a_trajectory(self):
+        traj = TimedTrajectory([(0.0, 0.0), (1.0, 1.0)], [0.0, 10.0])
+        assert len(traj) == 2
+        assert traj.bounding_box().max_x == 1.0
+
+
+class TestSTHausdorff:
+    def test_identical(self):
+        a = _timed(1, seed=1)[0]
+        assert st_hausdorff(a, a) == 0.0
+
+    def test_dominates_spatial(self):
+        from repro.distances import hausdorff_distance
+        for a, b in zip(_timed(10, seed=2), _timed(10, seed=3)):
+            st = st_hausdorff(a, b, time_weight=0.001)
+            spatial = hausdorff_distance(a.points, b.points)
+            assert st >= spatial - 1e-12
+
+    def test_time_weight_scales_temporal_term(self):
+        # Same geometry, shifted timestamps: distance is purely temporal.
+        points = [(1.0, 1.0), (2.0, 2.0)]
+        a = TimedTrajectory(points, [0.0, 10.0], traj_id=0)
+        b = TimedTrajectory(points, [100.0, 110.0], traj_id=1)
+        assert st_hausdorff(a, b, time_weight=1.0) == pytest.approx(100.0)
+        assert st_hausdorff(a, b, time_weight=0.5) == pytest.approx(50.0)
+
+    def test_symmetry(self):
+        a, b = _timed(2, seed=4)
+        assert st_hausdorff(a, b, 0.01) == pytest.approx(
+            st_hausdorff(b, a, 0.01))
+
+
+class TestSTLocalIndex:
+    def test_exact_against_brute_force(self, grid):
+        data = _timed(40, seed=5)
+        index = STLocalIndex(grid, time_weight=0.001).build(data)
+        query = data[7]
+        result = index.top_k(query, 8)
+        expected = sorted(
+            (st_hausdorff(query, t, 0.001), t.traj_id) for t in data)[:8]
+        assert [round(d, 9) for d in result.distances()] == \
+            [round(d, 9) for d, _ in expected]
+
+    def test_temporal_component_changes_ranking(self, grid):
+        """Two spatially identical trajectories at different times must
+        rank by time under a heavy time weight."""
+        points = np.array([(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)])
+        morning = TimedTrajectory(points, [0.0, 60.0, 120.0], traj_id=0)
+        evening = TimedTrajectory(points + 0.01,
+                                  [43200.0, 43260.0, 43320.0], traj_id=1)
+        near_morning = TimedTrajectory(points + 0.3,
+                                       [30.0, 90.0, 150.0], traj_id=2)
+        index = STLocalIndex(grid, time_weight=1.0).build(
+            [morning, evening, near_morning])
+        result = index.top_k(morning, 2)
+        # Despite evening being spatially closer, time dominates.
+        assert result.ids() == [0, 2]
+
+    def test_rejects_untimed_trajectories(self, grid):
+        from repro.types import Trajectory
+        with pytest.raises(InvalidTrajectoryError):
+            STLocalIndex(grid).build([Trajectory([(0.0, 0.0)], traj_id=0)])
+
+    def test_unbuilt_raises(self, grid):
+        with pytest.raises(IndexNotBuiltError):
+            STLocalIndex(grid).top_k(_timed(1)[0], 1)
+
+    def test_spatial_pruning_still_effective(self, grid):
+        data = _timed(60, seed=6)
+        index = STLocalIndex(grid, time_weight=0.0001).build(data)
+        result = index.top_k(data[0], 3)
+        assert result.stats.distance_computations < len(data) * 2

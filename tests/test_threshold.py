@@ -1,0 +1,86 @@
+"""Tests for threshold-aware (early-abandoning) distance evaluation.
+
+Contract: exact below the threshold; any value >= threshold otherwise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distances import get_measure
+from repro.distances.threshold import distance_with_threshold
+
+MEASURES = {
+    "hausdorff": get_measure("hausdorff"),
+    "frechet": get_measure("frechet"),
+    "dtw": get_measure("dtw"),
+    "lcss": get_measure("lcss", eps=0.3),
+    "edr": get_measure("edr", eps=0.3),
+    "erp": get_measure("erp"),
+}
+
+
+def _pairs(count, seed=0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(count):
+        a = rng.uniform(0, 4, (int(rng.integers(2, 12)), 2))
+        b = rng.uniform(0, 4, (int(rng.integers(2, 12)), 2))
+        out.append((a, b))
+    return out
+
+
+@pytest.mark.parametrize("name", list(MEASURES))
+class TestContract:
+    def test_exact_when_below_threshold(self, name):
+        measure = MEASURES[name]
+        for a, b in _pairs(15, seed=1):
+            exact = measure.distance(a, b)
+            got = distance_with_threshold(measure, a, b, exact + 1.0)
+            assert got == pytest.approx(exact)
+
+    def test_at_least_threshold_when_abandoned(self, name):
+        measure = MEASURES[name]
+        for a, b in _pairs(15, seed=2):
+            exact = measure.distance(a, b)
+            if exact <= 0:
+                continue
+            got = distance_with_threshold(measure, a, b, exact / 2)
+            # Either it computed the exact value, or it abandoned with a
+            # value at or above the threshold.
+            assert got == pytest.approx(exact) or got >= exact / 2
+
+    def test_never_exceeds_exact(self, name):
+        """Abandoned values are lower bounds: they never overestimate."""
+        measure = MEASURES[name]
+        for a, b in _pairs(15, seed=3):
+            exact = measure.distance(a, b)
+            got = distance_with_threshold(measure, a, b, exact / 3 + 1e-12)
+            assert got <= exact + 1e-9
+
+    def test_infinite_threshold_is_exact(self, name):
+        measure = MEASURES[name]
+        a, b = _pairs(1, seed=4)[0]
+        got = distance_with_threshold(measure, a, b, float("inf"))
+        assert got == pytest.approx(measure.distance(a, b))
+
+
+class TestPrefilters:
+    def test_dtw_row_minima_bound_is_sound(self):
+        from repro.distances.matrix import point_distance_matrix
+        measure = MEASURES["dtw"]
+        for a, b in _pairs(20, seed=5):
+            dm = point_distance_matrix(a, b)
+            lower = max(dm.min(axis=1).sum(), dm.min(axis=0).sum())
+            assert lower <= measure.distance(a, b) + 1e-9
+
+    def test_erp_mass_difference_bound_is_sound(self):
+        measure = MEASURES["erp"]
+        for a, b in _pairs(20, seed=6):
+            mass_a = np.hypot(a[:, 0], a[:, 1]).sum()
+            mass_b = np.hypot(b[:, 0], b[:, 1]).sum()
+            assert abs(mass_a - mass_b) <= measure.distance(a, b) + 1e-9
+
+    def test_edr_length_difference_bound_is_sound(self):
+        measure = MEASURES["edr"]
+        for a, b in _pairs(20, seed=7):
+            assert abs(len(a) - len(b)) <= measure.distance(a, b) + 1e-9

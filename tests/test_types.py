@@ -1,0 +1,177 @@
+"""Unit tests for trajectory and dataset containers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidTrajectoryError
+from repro.types import BoundingBox, Trajectory, TrajectoryDataset
+
+
+class TestTrajectory:
+    def test_construction_from_tuples(self):
+        traj = Trajectory([(0.0, 1.0), (2.0, 3.0)])
+        assert len(traj) == 2
+        assert traj.points.dtype == np.float64
+
+    def test_points_are_immutable(self):
+        traj = Trajectory([(0.0, 1.0), (2.0, 3.0)])
+        with pytest.raises(ValueError):
+            traj.points[0, 0] = 9.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidTrajectoryError):
+            Trajectory(np.empty((0, 2)))
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(InvalidTrajectoryError):
+            Trajectory([(1.0, 2.0, 3.0)])
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidTrajectoryError):
+            Trajectory([(np.nan, 0.0)])
+
+    def test_rejects_inf(self):
+        with pytest.raises(InvalidTrajectoryError):
+            Trajectory([(np.inf, 0.0)])
+
+    def test_equality_considers_id_and_points(self):
+        a = Trajectory([(0.0, 0.0)], traj_id=1)
+        b = Trajectory([(0.0, 0.0)], traj_id=1)
+        c = Trajectory([(0.0, 0.0)], traj_id=2)
+        assert a == b
+        assert a != c
+
+    def test_hashable(self):
+        a = Trajectory([(0.0, 0.0)], traj_id=1)
+        b = Trajectory([(0.0, 0.0)], traj_id=1)
+        assert len({a, b}) == 1
+
+    def test_bounding_box(self):
+        traj = Trajectory([(0.0, 5.0), (2.0, 1.0), (1.0, 3.0)])
+        box = traj.bounding_box()
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0.0, 1.0, 2.0, 5.0)
+
+    def test_polyline_length(self):
+        traj = Trajectory([(0.0, 0.0), (3.0, 4.0), (3.0, 4.0)])
+        assert traj.length() == pytest.approx(5.0)
+
+    def test_length_of_single_point(self):
+        assert Trajectory([(1.0, 1.0)]).length() == 0.0
+
+    def test_centroid(self):
+        traj = Trajectory([(0.0, 0.0), (2.0, 4.0)])
+        assert traj.centroid() == (1.0, 2.0)
+
+    def test_slice_keeps_id(self):
+        traj = Trajectory([(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)], traj_id=7)
+        part = traj.slice(1, 3)
+        assert part.traj_id == 7
+        assert len(part) == 2
+
+    def test_segments_shape(self):
+        traj = Trajectory([(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)])
+        assert traj.segments().shape == (2, 2, 2)
+
+    def test_segments_of_single_point_empty(self):
+        assert Trajectory([(0.0, 0.0)]).segments().shape == (0, 2, 2)
+
+    def test_iteration_yields_points(self):
+        traj = Trajectory([(0.0, 0.0), (1.0, 2.0)])
+        points = list(traj)
+        assert len(points) == 2
+        assert tuple(points[1]) == (1.0, 2.0)
+
+
+class TestBoundingBox:
+    def test_span(self):
+        box = BoundingBox(0.0, 1.0, 4.0, 3.0)
+        assert box.span == (4.0, 2.0)
+
+    def test_contains(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert box.contains(0.5, 0.5)
+        assert box.contains(1.0, 1.0)  # boundary inclusive
+        assert not box.contains(1.5, 0.5)
+
+    def test_union(self):
+        a = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        b = BoundingBox(2.0, -1.0, 3.0, 0.5)
+        u = a.union(b)
+        assert (u.min_x, u.min_y, u.max_x, u.max_y) == (0.0, -1.0, 3.0, 1.0)
+
+    def test_min_distance_inside_is_zero(self):
+        box = BoundingBox(0.0, 0.0, 2.0, 2.0)
+        assert box.min_distance(1.0, 1.0) == 0.0
+
+    def test_min_distance_diagonal(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert box.min_distance(4.0, 5.0) == pytest.approx(5.0)
+
+    def test_min_distance_axis_aligned(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert box.min_distance(0.5, 3.0) == pytest.approx(2.0)
+
+
+class TestTrajectoryDataset:
+    def test_add_assigns_dense_ids(self):
+        ds = TrajectoryDataset()
+        first = ds.add(Trajectory([(0.0, 0.0)]))
+        second = ds.add(Trajectory([(1.0, 1.0)]))
+        assert (first.traj_id, second.traj_id) == (0, 1)
+
+    def test_add_respects_existing_id(self):
+        ds = TrajectoryDataset()
+        ds.add(Trajectory([(0.0, 0.0)], traj_id=10))
+        nxt = ds.add(Trajectory([(1.0, 1.0)]))
+        assert nxt.traj_id == 11
+
+    def test_duplicate_id_rejected(self):
+        ds = TrajectoryDataset()
+        ds.add(Trajectory([(0.0, 0.0)], traj_id=3))
+        with pytest.raises(InvalidTrajectoryError):
+            ds.add(Trajectory([(1.0, 1.0)], traj_id=3))
+
+    def test_get_by_id(self):
+        ds = TrajectoryDataset()
+        traj = ds.add(Trajectory([(0.0, 0.0)], traj_id=5))
+        assert ds.get(5) is traj
+        assert 5 in ds
+        assert 6 not in ds
+
+    def test_bounding_box_unions_all(self):
+        ds = TrajectoryDataset()
+        ds.add(Trajectory([(0.0, 0.0)]))
+        ds.add(Trajectory([(5.0, -2.0)]))
+        box = ds.bounding_box()
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0.0, -2.0, 5.0, 0.0)
+
+    def test_bounding_box_of_empty_raises(self):
+        with pytest.raises(InvalidTrajectoryError):
+            TrajectoryDataset().bounding_box()
+
+    def test_average_length(self):
+        ds = TrajectoryDataset()
+        ds.add(Trajectory([(0.0, 0.0)] * 2))
+        ds.add(Trajectory([(0.0, 0.0)] * 4))
+        assert ds.average_length() == 3.0
+
+    def test_subset_fraction(self):
+        ds = TrajectoryDataset()
+        for _ in range(10):
+            ds.add(Trajectory([(0.0, 0.0)]))
+        half = ds.subset(0.5)
+        assert len(half) == 5
+        assert half.trajectories[0].traj_id == ds.trajectories[0].traj_id
+
+    def test_subset_rejects_bad_fraction(self):
+        ds = TrajectoryDataset()
+        ds.add(Trajectory([(0.0, 0.0)]))
+        with pytest.raises(ValueError):
+            ds.subset(0.0)
+        with pytest.raises(ValueError):
+            ds.subset(1.5)
+
+    def test_constructor_assigns_ids(self):
+        ds = TrajectoryDataset(trajectories=[Trajectory([(0.0, 0.0)]),
+                                             Trajectory([(1.0, 1.0)])])
+        assert ds.ids() == [0, 1]
