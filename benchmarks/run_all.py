@@ -33,6 +33,7 @@ EXPERIMENTS = {
     "ablation_bounds": ("bench_ablation_bounds", "test_report_ablation_bounds"),
     "ablation_succinct": ("bench_ablation_succinct",
                           "test_report_ablation_succinct"),
+    "refinement": ("bench_refinement_batch", "test_report_refinement"),
 }
 
 

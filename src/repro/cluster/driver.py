@@ -13,7 +13,18 @@ from typing import Iterable
 
 from ..core.search import SearchStats, TopKResult
 
-__all__ = ["merge_top_k"]
+__all__ = ["merge_stats", "merge_top_k"]
+
+
+def merge_stats(partials: Iterable[SearchStats]) -> SearchStats:
+    """Sum per-partition :class:`SearchStats` field by field."""
+    merged = SearchStats()
+    for stats in partials:
+        merged.nodes_visited += stats.nodes_visited
+        merged.nodes_pruned += stats.nodes_pruned
+        merged.leaf_refinements += stats.leaf_refinements
+        merged.distance_computations += stats.distance_computations
+    return merged
 
 
 def merge_top_k(partials: Iterable[TopKResult], k: int) -> TopKResult:
@@ -22,13 +33,10 @@ def merge_top_k(partials: Iterable[TopKResult], k: int) -> TopKResult:
     Stats are summed across partitions so pruning effectiveness can be
     reported cluster-wide.
     """
-    merged_stats = SearchStats()
+    partials = list(partials)
     all_items: list[tuple[float, int]] = []
     for partial in partials:
         all_items.extend(partial.items)
-        merged_stats.nodes_visited += partial.stats.nodes_visited
-        merged_stats.nodes_pruned += partial.stats.nodes_pruned
-        merged_stats.leaf_refinements += partial.stats.leaf_refinements
-        merged_stats.distance_computations += partial.stats.distance_computations
     top = heapq.nsmallest(k, all_items)
-    return TopKResult(items=sorted(top), stats=merged_stats)
+    return TopKResult(items=sorted(top),
+                      stats=merge_stats(p.stats for p in partials))

@@ -10,17 +10,26 @@ Backends:
 
 * ``"serial"`` — run tasks one by one (deterministic, default);
 * ``"thread"`` — a thread pool (numpy releases the GIL in kernels, so
-  this gives real parallelism for distance-heavy workloads).
+  this gives real parallelism for distance-heavy workloads);
+* ``"process"`` — a process pool, for DP-heavy measures (DTW/ERP/EDR
+  row scans) whose Python-level loops keep the GIL held.  Tasks and
+  their results must be picklable: the mini-RDD's task chain and the
+  REPOSE partition functions are module-level callables for exactly
+  this reason, so the whole distributed engine runs on real subprocess
+  workers when user-supplied functions are picklable too.
 """
 
 from __future__ import annotations
 
+import os
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 __all__ = ["TaskTiming", "ExecutionEngine"]
+
+_BACKENDS = ("serial", "thread", "process")
 
 
 @dataclass(frozen=True)
@@ -31,21 +40,32 @@ class TaskTiming:
     seconds: float
 
 
+def _timed_task(pid: int, task: Callable[[], object]) -> tuple[object, TaskTiming]:
+    """Run one task and measure it (module level so process pools can
+    pickle it)."""
+    start = time.perf_counter()
+    result = task()
+    elapsed = time.perf_counter() - start
+    return result, TaskTiming(partition_id=pid, seconds=elapsed)
+
+
 class ExecutionEngine:
     """Runs one task per partition and records durations.
 
     Parameters
     ----------
     backend:
-        ``"serial"`` or ``"thread"``.
+        ``"serial"``, ``"thread"`` or ``"process"``.
     max_workers:
-        Thread count for the thread backend (defaults to the partition
-        count, capped at 32).
+        Pool size for the thread/process backends (defaults to the
+        partition count capped at 32, and additionally at the CPU count
+        for processes).
     """
 
     def __init__(self, backend: str = "serial", max_workers: int | None = None):
-        if backend not in ("serial", "thread"):
-            raise ValueError(f"unknown backend {backend!r}")
+        if backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r} (use one of {_BACKENDS})")
         self.backend = backend
         self.max_workers = max_workers
 
@@ -59,14 +79,13 @@ class ExecutionEngine:
         """
         if self.backend == "serial":
             return self._run_serial(tasks)
-        return self._run_threads(tasks)
+        if self.backend == "thread":
+            return self._run_threads(tasks)
+        return self._run_processes(tasks)
 
     @staticmethod
     def _timed(pid: int, task: Callable[[], object]) -> tuple[object, TaskTiming]:
-        start = time.perf_counter()
-        result = task()
-        elapsed = time.perf_counter() - start
-        return result, TaskTiming(partition_id=pid, seconds=elapsed)
+        return _timed_task(pid, task)
 
     def _run_serial(self, tasks):
         results = []
@@ -81,6 +100,19 @@ class ExecutionEngine:
         workers = self.max_workers or min(32, max(1, len(tasks)))
         with ThreadPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(self._timed, pid, task)
+                       for pid, task in enumerate(tasks)]
+            pairs = [future.result() for future in futures]
+        results = [result for result, _ in pairs]
+        timings = [timing for _, timing in pairs]
+        return results, timings
+
+    def _run_processes(self, tasks):
+        if not tasks:
+            return [], []
+        workers = self.max_workers or min(
+            32, max(1, len(tasks)), os.cpu_count() or 1)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_timed_task, pid, task)
                        for pid, task in enumerate(tasks)]
             pairs = [future.result() for future in futures]
         results = [result for result, _ in pairs]

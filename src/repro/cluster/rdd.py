@@ -20,6 +20,60 @@ from .partitioner import Partitioner
 __all__ = ["ClusterContext", "RDD"]
 
 
+class _MapTransform:
+    """Element-wise transform (module level so process pools can
+    pickle the task chain when the user function is picklable)."""
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+
+    def __call__(self, part: list) -> list:
+        return [self.fn(element) for element in part]
+
+
+class _FilterTransform:
+    def __init__(self, predicate: Callable):
+        self.predicate = predicate
+
+    def __call__(self, part: list) -> list:
+        return [e for e in part if self.predicate(e)]
+
+
+class _MapPartitionsTransform:
+    def __init__(self, fn: Callable[[list], Iterable]):
+        self.fn = fn
+
+    def __call__(self, part: list) -> list:
+        return list(self.fn(part))
+
+
+class _FlatMapTransform:
+    def __init__(self, fn: Callable):
+        self.fn = fn
+
+    def __call__(self, part: list) -> list:
+        out: list = []
+        for element in part:
+            out.extend(self.fn(element))
+        return out
+
+
+class _PartitionTask:
+    """One partition's data plus its transformation chain."""
+
+    __slots__ = ("partition", "chain")
+
+    def __init__(self, partition: list, chain: list):
+        self.partition = partition
+        self.chain = chain
+
+    def __call__(self) -> list:
+        current = self.partition
+        for fn in self.chain:
+            current = fn(current)
+        return current
+
+
 class ClusterContext:
     """Entry point, playing the role of Spark's ``SparkContext``."""
 
@@ -69,28 +123,22 @@ class RDD:
 
     def map(self, fn: Callable) -> "RDD":
         """Element-wise transformation."""
-        return RDD(self.context, parent=self,
-                   transform=lambda part: [fn(element) for element in part])
+        return RDD(self.context, parent=self, transform=_MapTransform(fn))
 
     def filter(self, predicate: Callable) -> "RDD":
         """Keep elements satisfying ``predicate``."""
         return RDD(self.context, parent=self,
-                   transform=lambda part: [e for e in part if predicate(e)])
+                   transform=_FilterTransform(predicate))
 
     def map_partitions(self, fn: Callable[[list], Iterable]) -> "RDD":
         """Transform one whole partition at a time (Spark's
         ``mapPartitions``) — the operation REPOSE uses to build and
         query per-partition RP-Tries."""
         return RDD(self.context, parent=self,
-                   transform=lambda part: list(fn(part)))
+                   transform=_MapPartitionsTransform(fn))
 
     def flat_map(self, fn: Callable) -> "RDD":
-        def transform(part: list) -> list:
-            out: list = []
-            for element in part:
-                out.extend(fn(element))
-            return out
-        return RDD(self.context, parent=self, transform=transform)
+        return RDD(self.context, parent=self, transform=_FlatMapTransform(fn))
 
     # -- actions (eager) -----------------------------------------------------
 
@@ -123,15 +171,7 @@ class RDD:
         chain.reverse()
         source = rdd._source
 
-        def make_task(partition: list) -> Callable[[], list]:
-            def task() -> list:
-                current = partition
-                for fn in chain:
-                    current = fn(current)
-                return current
-            return task
-
-        tasks = [make_task(part) for part in source]
+        tasks = [_PartitionTask(part, chain) for part in source]
         results, timings = self.context.engine.run(tasks)
         self.context.last_timings = timings
         return results

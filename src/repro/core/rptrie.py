@@ -26,6 +26,7 @@ from .node import TERMINAL, TrieNode
 from .pivots import select_pivots
 from .rearrange import rearrange_dataset
 from .reference import ReferenceEncoder, ReferenceTrajectory, encoder_mode_for
+from .store import TrajectoryStore
 
 __all__ = ["RPTrie", "TrieStats"]
 
@@ -79,6 +80,8 @@ class RPTrie:
         self._rng = rng if rng is not None else np.random.default_rng(7)
         self.root = TrieNode(TERMINAL - 1)
         self._trajectories: dict[int, Trajectory] = {}
+        self._store: TrajectoryStore | None = None
+        self._store_source: dict | None = None
         self._built = False
         self._node_count = 0
 
@@ -88,6 +91,7 @@ class RPTrie:
         """Build the index over ``trajectories`` (idempotent: rebuilds)."""
         self.root = TrieNode(TERMINAL - 1)
         self._trajectories = {t.traj_id: t for t in trajectories}
+        self.attach_store(TrajectoryStore(self._trajectories.values()))
 
         mode = encoder_mode_for(self.measure, optimized=self.optimized)
         encoder = ReferenceEncoder(self.grid, mode=mode)
@@ -127,6 +131,8 @@ class RPTrie:
             raise ValueError(
                 f"trajectory must carry a fresh id, got {traj.traj_id!r}")
         self._trajectories[traj.traj_id] = traj
+        if self._store is not None:
+            self._store.append(traj)
         mode = encoder_mode_for(self.measure, optimized=self.optimized)
         ref = ReferenceEncoder(self.grid, mode=mode).encode(traj)
         use_dmax = self.measure.name in ("hausdorff", "frechet")
@@ -177,6 +183,28 @@ class RPTrie:
     @property
     def num_trajectories(self) -> int:
         return len(self._trajectories)
+
+    def attach_store(self, store: TrajectoryStore) -> None:
+        """Install a pre-built columnar store for the current
+        trajectory dict (used by :mod:`repro.persistence` for the
+        zero-copy load path)."""
+        self._store = store
+        self._store_source = self._trajectories
+
+    @property
+    def store(self) -> TrajectoryStore:
+        """Columnar view over the indexed trajectories.
+
+        Built during :meth:`build` and kept in sync by :meth:`insert`;
+        rebuilt lazily when the trajectory dict was replaced wholesale
+        (detected by dict identity, so a same-length replacement cannot
+        serve stale points).
+        """
+        if (self._store is None
+                or self._store_source is not self._trajectories
+                or len(self._store) != len(self._trajectories)):
+            self.attach_store(TrajectoryStore(self._trajectories.values()))
+        return self._store
 
     @property
     def node_count(self) -> int:

@@ -6,6 +6,16 @@ A node is pruned when its bound reaches the current k-th best distance
 ``dk``; because bounds are sound for whole subtrees, the loop may break
 as soon as the popped bound reaches ``dk``.
 
+Leaf refinement — the dominant query cost — runs through the vectorized
+batch engine by default: a leaf's candidates are gathered from the
+trie's columnar :class:`~repro.core.store.TrajectoryStore` into one
+padded tensor, batch lower bounds are computed in a single broadcast
+(:mod:`repro.distances.batch`), and the exact DP runs only for
+candidates whose bound beats the current ``dk``.  Results are
+bit-identical to the per-trajectory early-abandoning loop, which is
+still available via ``batch_refine=False`` (used by the exactness
+property tests and the old-vs-new refinement benchmark).
+
 Search statistics (nodes visited/pruned, refinements) are collected so
 experiments can report pruning effectiveness.
 """
@@ -18,11 +28,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..distances.batch import refine_range, refine_top_k
 from ..distances.threshold import distance_with_threshold
 from ..types import Trajectory
 from .bounds import make_bound_computer
 
-__all__ = ["TopKResult", "SearchStats", "local_search", "local_range_search"]
+__all__ = ["TopKResult", "SearchStats", "ResultHeap",
+           "local_search", "local_range_search"]
 
 
 @dataclass
@@ -55,7 +67,7 @@ class TopKResult:
         return len(self.items)
 
 
-class _ResultHeap:
+class ResultHeap:
     """Fixed-capacity max-heap over (distance, tid): tracks dk."""
 
     def __init__(self, k: int):
@@ -74,9 +86,19 @@ class _ResultHeap:
         elif distance < -self._heap[0][0]:
             heapq.heapreplace(self._heap, (-distance, tid))
 
+    def clone(self) -> "ResultHeap":
+        """Independent copy (used as the batch refiner's probe heap)."""
+        other = ResultHeap(self.k)
+        other._heap = list(self._heap)
+        return other
+
     def sorted_items(self) -> list[tuple[float, int]]:
         return sorted(((-nd, tid) for nd, tid in self._heap),
                       key=lambda item: (item[0], item[1]))
+
+
+#: Backwards-compatible alias (pre-batch-refinement name).
+_ResultHeap = ResultHeap
 
 
 def _pivot_bound(dqp: np.ndarray | None, node) -> float:
@@ -88,10 +110,27 @@ def _pivot_bound(dqp: np.ndarray | None, node) -> float:
     return max(float(low.max()), float(high.max()), 0.0)
 
 
+def _refine_leaf_top_k(trie, measure, query: Trajectory, tids: list[int],
+                       results: ResultHeap, stats: SearchStats,
+                       batch_refine: bool) -> None:
+    """Refine one leaf's candidates into ``results`` (both paths)."""
+    stats.leaf_refinements += 1
+    stats.distance_computations += len(tids)
+    if batch_refine:
+        refine_top_k(measure, query.points, tids, trie.store, results)
+        return
+    for tid in tids:
+        traj = trie.trajectory(tid)
+        dist = distance_with_threshold(
+            measure, query.points, traj.points, results.dk)
+        results.offer(dist, tid)
+
+
 def local_search(trie, query: Trajectory, k: int,
                  use_pivots: bool = True, use_lbt: bool = True,
                  use_lbo: bool = True,
-                 dqp: np.ndarray | None = None) -> TopKResult:
+                 dqp: np.ndarray | None = None,
+                 batch_refine: bool = True) -> TopKResult:
     """Top-k search on one RP-Trie (Algorithm 2).
 
     Parameters
@@ -111,11 +150,15 @@ def local_search(trie, query: Trajectory, k: int,
         distributed setting, so the driver computes ``dqp`` once per
         query and shares it with every partition (paper, Section IV-D);
         when None, the distances are computed here.
+    batch_refine:
+        Refine leaf candidates through the vectorized batch engine
+        (default) instead of one at a time.  Both paths return
+        bit-identical results.
     """
     trie._require_built()
     measure = trie.measure
     stats = SearchStats()
-    results = _ResultHeap(k)
+    results = ResultHeap(k)
 
     computer = make_bound_computer(measure, trie.grid, query.points)
     if not (use_pivots and trie.pivots):
@@ -139,13 +182,8 @@ def local_search(trie, query: Trajectory, k: int,
         stats.nodes_visited += 1
 
         if node.is_leaf:
-            stats.leaf_refinements += 1
-            for tid in node.tids:
-                traj = trie.trajectory(tid)
-                stats.distance_computations += 1
-                dist = distance_with_threshold(
-                    measure, query.points, traj.points, results.dk)
-                results.offer(dist, tid)
+            _refine_leaf_top_k(trie, measure, query, list(node.tids),
+                               results, stats, batch_refine)
             continue
 
         for child in node.iter_children():
@@ -170,13 +208,18 @@ def local_search(trie, query: Trajectory, k: int,
 
 
 def local_range_search(trie, query: Trajectory, radius: float,
-                       use_pivots: bool = True) -> TopKResult:
+                       use_pivots: bool = True,
+                       dqp: np.ndarray | None = None,
+                       batch_refine: bool = True) -> TopKResult:
     """All trajectories within ``radius`` of the query, ascending.
 
     Reuses the top-k machinery with a fixed threshold instead of the
     adaptive ``dk``: a subtree is pruned as soon as its lower bound
     reaches ``radius``.  (Range search is the primitive DITA builds its
-    top-k on; REPOSE supports it natively with the same bounds.)
+    top-k on; REPOSE supports it natively with the same bounds.)  As in
+    :func:`local_search`, ``dqp`` lets the driver share query-to-pivot
+    distances across partitions, and leaf candidates are screened by
+    the batch engine unless ``batch_refine`` is disabled.
     """
     trie._require_built()
     measure = trie.measure
@@ -184,8 +227,9 @@ def local_range_search(trie, query: Trajectory, radius: float,
     items: list[tuple[float, int]] = []
 
     computer = make_bound_computer(measure, trie.grid, query.points)
-    dqp: np.ndarray | None = None
-    if use_pivots and trie.pivots:
+    if not (use_pivots and trie.pivots):
+        dqp = None
+    elif dqp is None:
         dqp = np.array([measure.distance(query, p) for p in trie.pivots])
         stats.distance_computations += len(trie.pivots)
 
@@ -195,16 +239,21 @@ def local_range_search(trie, query: Trajectory, radius: float,
         stats.nodes_visited += 1
         if node.is_leaf:
             stats.leaf_refinements += 1
-            for tid in node.tids:
-                traj = trie.trajectory(tid)
-                stats.distance_computations += 1
-                # Threshold just above the radius so distances equal to
-                # the radius are computed exactly and included.
-                dist = distance_with_threshold(
-                    measure, query.points, traj.points,
-                    float(np.nextafter(radius, np.inf)))
-                if dist <= radius:
-                    items.append((dist, tid))
+            tids = list(node.tids)
+            stats.distance_computations += len(tids)
+            if batch_refine:
+                items.extend(refine_range(measure, query.points, tids,
+                                          trie.store, radius))
+            else:
+                for tid in tids:
+                    traj = trie.trajectory(tid)
+                    # Threshold just above the radius so distances equal
+                    # to the radius are computed exactly and included.
+                    dist = distance_with_threshold(
+                        measure, query.points, traj.points,
+                        float(np.nextafter(radius, np.inf)))
+                    if dist <= radius:
+                        items.append((dist, tid))
             continue
         for child in node.iter_children():
             if child.is_leaf:

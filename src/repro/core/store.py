@@ -1,0 +1,230 @@
+"""Columnar trajectory store: one contiguous point array per partition.
+
+The per-trajectory refinement loop paid a Python/numpy call overhead for
+every candidate.  The batch refinement engine
+(:mod:`repro.distances.batch`) instead screens a leaf's candidates as
+one padded tensor, which requires the partition's trajectories to be
+gathered cheaply into contiguous arrays.  This module provides that
+layout: every trajectory's points are packed into a single
+``(total_points, 2)`` float64 array plus an offsets array, built once at
+index-construction time and shared by :class:`~repro.core.rptrie.RPTrie`,
+:class:`~repro.core.succinct.SuccinctRPTrie` and the baselines.
+
+Design notes:
+
+* Lookups stay exact: ``points_of`` returns the trajectory's original
+  (bit-identical) coordinates, so batched and per-pair code paths
+  produce the same floating-point results.
+* Incremental inserts are buffered in a pending list and consolidated
+  lazily, keeping ``append`` O(1) amortized instead of re-concatenating
+  the column on every insert.
+* Per-measure derived columns (currently the ERP gap-mass of every
+  trajectory) are cached on the store, so they are computed once per
+  partition instead of once per (query, candidate) pair.
+* The columnar arrays are exactly what :mod:`repro.persistence` writes,
+  so a loaded index re-creates its store zero-copy.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable
+
+import numpy as np
+
+from ..types import Trajectory
+
+__all__ = ["TrajectoryStore"]
+
+
+class TrajectoryStore:
+    """Columnar layout over one partition's trajectories.
+
+    Parameters
+    ----------
+    trajectories:
+        Initial contents; more can be added with :meth:`append`.
+    """
+
+    def __init__(self, trajectories: Iterable[Trajectory] = ()):
+        self._by_id: dict[int, Trajectory] = {}
+        self._points = np.empty((0, 2), dtype=np.float64)
+        self._offsets = np.zeros(1, dtype=np.int64)
+        self._tids = np.empty(0, dtype=np.int64)
+        self._row_by_tid: dict[int, int] = {}
+        self._pending: list[Trajectory] = []
+        self._mass_cache: dict[tuple[float, float], np.ndarray] = {}
+        self._lock = threading.Lock()
+        for traj in trajectories:
+            self.append(traj)
+        self._consolidate()
+
+    @classmethod
+    def from_columnar(cls, tids: np.ndarray, offsets: np.ndarray,
+                      points: np.ndarray) -> "TrajectoryStore":
+        """Rebuild a store from persisted columnar arrays (zero-copy:
+        the trajectories are views into ``points``)."""
+        store = cls()
+        store._points = np.ascontiguousarray(points, dtype=np.float64)
+        store._offsets = np.asarray(offsets, dtype=np.int64)
+        store._tids = np.asarray(tids, dtype=np.int64)
+        for row, tid in enumerate(store._tids.tolist()):
+            lo, hi = store._offsets[row], store._offsets[row + 1]
+            traj = Trajectory(store._points[lo:hi], traj_id=tid)
+            store._by_id[tid] = traj
+            store._row_by_tid[tid] = row
+        return store
+
+    # -- mutation -----------------------------------------------------------
+
+    def append(self, traj: Trajectory) -> None:
+        """Add one trajectory (id must be fresh and non-None)."""
+        if traj.traj_id is None or traj.traj_id in self._by_id:
+            raise ValueError(
+                f"trajectory must carry a fresh id, got {traj.traj_id!r}")
+        self._by_id[traj.traj_id] = traj
+        self._pending.append(traj)
+
+    def _consolidate(self) -> None:
+        # Read paths (gather/erp_masses/columnar) call this and may run
+        # concurrently under the thread execution backend; the lock
+        # serializes consolidation so pending trajectories are appended
+        # exactly once.  Consolidation only appends — existing rows keep
+        # their offsets and the old points stay a prefix of the new
+        # array — so readers racing with it still see consistent data
+        # for every already-consolidated trajectory.
+        if not self._pending:
+            return
+        with self._lock:
+            if not self._pending:
+                return
+            blocks = [self._points] + [t.points for t in self._pending]
+            lengths = [len(t) for t in self._pending]
+            row = len(self._tids)
+            for traj in self._pending:
+                self._row_by_tid[traj.traj_id] = row
+                row += 1
+            self._points = np.concatenate(blocks, axis=0)
+            tail = self._offsets[-1] + np.cumsum(lengths, dtype=np.int64)
+            self._offsets = np.concatenate([self._offsets, tail])
+            self._tids = np.concatenate(
+                [self._tids,
+                 np.array([t.traj_id for t in self._pending],
+                          dtype=np.int64)])
+            self._mass_cache.clear()
+            self._pending.clear()
+
+    def __getstate__(self) -> dict:
+        self._consolidate()
+        state = self.__dict__.copy()
+        state["_lock"] = None  # locks cannot cross process boundaries
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # -- lookups ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._by_id
+
+    @property
+    def num_trajectories(self) -> int:
+        return len(self._by_id)
+
+    @property
+    def total_points(self) -> int:
+        self._consolidate()
+        return int(self._offsets[-1])
+
+    def get(self, tid: int) -> Trajectory:
+        return self._by_id[tid]
+
+    def trajectories(self) -> list[Trajectory]:
+        """All trajectories, in insertion order."""
+        return list(self._by_id.values())
+
+    def ids(self) -> list[int]:
+        return list(self._by_id)
+
+    def points_of(self, tid: int) -> np.ndarray:
+        """The trajectory's ``(n, 2)`` point array (bit-identical to the
+        array it was inserted with)."""
+        return self._by_id[tid].points
+
+    def columnar(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(tids, offsets, points)`` — the persisted representation."""
+        self._consolidate()
+        return self._tids, self._offsets, self._points
+
+    # -- batch access -------------------------------------------------------
+
+    def lengths(self, tids: Iterable[int]) -> np.ndarray:
+        """Point counts for ``tids`` as an int64 array."""
+        return np.array([len(self._by_id[tid]) for tid in tids],
+                        dtype=np.int64)
+
+    def gather(self, tids: Iterable[int]) -> tuple[np.ndarray, np.ndarray]:
+        """Pack the candidates into one padded tensor.
+
+        Returns
+        -------
+        (padded, lengths):
+            ``padded`` has shape ``(c, Lmax, 2)`` with rows padded with
+            ``+inf`` past each trajectory's length — distances to the
+            padding come out ``+inf``, so min-reductions in the batch
+            kernels skip it without a masking pass.  ``lengths`` has
+            shape ``(c,)``.  Both are empty when ``tids`` is.
+        """
+        self._consolidate()
+        tids = list(tids)
+        if not tids:
+            return (np.empty((0, 0, 2), dtype=np.float64),
+                    np.empty(0, dtype=np.int64))
+        rows = np.array([self._row_by_tid[tid] for tid in tids],
+                        dtype=np.int64)
+        starts = self._offsets[rows]
+        lengths = self._offsets[rows + 1] - starts
+        width = int(lengths.max())
+        cols = np.arange(width, dtype=np.int64)
+        valid = cols[np.newaxis, :] < lengths[:, np.newaxis]
+        padded = np.full((len(tids), width, 2), np.inf, dtype=np.float64)
+        padded[valid] = self._points[(starts[:, np.newaxis] + cols)[valid]]
+        return padded, lengths
+
+    def erp_masses(self, tids: Iterable[int],
+                   gap: tuple[float, float]) -> np.ndarray:
+        """Gap-cost mass ``sum_i ||p_i - g||`` per candidate.
+
+        Masses are query-independent, so they are computed once per
+        (store, gap) and cached; each per-trajectory sum runs over the
+        same contiguous slice the per-pair ERP prefilter would use,
+        keeping the values bit-identical.
+        """
+        self._consolidate()
+        key = (float(gap[0]), float(gap[1]))
+        masses = self._mass_cache.get(key)
+        if masses is None:
+            flat = np.hypot(self._points[:, 0] - key[0],
+                            self._points[:, 1] - key[1])
+            offsets = self._offsets
+            masses = np.array(
+                [flat[offsets[row]:offsets[row + 1]].sum()
+                 for row in range(len(self._tids))], dtype=np.float64)
+            self._mass_cache[key] = masses
+        rows = [self._row_by_tid[tid] for tid in tids]
+        return masses[rows]
+
+    def memory_bytes(self) -> int:
+        """Footprint of the columnar arrays (excludes the originals)."""
+        self._consolidate()
+        return int(self._points.nbytes + self._offsets.nbytes
+                   + self._tids.nbytes)
+
+    def __repr__(self) -> str:
+        return (f"TrajectoryStore(n={len(self._by_id)}, "
+                f"points={self.total_points})")

@@ -35,6 +35,7 @@ from ..exceptions import IndexNotBuiltError
 from ..types import Trajectory
 from .bitvector import BitVector
 from .node import TERMINAL
+from .store import TrajectoryStore
 
 __all__ = ["SuccinctRPTrie", "FrozenNode"]
 
@@ -117,6 +118,9 @@ class SuccinctRPTrie:
         self.pivots = source.pivots
         self.bitmap_levels = bitmap_levels
         self._trajectories = {t.traj_id: t for t in source.trajectories()}
+        # Share the source's columnar store: the frozen trie serves the
+        # same batch-refinement gathers without duplicating the points.
+        self._store: TrajectoryStore | None = getattr(source, "store", None)
         self._build_from(source)
 
     # -- construction -------------------------------------------------------
@@ -299,6 +303,13 @@ class SuccinctRPTrie:
     @property
     def num_trajectories(self) -> int:
         return len(self._trajectories)
+
+    @property
+    def store(self) -> TrajectoryStore:
+        """Columnar trajectory store (shared with the source trie)."""
+        if self._store is None:
+            self._store = TrajectoryStore(self._trajectories.values())
+        return self._store
 
     @property
     def node_count(self) -> int:

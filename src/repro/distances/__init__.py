@@ -18,6 +18,12 @@ from .base import (
     list_measures,
     register_measure,
 )
+from .batch import (
+    batch_lower_bounds,
+    batch_point_distance_tensor,
+    refine_range,
+    refine_top_k,
+)
 from .hausdorff import hausdorff_distance
 from .frechet import frechet_distance
 from .dtw import dtw_distance
@@ -30,6 +36,10 @@ __all__ = [
     "get_measure",
     "list_measures",
     "register_measure",
+    "batch_lower_bounds",
+    "batch_point_distance_tensor",
+    "refine_range",
+    "refine_top_k",
     "hausdorff_distance",
     "frechet_distance",
     "dtw_distance",

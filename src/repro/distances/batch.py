@@ -1,0 +1,382 @@
+"""Vectorized batch refinement: padded/masked candidate-set kernels.
+
+Leaf refinement dominates REPOSE's query cost: every candidate that
+survives the RP-Trie bounds needs an exact-distance check, and the
+per-trajectory loop pays a Python/numpy call overhead per candidate.
+This module screens a whole candidate batch at once: a single
+broadcasted query-to-all-candidate-points distance tensor of shape
+``(c, m, Lmax)`` is built (in bounded-memory chunks), from which each
+measure's cheap refinement lower bound falls out as array reductions —
+the batch analogue of the per-pair prefilters in
+:mod:`repro.distances.threshold`:
+
+* Hausdorff — row-min/col-min reductions give the *exact* distance, so
+  no per-candidate work remains at all;
+* Frechet — the Hausdorff value lower-bounds the Frechet DP;
+* DTW — sums of row minima and of column minima;
+* ERP — the gap-mass difference, served from the columnar store's
+  per-trajectory mass cache (query independent);
+* EDR — the length difference;
+* LCSS — no cheap bound (zeros).
+
+Candidates are then refined in ascending-bound order against a probe
+copy of the result heap, so the k-th-best threshold tightens as early
+as possible and the expensive DPs run only for candidates whose bound
+beats it.  A final replay pass offers the refined values in the
+original candidate order, which makes the outcome **bit-identical** to
+the per-trajectory early-abandoning loop, including how equal distances
+at the k-th boundary tie-break: every value that can enter the heap is
+produced by the same :func:`distance_with_threshold` call (same
+operands, same threshold) the sequential loop would have made, and the
+batch bounds are computed with reduction orders that reproduce the
+per-pair prefilter values bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Measure
+from .dtw import dtw_distance
+from .frechet import frechet_distance
+from .threshold import distance_with_threshold
+
+__all__ = [
+    "batch_point_distance_tensor",
+    "batch_lower_bounds",
+    "candidate_lower_bounds",
+    "BatchRefiner",
+    "refine_top_k",
+    "refine_range",
+]
+
+#: float64 elements per broadcast slab: chunks of the ``(c, m, L)``
+#: tensor stay under ~32 MB regardless of candidate-set size.
+_CHUNK_ELEMS = 1 << 22
+
+
+def batch_point_distance_tensor(query: np.ndarray,
+                                padded: np.ndarray) -> np.ndarray:
+    """Distance tensor ``D[c, i, j] = ||query[i] - padded[c, j]||``.
+
+    ``query`` is ``(m, 2)``; ``padded`` is ``(c, L, 2)`` and is expected
+    to be padded with ``+inf`` past each candidate's length (as
+    :meth:`~repro.core.store.TrajectoryStore.gather` produces), which
+    makes the padded entries ``+inf`` here so min-reductions ignore
+    them without any masking pass.  Each entry is evaluated as
+    ``sqrt(dx*dx + dy*dy)`` — the exact expression (and rounding) of
+    :func:`repro.distances.matrix.point_distance_matrix`.
+    """
+    dx = query[np.newaxis, :, np.newaxis, 0] - padded[:, np.newaxis, :, 0]
+    dx *= dx
+    dy = query[np.newaxis, :, np.newaxis, 1] - padded[:, np.newaxis, :, 1]
+    dy *= dy
+    dx += dy
+    return np.sqrt(dx, out=dx)
+
+
+#: Tolerated padding overwork per chunk (padded elements may exceed the
+#: useful elements by this factor) and the chunk size below which the
+#: per-chunk numpy call overhead outweighs tighter padding.
+_PAD_WASTE_FACTOR = 1.25
+_MIN_CHUNK = 8
+
+
+def _length_sorted_chunks(lengths: np.ndarray, m: int):
+    """Candidate chunks in ascending-length order.
+
+    Every chunk is padded only to its own longest member and is cut
+    when padding overwork would exceed ``_PAD_WASTE_FACTOR`` (ragged
+    sets with a few long outliers otherwise pay the outlier's length
+    for every candidate) or the ``_CHUNK_ELEMS`` slab budget.  Safe for
+    bit-identity: every bound reduction reads only its own candidate's
+    row, so computation order across candidates is free.
+    """
+    order = np.argsort(lengths, kind="stable")
+    sorted_lengths = lengths[order]
+    pos = 0
+    count = len(order)
+    while pos < count:
+        end = pos + 1
+        useful = int(sorted_lengths[pos])
+        while end < count:
+            width = int(sorted_lengths[end])
+            padded_elems = (end - pos + 1) * width
+            if padded_elems * m > _CHUNK_ELEMS:
+                break
+            if (end - pos >= _MIN_CHUNK
+                    and padded_elems > _PAD_WASTE_FACTOR * (useful + width)):
+                break
+            useful += width
+            end += 1
+        yield order[pos:end]
+        pos = end
+
+
+def _reduce_tensor(name: str, dist: np.ndarray,
+                   lengths: np.ndarray) -> np.ndarray:
+    """Refinement bounds from one ``(cc, m, L)`` distance tensor.
+
+    The reductions mirror the per-pair prefilters exactly: min/max are
+    order-exact, and every sum runs over a contiguous slice of the same
+    length the per-pair code would sum, so the results are bit-identical
+    to ``distance_with_threshold``'s internal lower bounds.
+    """
+    row_min = dist.min(axis=2)                      # (cc, m)
+    col_min = dist.min(axis=1)                      # (cc, L): inf padded
+    count, width = col_min.shape
+    if name == "dtw":
+        out = np.empty(count, dtype=np.float64)
+        row_sums = row_min.sum(axis=1)
+        for i in range(count):
+            n = int(lengths[i])
+            out[i] = max(float(row_sums[i]), float(col_min[i, :n].sum()))
+        return out
+    # hausdorff / frechet: symmetric Hausdorff value
+    forward = row_min.max(axis=1)
+    valid = np.arange(width)[np.newaxis, :] < lengths[:, np.newaxis]
+    backward = np.where(valid, col_min, -np.inf).max(axis=1)
+    return np.maximum(forward, backward)
+
+
+def _tensor_bounds(name: str, query: np.ndarray, padded: np.ndarray,
+                   lengths: np.ndarray,
+                   retain: list | None = None) -> np.ndarray:
+    """Hausdorff / Frechet / DTW bounds over length-sorted chunks.
+
+    When ``retain`` is a list, each chunk's tensor is appended to it as
+    ``(rows, tensor)`` so callers can slice per-candidate distance
+    matrices back out for the exact DP.
+    """
+    out = np.empty(len(lengths), dtype=np.float64)
+    for rows in _length_sorted_chunks(lengths, len(query)):
+        chunk_lengths = lengths[rows]
+        width = int(chunk_lengths.max())
+        dist = batch_point_distance_tensor(query, padded[rows, :width])
+        out[rows] = _reduce_tensor(name, dist, chunk_lengths)
+        if retain is not None:
+            retain.append((rows, dist))
+    return out
+
+
+def batch_lower_bounds(measure: Measure, query: np.ndarray,
+                       padded: np.ndarray, lengths: np.ndarray,
+                       masses: np.ndarray | None = None,
+                       ) -> tuple[np.ndarray, bool]:
+    """Per-candidate refinement lower bounds from padded arrays.
+
+    Returns ``(bounds, is_exact)``; ``is_exact`` is True when the bound
+    *is* the exact distance (Hausdorff), in which case refinement needs
+    no further per-candidate work.  ``masses`` optionally supplies
+    precomputed ERP gap masses (see
+    :meth:`repro.core.store.TrajectoryStore.erp_masses`).
+    """
+    name = measure.name
+    count = len(lengths)
+    if count == 0:
+        return np.empty(0, dtype=np.float64), name == "hausdorff"
+    if name in ("hausdorff", "frechet", "dtw"):
+        return _tensor_bounds(name, query, padded, lengths), name == "hausdorff"
+    if name == "erp":
+        gap = tuple(np.asarray(measure.params.get("gap", (0.0, 0.0))))
+        query_mass = float(np.hypot(query[:, 0] - gap[0],
+                                    query[:, 1] - gap[1]).sum())
+        if masses is None:
+            masses = np.array(
+                [np.hypot(padded[i, :lengths[i], 0] - gap[0],
+                          padded[i, :lengths[i], 1] - gap[1]).sum()
+                 for i in range(count)], dtype=np.float64)
+        return np.abs(query_mass - masses), False
+    if name == "edr":
+        return np.abs(float(len(query)) - lengths.astype(np.float64)), False
+    return np.zeros(count, dtype=np.float64), False
+
+
+def candidate_lower_bounds(measure: Measure, query: np.ndarray,
+                           store, tids: list[int],
+                           ) -> tuple[np.ndarray, bool]:
+    """Bounds for candidates held in a columnar store.
+
+    Only the tensor-based measures pay the gather; ERP uses the store's
+    cached per-trajectory masses and EDR only needs lengths.
+    """
+    name = measure.name
+    if name in ("hausdorff", "frechet", "dtw"):
+        padded, lengths = store.gather(tids)
+        return batch_lower_bounds(measure, query, padded, lengths)
+    # ERP/EDR/LCSS need no gather: delegate to batch_lower_bounds with
+    # only the lengths (and the store's cached masses for ERP).
+    masses = None
+    if name == "erp":
+        gap = tuple(np.asarray(measure.params.get("gap", (0.0, 0.0))))
+        masses = store.erp_masses(tids, gap)
+    empty = np.empty((len(tids), 0, 2), dtype=np.float64)
+    return batch_lower_bounds(measure, query, empty, store.lengths(tids),
+                              masses=masses)
+
+
+#: Below these candidate counts the per-trajectory loop beats the batch
+#: kernels (gather/broadcast setup overhead); the sequential path is
+#: used instead.  Hausdorff amortizes fastest because the tensor yields
+#: the exact distance outright.
+_MIN_BATCH = {"hausdorff": 2}
+_MIN_BATCH_DEFAULT = 4
+
+
+class BatchRefiner:
+    """Bounds plus exact evaluation for one candidate batch.
+
+    Computes all candidates' refinement lower bounds up front (one
+    batched kernel) and then answers per-candidate
+    ``exact_or_bound(i, threshold)`` queries with the same contract —
+    and the same bits — as :func:`distance_with_threshold`: the batch
+    bounds reproduce that function's internal prefilter values
+    bit-for-bit, so its branch can be replicated without recomputing
+    the prefilter.  For Frechet/DTW the broadcast distance tensor is
+    retained (when it fits the chunk budget) and sliced per survivor,
+    so the exact DP skips the per-pair matrix rebuild as well.
+    """
+
+    def __init__(self, measure: Measure, query: np.ndarray, store,
+                 tids: list[int]):
+        self.measure = measure
+        self.query = query
+        self.store = store
+        self.tids = tids
+        self.name = measure.name
+        self._chunks: list | None = None    # [(rows, tensor)] when kept
+        self._row_of: np.ndarray | None = None
+        self._lengths: np.ndarray | None = None
+        if self.name in ("frechet", "dtw") and tids:
+            padded, lengths = store.gather(tids)
+            self._lengths = lengths
+            # Keep the per-chunk tensors for DP reuse unless the whole
+            # batch is too large to hold resident.
+            keep = int(lengths.sum()) * len(query) <= _CHUNK_ELEMS
+            retain: list | None = [] if keep else None
+            self.bounds = _tensor_bounds(self.name, query, padded, lengths,
+                                         retain=retain)
+            if retain is not None:
+                self._chunks = retain
+                self._row_of = np.empty((len(tids), 2), dtype=np.int64)
+                for ci, (rows, _) in enumerate(retain):
+                    for ri, i in enumerate(rows.tolist()):
+                        self._row_of[i] = (ci, ri)
+        else:
+            self.bounds, _ = candidate_lower_bounds(measure, query,
+                                                    store, tids)
+        self.is_exact = self.name == "hausdorff"
+
+    def exact_or_bound(self, i: int, threshold: float) -> float:
+        """``distance_with_threshold`` for candidate ``i``, reusing the
+        batch bound as the prefilter (bit-identical result)."""
+        bound = float(self.bounds[i])
+        if bound >= threshold:
+            return bound
+        points = self.store.points_of(self.tids[i])
+        if self.name == "frechet":
+            return frechet_distance(self.query, points, dm=self._slice(i))
+        if self.name == "dtw":
+            return dtw_distance(self.query, points, dm=self._slice(i))
+        # ERP/EDR/LCSS: the cheap prefilter already passed (or does not
+        # exist), so the full computation is what the threshold path runs.
+        return self.measure.distance(self.query, points)
+
+    def _slice(self, i: int) -> np.ndarray | None:
+        if self._chunks is None:
+            return None
+        ci, ri = self._row_of[i]
+        return self._chunks[ci][1][ri][:, :int(self._lengths[i])]
+
+
+def refine_top_k(measure: Measure, query: np.ndarray, tids: list[int],
+                 store, heap) -> None:
+    """Refine a candidate batch into a top-k ``heap``.
+
+    ``heap`` must expose ``dk``, ``offer(distance, tid)`` and
+    ``clone()`` (see :class:`repro.core.search.ResultHeap`).  The heap
+    ends up bit-identical to offering each candidate's
+    ``distance_with_threshold(..., heap.dk)`` value in ``tids`` order:
+
+    1. bounds for all candidates come from one batched kernel;
+    2. candidates are probed in ascending-bound order against a clone
+       of the heap, running the exact computation only while the bound
+       beats the probe's ``dk`` — once one candidate's bound fails, all
+       remaining (larger) bounds fail too;
+    3. the refined values replay into the real heap in the original
+       order; a stored lower bound that would now be accepted is
+       recomputed with the replay threshold first, so only values the
+       sequential loop would have produced ever enter the heap.
+    """
+    count = len(tids)
+    if count == 0:
+        return
+    if count < _MIN_BATCH.get(measure.name, _MIN_BATCH_DEFAULT):
+        for tid in tids:
+            heap.offer(distance_with_threshold(
+                measure, query, store.points_of(tid), heap.dk), tid)
+        return
+    refiner = BatchRefiner(measure, query, store, tids)
+    bounds = refiner.bounds
+    if refiner.is_exact:
+        for tid, dist in zip(tids, bounds.tolist()):
+            heap.offer(dist, tid)
+        return
+
+    values = bounds.copy()
+    exact = np.zeros(count, dtype=bool)
+    probe = heap.clone()
+    for i in np.argsort(bounds, kind="stable").tolist():
+        dk = probe.dk
+        if bounds[i] >= dk:
+            # Bounds are processed ascending and a skip leaves the probe
+            # untouched, so every remaining bound fails too; their
+            # values[] entries stay at the (inexact) lower bounds.
+            break
+        # bounds[i] < dk, so exact_or_bound ran the full computation:
+        # the value is the exact distance even when it lands >= dk.
+        value = refiner.exact_or_bound(i, dk)
+        values[i] = value
+        exact[i] = True
+        probe.offer(value, tids[i])
+
+    for i in range(count):
+        value = float(values[i])
+        if not exact[i] and value < heap.dk:
+            value = refiner.exact_or_bound(i, heap.dk)
+        heap.offer(value, tids[i])
+
+
+def refine_range(measure: Measure, query: np.ndarray, tids: list[int],
+                 store, radius: float) -> list[tuple[float, int]]:
+    """All candidates within ``radius``, as ``(distance, tid)`` pairs.
+
+    Candidates whose batch bound already exceeds the radius are dropped
+    without any per-candidate work; the rest go through the same
+    thresholded computation the sequential loop uses, so the surviving
+    set and its distances are bit-identical.
+    """
+    matches: list[tuple[float, int]] = []
+    if not tids:
+        return matches
+    cutoff = float(np.nextafter(radius, np.inf))
+    if len(tids) < _MIN_BATCH.get(measure.name, _MIN_BATCH_DEFAULT):
+        for tid in tids:
+            dist = distance_with_threshold(measure, query,
+                                           store.points_of(tid), cutoff)
+            if dist <= radius:
+                matches.append((dist, tid))
+        return matches
+    refiner = BatchRefiner(measure, query, store, tids)
+    if refiner.is_exact:
+        for tid, dist in zip(tids, refiner.bounds.tolist()):
+            if dist <= radius:
+                matches.append((dist, tid))
+        return matches
+    for i, tid in enumerate(tids):
+        if refiner.bounds[i] >= cutoff:
+            continue
+        dist = refiner.exact_or_bound(i, cutoff)
+        if dist <= radius:
+            matches.append((dist, tid))
+    return matches

@@ -12,6 +12,12 @@ container) holding:
 Loading rebuilds the dict-based :class:`~repro.core.rptrie.RPTrie`
 without recomputing pivot distances or ``Dmax`` — O(nodes) instead of
 O(N * L^2 * Np).
+
+The trajectory payload *is* the columnar
+:class:`~repro.core.store.TrajectoryStore` layout (one concatenated
+point array plus offsets), so saving serializes the store's arrays
+as-is and loading re-creates the store zero-copy — the batch
+refinement engine is warm immediately after a restart.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ import numpy as np
 from .core.grid import Grid
 from .core.node import TrieNode
 from .core.rptrie import RPTrie
+from .core.store import TrajectoryStore
 from .distances.base import get_measure
 from .types import Trajectory
 
@@ -77,13 +84,8 @@ def _flatten_trie(trie: RPTrie):
     return arrays
 
 
-def _flatten_trajectories(trajectories: list[Trajectory]):
-    ids = np.array([t.traj_id for t in trajectories], dtype=np.int64)
-    offsets = np.zeros(len(trajectories) + 1, dtype=np.int64)
-    for i, traj in enumerate(trajectories):
-        offsets[i + 1] = offsets[i] + len(traj)
-    points = (np.vstack([t.points for t in trajectories])
-              if trajectories else np.empty((0, 2)))
+def _flatten_trajectories(store: TrajectoryStore):
+    ids, offsets, points = store.columnar()
     return {"traj_ids": ids, "traj_offsets": offsets, "traj_points": points}
 
 
@@ -105,7 +107,7 @@ def save_index(trie: RPTrie, path: str | Path) -> None:
     }
     arrays = {"header": np.frombuffer(
         json.dumps(header).encode("utf-8"), dtype=np.uint8)}
-    arrays.update(_flatten_trajectories(trie.trajectories()))
+    arrays.update(_flatten_trajectories(trie.store))
     pivot_external = [p for p in trie.pivots
                       if p.traj_id not in trie._trajectories]
     arrays.update({f"pivot_points_{i}": p.points
@@ -130,8 +132,10 @@ def load_index(path: str | Path) -> RPTrie:
             params["gap"] = tuple(params["gap"])
         measure = get_measure(header["measure"], **params)
 
-        trajectories = _unflatten_trajectories(archive)
-        by_id = {t.traj_id: t for t in trajectories}
+        store = TrajectoryStore.from_columnar(
+            archive["traj_ids"], archive["traj_offsets"],
+            archive["traj_points"])
+        by_id = {t.traj_id: t for t in store.trajectories()}
         pivots = []
         external = {tid: archive[f"pivot_points_{i}"] for i, tid
                     in enumerate(header.get("external_pivot_ids", []))}
@@ -144,18 +148,11 @@ def load_index(path: str | Path) -> RPTrie:
         trie = RPTrie(grid, measure, optimized=header["optimized"],
                       num_pivots=len(pivots), pivots=pivots)
         trie._trajectories = by_id
+        trie.attach_store(store)
         trie.root = _unflatten_trie(archive, len(pivots))
         trie._node_count = trie.root.count_nodes() - 1
         trie._built = True
         return trie
-
-
-def _unflatten_trajectories(archive) -> list[Trajectory]:
-    ids = archive["traj_ids"]
-    offsets = archive["traj_offsets"]
-    points = archive["traj_points"]
-    return [Trajectory(points[offsets[i]:offsets[i + 1]], traj_id=int(ids[i]))
-            for i in range(len(ids))]
 
 
 def _unflatten_trie(archive, num_pivots: int) -> TrieNode:

@@ -20,13 +20,14 @@ Reported times:
 
 from __future__ import annotations
 
+import functools
 import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
-from .cluster.driver import merge_top_k
+from .cluster.driver import merge_stats, merge_top_k
 from .cluster.engine import ExecutionEngine
 from .cluster.rdd import ClusterContext
 from .cluster.scheduler import ClusterSpec, ScheduleReport, simulate_schedule
@@ -51,6 +52,79 @@ class RpTraj:
 
     trajectories: list[Trajectory]
     index: object  # any local index (RPTrieLocalIndex, DFTIndex, ...)
+
+
+class _BuildPartition:
+    """``mapPartitions`` function building one partition's local index.
+
+    Module-level (rather than a closure) so the ``"process"`` execution
+    backend can pickle the task when the index factory is picklable.
+    """
+
+    def __init__(self, index_factory: Callable[[], object]):
+        self.index_factory = index_factory
+
+    def __call__(self, trajectories: list[Trajectory]) -> list[RpTraj]:
+        index = self.index_factory()
+        index.build(trajectories)
+        return [RpTraj(trajectories=trajectories, index=index)]
+
+
+class _TopKPartition:
+    """``mapPartitions`` function running one top-k query (picklable)."""
+
+    def __init__(self, query: Trajectory, k: int, kwargs: dict):
+        self.query = query
+        self.k = k
+        self.kwargs = kwargs
+
+    def __call__(self, part: list[RpTraj]) -> list:
+        return [rp.index.top_k(self.query, self.k, **self.kwargs)
+                for rp in part]
+
+
+class _RangePartition:
+    """``mapPartitions`` function running one range query (picklable)."""
+
+    def __init__(self, query: Trajectory, radius: float, kwargs: dict):
+        self.query = query
+        self.radius = radius
+        self.kwargs = kwargs
+
+    def __call__(self, part: list[RpTraj]) -> list:
+        return [rp.index.range_query(self.query, self.radius, **self.kwargs)
+                for rp in part]
+
+
+def _make_rptrie_index(grid: Grid, measure: Measure, optimized: bool,
+                       num_pivots: int, succinct: bool,
+                       search_options: dict | None,
+                       pivot_box: list) -> "RPTrieLocalIndex":
+    """Per-partition index factory (module level for picklability).
+
+    ``pivot_box`` is a one-element list owned by the engine, read at
+    call time: pivots assigned to the engine after construction but
+    before :meth:`DistributedTopK.build` are still the ones every
+    partition indexes, matching the driver-computed ``dqp``.
+    """
+    pivots = pivot_box[0]
+    return RPTrieLocalIndex(grid, measure, optimized=optimized,
+                            num_pivots=num_pivots, pivots=pivots or None,
+                            succinct=succinct,
+                            search_options=search_options)
+
+
+class _LocalTopKTask:
+    """One (query, partition) task of a scheduled batch (picklable)."""
+
+    def __init__(self, rp: RpTraj, query: Trajectory, k: int, kwargs: dict):
+        self.rp = rp
+        self.query = query
+        self.k = k
+        self.kwargs = kwargs
+
+    def __call__(self):
+        return self.rp.index.top_k(self.query, self.k, **self.kwargs)
 
 
 @dataclass
@@ -132,10 +206,15 @@ class RPTrieLocalIndex:
         return local_search(self._trie, query, k, dqp=dqp,
                             **self.search_options)
 
-    def range_query(self, query: Trajectory, radius: float) -> TopKResult:
+    def range_query(self, query: Trajectory, radius: float,
+                    dqp: np.ndarray | None = None) -> TopKResult:
         if self._trie is None:
             raise IndexNotBuiltError("call build() before range_query()")
-        return local_range_search(self._trie, query, radius)
+        options = self.search_options
+        return local_range_search(
+            self._trie, query, radius, dqp=dqp,
+            use_pivots=options.get("use_pivots", True),
+            batch_refine=options.get("batch_refine", True))
 
     def memory_bytes(self) -> int:
         if self._trie is None:
@@ -201,13 +280,8 @@ class DistributedTopK:
         start = time.perf_counter()
         partitions = self.strategy(self.dataset, self.num_partitions)
         base = self.context.from_partitions(partitions)
-
-        def build_partition(trajectories: list[Trajectory]) -> list[RpTraj]:
-            index = self.index_factory()
-            index.build(trajectories)
-            return [RpTraj(trajectories=trajectories, index=index)]
-
-        packaged = base.map_partitions(build_partition).collect_partitions()
+        packaged = (base.map_partitions(_BuildPartition(self.index_factory))
+                    .collect_partitions())
         timings = self.context.last_timings
         wall = time.perf_counter() - start
         # Re-wrap the built partitions so queries reuse the indexes.
@@ -224,22 +298,35 @@ class DistributedTopK:
         )
         return self.build_report
 
+    def _query_kwargs_for(self, query: Trajectory,
+                          provided: dict | None = None) -> dict:
+        """Driver-side per-query kwargs shared with every partition.
+
+        Subclasses override this to compute query-global state exactly
+        once per query (e.g. :class:`Repose` supplies the query-to-pivot
+        distances ``dqp``); every query path — single, batch-scheduled
+        and range — threads the result through so no partition repeats
+        the work.  ``provided`` holds the caller's explicit kwargs so
+        an override can skip recomputing values the caller supplied.
+        """
+        return {}
+
     def top_k(self, query: Trajectory, k: int,
               **query_kwargs) -> QueryOutcome:
         """Distributed top-k: local search per partition, driver merge.
 
         Extra ``query_kwargs`` are forwarded to every local index's
-        ``top_k`` (used by :class:`Repose` to share driver-computed
-        query-pivot distances).
+        ``top_k`` (on top of :meth:`_query_kwargs_for`, which lets
+        :class:`Repose` share driver-computed query-pivot distances).
         """
         if self._rdd is None:
             raise IndexNotBuiltError("call build() before top_k()")
         start = time.perf_counter()
-
-        def query_partition(part: list[RpTraj]) -> list[TopKResult]:
-            return [rp.index.top_k(query, k, **query_kwargs) for rp in part]
-
-        partials = self._rdd.map_partitions(query_partition).collect()
+        query_kwargs = {**self._query_kwargs_for(query, query_kwargs),
+                        **query_kwargs}
+        partials = (self._rdd
+                    .map_partitions(_TopKPartition(query, k, query_kwargs))
+                    .collect())
         timings = self.context.last_timings
         result = merge_top_k(partials, k)
         wall = time.perf_counter() - start
@@ -274,9 +361,11 @@ class DistributedTopK:
 
         tasks = []
         for query in queries:
+            # One driver-side kwargs computation per query (not per
+            # task): partitions share e.g. the query-pivot distances.
+            kwargs = self._query_kwargs_for(query)
             for rp in parts:
-                tasks.append(
-                    lambda rp=rp, query=query: rp.index.top_k(query, k))
+                tasks.append(_LocalTopKTask(rp, query, k, kwargs))
         outputs, timings = self.context.engine.run(tasks)
         wall = time.perf_counter() - start
 
@@ -290,25 +379,30 @@ class DistributedTopK:
                             simulated_seconds=schedule.makespan,
                             schedule=schedule)
 
-    def range_query(self, query: Trajectory, radius: float) -> QueryOutcome:
+    def range_query(self, query: Trajectory, radius: float,
+                    **query_kwargs) -> QueryOutcome:
         """Distributed range search: every trajectory within ``radius``.
 
         Supported when the local index exposes ``range_query`` (the
-        RP-Trie adapter does; the baselines are top-k only).
+        RP-Trie adapter does; the baselines are top-k only).  Per-query
+        driver state (:meth:`_query_kwargs_for`) is shared with every
+        partition, as in :meth:`top_k`.
         """
         if self._rdd is None:
             raise IndexNotBuiltError("call build() before range_query()")
         start = time.perf_counter()
-
-        def query_partition(part: list[RpTraj]) -> list[TopKResult]:
-            return [rp.index.range_query(query, radius) for rp in part]
-
-        partials = self._rdd.map_partitions(query_partition).collect()
+        query_kwargs = {**self._query_kwargs_for(query, query_kwargs),
+                        **query_kwargs}
+        partials = (self._rdd
+                    .map_partitions(_RangePartition(query, radius,
+                                                    query_kwargs))
+                    .collect())
         timings = self.context.last_timings
         merged_items: list[tuple[float, int]] = []
         for partial in partials:
             merged_items.extend(partial.items)
-        result = TopKResult(items=sorted(merged_items))
+        result = TopKResult(items=sorted(merged_items),
+                            stats=merge_stats(p.stats for p in partials))
         wall = time.perf_counter() - start
         schedule = simulate_schedule(timings, self.cluster_spec)
         return QueryOutcome(result=result, wall_seconds=wall,
@@ -358,30 +452,42 @@ class Repose(DistributedTopK):
                  grid: Grid, **kwargs):
         self.measure = measure
         self.grid = grid
-        self.pivots: list[Trajectory] = kwargs.pop("pivots", [])
+        self._pivot_box: list = [kwargs.pop("pivots", [])]
         optimized = kwargs.pop("optimized", True)
         num_pivots = kwargs.pop("num_pivots", 5)
         succinct = kwargs.pop("succinct", False)
         search_options = kwargs.pop("search_options", None)
 
-        def factory() -> RPTrieLocalIndex:
-            return RPTrieLocalIndex(
-                grid, measure, optimized=optimized, num_pivots=num_pivots,
-                pivots=self.pivots or None, succinct=succinct,
-                search_options=search_options)
-
+        # functools.partial over a module-level function (not a
+        # closure) keeps the factory picklable for the process
+        # execution backend; the pivot box keeps the binding live.
+        factory = functools.partial(
+            _make_rptrie_index, grid, measure, optimized, num_pivots,
+            succinct, search_options, self._pivot_box)
         super().__init__(dataset, factory, **kwargs)
 
-    def top_k(self, query: Trajectory, k: int,
-              **query_kwargs) -> QueryOutcome:
+    @property
+    def pivots(self) -> list[Trajectory]:
+        """Global pivot trajectories shared with every partition."""
+        return self._pivot_box[0]
+
+    @pivots.setter
+    def pivots(self, value: list[Trajectory]) -> None:
+        self._pivot_box[0] = value
+
+    def _query_kwargs_for(self, query: Trajectory,
+                          provided: dict | None = None) -> dict:
         """Driver computes the query-pivot distances once (pivots are
         global) and shares them with every partition's local search
-        (paper, Section IV-D)."""
-        if ("dqp" not in query_kwargs and self.pivots
-                and self.measure.is_metric):
-            query_kwargs["dqp"] = np.array(
-                [self.measure.distance(query, p) for p in self.pivots])
-        return super().top_k(query, k, **query_kwargs)
+        (paper, Section IV-D).  Routing this through the base class hook
+        covers single queries, scheduled batches and range queries, so
+        no partition ever recomputes ``dqp``.  A caller-supplied ``dqp``
+        is respected without recomputation."""
+        if (self.pivots and self.measure.is_metric
+                and not (provided and "dqp" in provided)):
+            return {"dqp": np.array(
+                [self.measure.distance(query, p) for p in self.pivots])}
+        return {}
 
     @classmethod
     def build(cls, dataset: TrajectoryDataset,  # type: ignore[override]
@@ -446,14 +552,12 @@ def make_baseline(name: str, dataset: TrajectoryDataset,
     measure_obj = get_measure(measure) if isinstance(measure, str) else measure
     key = name.strip().lower()
     if key == "dft":
-        def factory() -> DFTIndex:
-            return DFTIndex(measure_obj, **index_kwargs)
+        factory = functools.partial(DFTIndex, measure_obj, **index_kwargs)
     elif key == "dita":
-        def factory() -> DITAIndex:
-            return DITAIndex(measure_obj, **index_kwargs)
+        factory = functools.partial(DITAIndex, measure_obj, **index_kwargs)
     elif key in ("ls", "linear"):
-        def factory() -> LinearScanIndex:
-            return LinearScanIndex(measure_obj, **index_kwargs)
+        factory = functools.partial(LinearScanIndex, measure_obj,
+                                    **index_kwargs)
         if strategy == "homogeneous":
             strategy = "random"
     else:

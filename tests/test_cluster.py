@@ -198,3 +198,65 @@ class TestMergeTopK:
         b = TopKResult(items=[])
         b.stats.nodes_visited = 4
         assert merge_top_k([a, b], k=1).stats.nodes_visited == 7
+
+
+def _square(value):
+    """Module-level so the process backend can pickle it."""
+    return value * value
+
+
+class _SquareTask:
+    """Picklable zero-argument task for the process backend."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def __call__(self):
+        return _square(self.value)
+
+
+class TestProcessBackend:
+    def test_backend_selection(self):
+        assert ExecutionEngine("process").backend == "process"
+        with pytest.raises(ValueError):
+            ExecutionEngine("fork-bomb")
+
+    def test_results_in_partition_order(self):
+        engine = ExecutionEngine("process", max_workers=2)
+        tasks = [_SquareTask(v) for v in range(6)]
+        results, timings = engine.run(tasks)
+        assert results == [0, 1, 4, 9, 16, 25]
+        assert [t.partition_id for t in timings] == list(range(6))
+        assert all(t.seconds >= 0 for t in timings)
+
+    def test_matches_serial_backend(self):
+        tasks = [_SquareTask(v) for v in range(5)]
+        serial, _ = ExecutionEngine("serial").run(tasks)
+        procs, _ = ExecutionEngine("process", max_workers=2).run(tasks)
+        assert procs == serial
+
+    def test_empty_task_list(self):
+        results, timings = ExecutionEngine("process").run([])
+        assert results == [] and timings == []
+
+    def test_distributed_engine_on_process_backend(self):
+        # Top-k through the mini-RDD with real subprocess workers; the
+        # LinearScanIndex partitions pickle cleanly.
+        from repro.repose import make_baseline
+        from repro.types import Trajectory, TrajectoryDataset
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        dataset = TrajectoryDataset(name="p", trajectories=[
+            Trajectory(rng.uniform(0, 1, (5, 2)), traj_id=i)
+            for i in range(30)])
+        serial = make_baseline("ls", dataset, "hausdorff", num_partitions=3,
+                               engine=ExecutionEngine("serial"))
+        procs = make_baseline("ls", dataset, "hausdorff", num_partitions=3,
+                              engine=ExecutionEngine("process",
+                                                     max_workers=2))
+        serial.build()
+        procs.build()
+        query = dataset.trajectories[0]
+        assert (procs.top_k(query, 5).result.items
+                == serial.top_k(query, 5).result.items)

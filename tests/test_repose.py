@@ -183,3 +183,48 @@ class TestDistributedGeneric:
             strategy=halves, num_partitions=2)
         engine.build()
         assert engine.build_report.partition_sizes == [30, 30]
+
+
+class TestDriverSidePivotDistances:
+    """The driver computes dqp once per query; no partition repeats it."""
+
+    @pytest.fixture
+    def engine(self, small_dataset):
+        return Repose.build(small_dataset, measure="hausdorff", delta=0.5,
+                            num_partitions=4, num_pivots=3)
+
+    def test_batch_scheduled_forwards_dqp(self, engine, small_dataset):
+        query = small_dataset.trajectories[5]
+        single = engine.top_k(query, 5)
+        batch = engine.top_k_batch_scheduled([query], 5)
+        assert batch.results[0].items == single.result.items
+        # Without forwarding, every partition would recompute the
+        # query-pivot distances (num_pivots per partition).
+        assert (batch.results[0].stats.distance_computations
+                == single.result.stats.distance_computations)
+
+    def test_range_query_forwards_dqp(self, engine, small_dataset):
+        query = small_dataset.trajectories[5]
+        radius = engine.top_k(query, 5).result.kth_distance()
+        outcome = engine.range_query(query, radius)
+        # Re-running the same range search partition-locally (no dqp)
+        # pays num_pivots extra distance computations per partition.
+        from repro.cluster.driver import merge_top_k
+        locals_ = [idx.range_query(query, radius)
+                   for idx in engine.local_indexes()]
+        recomputed = sum(r.stats.distance_computations for r in locals_)
+        pivot_overhead = 3 * engine.num_partitions
+        assert (outcome.result.stats.distance_computations
+                == recomputed - pivot_overhead)
+        merged = sorted(it for r in locals_ for it in r.items)
+        assert outcome.result.items == merged
+
+    def test_explicit_dqp_still_wins(self, engine, small_dataset):
+        query = small_dataset.trajectories[1]
+        dqp = np.array([engine.measure.distance(query, p)
+                        for p in engine.pivots])
+        explicit = engine.top_k(query, 5, dqp=dqp)
+        implicit = engine.top_k(query, 5)
+        assert explicit.result.items == implicit.result.items
+        assert (explicit.result.stats.distance_computations
+                == implicit.result.stats.distance_computations)

@@ -1,0 +1,122 @@
+"""Tests for the columnar trajectory store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rptrie import RPTrie
+from repro.core.store import TrajectoryStore
+from repro.core.succinct import SuccinctRPTrie
+from repro.types import Trajectory
+
+
+def _trajs(specs) -> list[Trajectory]:
+    return [Trajectory(points, traj_id=tid) for tid, points in specs]
+
+
+@pytest.fixture
+def store() -> TrajectoryStore:
+    return TrajectoryStore(_trajs([
+        (0, [(0.0, 0.0), (1.0, 1.0), (2.0, 0.5)]),
+        (7, [(5.0, 5.0)]),
+        (3, [(1.0, 2.0), (3.0, 4.0)]),
+    ]))
+
+
+class TestLayout:
+    def test_columnar_arrays(self, store):
+        tids, offsets, points = store.columnar()
+        assert tids.tolist() == [0, 7, 3]
+        assert offsets.tolist() == [0, 3, 4, 6]
+        assert points.shape == (6, 2)
+        assert store.total_points == 6
+
+    def test_points_of_bit_identical(self, store):
+        original = np.array([(1.0, 2.0), (3.0, 4.0)])
+        np.testing.assert_array_equal(store.points_of(3), original)
+
+    def test_lengths_and_membership(self, store):
+        assert store.lengths([7, 0]).tolist() == [1, 3]
+        assert 7 in store and 99 not in store
+        assert len(store) == 3
+        assert store.ids() == [0, 7, 3]
+
+    def test_gather_pads_with_inf(self, store):
+        padded, lengths = store.gather([7, 0])
+        assert padded.shape == (2, 3, 2)
+        assert lengths.tolist() == [1, 3]
+        np.testing.assert_array_equal(padded[0, 0], [5.0, 5.0])
+        assert np.isinf(padded[0, 1:]).all()
+        assert np.isfinite(padded[1]).all()
+
+    def test_gather_empty(self, store):
+        padded, lengths = store.gather([])
+        assert padded.shape == (0, 0, 2)
+        assert lengths.shape == (0,)
+
+    def test_memory_bytes_positive(self, store):
+        assert store.memory_bytes() >= 6 * 2 * 8
+
+
+class TestAppend:
+    def test_append_consolidates_lazily(self, store):
+        store.append(Trajectory([(9.0, 9.0), (8.0, 8.0)], traj_id=42))
+        assert len(store) == 4
+        tids, offsets, _ = store.columnar()
+        assert tids.tolist() == [0, 7, 3, 42]
+        assert offsets.tolist() == [0, 3, 4, 6, 8]
+        padded, lengths = store.gather([42])
+        np.testing.assert_array_equal(padded[0, :2],
+                                      [[9.0, 9.0], [8.0, 8.0]])
+
+    def test_duplicate_or_missing_id_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.append(Trajectory([(0.0, 0.0)], traj_id=7))
+        with pytest.raises(ValueError):
+            store.append(Trajectory([(0.0, 0.0)]))
+
+
+class TestDerivedColumns:
+    def test_erp_masses_match_per_pair(self, store):
+        gap = (1.0, -1.0)
+        masses = store.erp_masses([0, 3], gap)
+        for tid, mass in zip([0, 3], masses):
+            pts = store.points_of(tid)
+            expected = np.hypot(pts[:, 0] - gap[0], pts[:, 1] - gap[1]).sum()
+            assert mass == expected  # bit-identical, not approx
+
+    def test_mass_cache_invalidated_by_append(self, store):
+        gap = (0.0, 0.0)
+        before = store.erp_masses([7], gap)
+        store.append(Trajectory([(1.0, 1.0)], traj_id=50))
+        after = store.erp_masses([7, 50], gap)
+        assert after[0] == before[0]
+        assert after[1] == pytest.approx(np.sqrt(2.0))
+
+
+class TestRoundtrip:
+    def test_from_columnar_zero_copy(self, store):
+        tids, offsets, points = store.columnar()
+        clone = TrajectoryStore.from_columnar(tids, offsets, points)
+        assert clone.ids() == store.ids()
+        for tid in store.ids():
+            np.testing.assert_array_equal(clone.points_of(tid),
+                                          store.points_of(tid))
+
+
+class TestTrieIntegration:
+    def test_trie_builds_and_shares_store(self, small_grid,
+                                          small_trajectories):
+        trie = RPTrie(small_grid, "hausdorff").build(small_trajectories)
+        assert len(trie.store) == len(small_trajectories)
+        frozen = SuccinctRPTrie(trie)
+        assert frozen.store is trie.store
+
+    def test_insert_keeps_store_in_sync(self, small_grid,
+                                        small_trajectories):
+        trie = RPTrie(small_grid, "hausdorff").build(small_trajectories)
+        new = Trajectory([(1.0, 1.0), (2.0, 2.0)], traj_id=777)
+        trie.insert(new)
+        assert 777 in trie.store
+        np.testing.assert_array_equal(trie.store.points_of(777), new.points)
