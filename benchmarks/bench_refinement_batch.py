@@ -1,19 +1,25 @@
 """BENCH_refinement — old vs new leaf refinement throughput.
 
 Measures the batch refinement engine (this repo's vectorized candidate
-screening, :mod:`repro.distances.batch`) against the seed
-per-trajectory early-abandoning loop, in two settings:
+screening plus batched banded/exact DPs, :mod:`repro.distances.batch`)
+against the seed per-trajectory early-abandoning loop, in three
+settings:
 
 * **engine throughput** (candidates/second): refine one candidate batch
   against a warm k-th-best threshold, the state a leaf sees mid-search
   once earlier leaves have tightened ``dk``;
+* **exact-refinement throughput**: the same batches with ``k`` equal to
+  the candidate count, so no threshold ever prunes and every candidate
+  pays its exact distance — this isolates the batched exact DP kernels
+  (banded/batched DTW and Frechet sweeps) from the lower-bound screen;
 * **end-to-end query time**: ``local_search`` over a full RP-Trie with
   ``batch_refine`` on vs off.
 
-Both paths are exact and bit-identical (asserted here and property
-tested in ``tests/test_batch_refinement.py``), so this benchmark is a
-pure like-for-like performance comparison.  Results are printed as a
-table and persisted to ``benchmarks/results/BENCH_refinement.json`` so
+All paths are exact and bit-identical (asserted here and property
+tested in ``tests/test_batch_refinement.py`` and
+``tests/test_banded_dp.py``), so this benchmark is a pure
+like-for-like performance comparison.  Results are printed as a table
+and persisted to ``benchmarks/results/BENCH_refinement.json`` so
 future PRs have a perf trajectory to compare against.
 """
 
@@ -86,6 +92,30 @@ def _refinement_cell(measure_name: str, workload) -> dict:
     new_seconds = _timed(run_batched)
     old_seconds = _timed(run_sequential)
 
+    # Exact stage: k = candidate count, so the threshold never prunes
+    # and every candidate pays its full exact distance — the batched
+    # (banded) DP kernels against the per-pair DPs, nothing else.
+    count = len(tids)
+
+    def run_exact_batched():
+        heap = ResultHeap(count)
+        for batch in batches:
+            refine_top_k(measure, query.points, batch, store, heap)
+        return heap
+
+    def run_exact_sequential():
+        heap = ResultHeap(count)
+        for tid in tids:
+            dist = distance_with_threshold(measure, query.points,
+                                           store.points_of(tid), heap.dk)
+            heap.offer(dist, tid)
+        return heap
+
+    assert (run_exact_batched().sorted_items()
+            == run_exact_sequential().sorted_items())
+    exact_new_seconds = _timed(run_exact_batched)
+    exact_old_seconds = _timed(run_exact_sequential)
+
     # End-to-end: the same trie queried with both refinement paths.
     grid = Grid.fit(workload.dataset.bounding_box(), workload.delta)
     trie = RPTrie(grid, measure).build(trajectories)
@@ -93,12 +123,14 @@ def _refinement_cell(measure_name: str, workload) -> dict:
     qt_old = _timed(lambda: local_search(trie, query, CFG.k,
                                          batch_refine=False))
 
-    count = len(tids)
     return {
         "candidates": count,
         "old_candidates_per_sec": count / old_seconds,
         "new_candidates_per_sec": count / new_seconds,
         "refine_speedup": old_seconds / new_seconds,
+        "exact_old_candidates_per_sec": count / exact_old_seconds,
+        "exact_new_candidates_per_sec": count / exact_new_seconds,
+        "exact_speedup": exact_old_seconds / exact_new_seconds,
         "qt_old_seconds": qt_old,
         "qt_new_seconds": qt_new,
         "qt_speedup": qt_old / qt_new,
@@ -118,12 +150,16 @@ def test_report_refinement():
                      f"{cell['old_candidates_per_sec']:.0f}",
                      f"{cell['new_candidates_per_sec']:.0f}",
                      f"{cell['refine_speedup']:.2f}x",
+                     f"{cell['exact_old_candidates_per_sec']:.0f}",
+                     f"{cell['exact_new_candidates_per_sec']:.0f}",
+                     f"{cell['exact_speedup']:.2f}x",
                      f"{cell['qt_speedup']:.2f}x"])
     table = format_table(
         "Batch refinement engine vs per-trajectory loop "
         f"(k={CFG.k}, batch={BATCH_SIZE})",
         ["Measure", "Candidates", "Old cand/s", "New cand/s",
-         "Refine speedup", "QT speedup"], rows)
+         "Refine speedup", "Exact old c/s", "Exact new c/s",
+         "Exact speedup", "QT speedup"], rows)
     write_report("refinement_batch", table)
 
     payload = {
@@ -143,6 +179,14 @@ def test_report_refinement():
     for name in ("hausdorff", "dtw"):
         assert results[name]["refine_speedup"] >= min_speedup, (
             name, results[name]["refine_speedup"], min_speedup)
+    # The batched exact DP kernels must beat the per-pair DPs when
+    # nothing prunes (the pure exact-refinement stage) for the two
+    # DP-dominated measures this PR targets.
+    min_exact = float(os.environ.get("REPRO_BENCH_MIN_EXACT_SPEEDUP",
+                                     "1.5"))
+    for name in ("dtw", "frechet"):
+        assert results[name]["exact_speedup"] >= min_exact, (
+            name, results[name]["exact_speedup"], min_exact)
 
 
 if __name__ == "__main__":

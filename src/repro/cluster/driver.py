@@ -1,9 +1,20 @@
-"""Driver-side merging of per-partition top-k results.
+"""Driver-side merging of per-partition search results.
 
-After ``mapPartitions`` computes local top-k lists, the master collects
-them and keeps the k globally smallest distances (paper, Section V-C:
-"the master collects the results from each partition by collect and
-determines the global top-k result").
+After ``mapPartitions`` computes local results, the master collects
+them and reduces them into one global answer (paper, Section V-C: "the
+master collects the results from each partition by collect and
+determines the global top-k result").  Three reductions live here:
+
+* :func:`merge_top_k` — keep the k globally smallest distances across
+  every partition's local top-k list;
+* :func:`merge_range` — concatenate and sort per-partition range-query
+  matches (every partition already returned its full in-radius set);
+* :func:`merge_stats` — sum per-partition search statistics so pruning
+  effectiveness can be reported cluster-wide.
+
+All three are pure functions of the collected partials, so the driver
+stays correct under any execution backend and any task completion
+order.
 """
 
 from __future__ import annotations
@@ -13,7 +24,7 @@ from typing import Iterable
 
 from ..core.search import SearchStats, TopKResult
 
-__all__ = ["merge_stats", "merge_top_k"]
+__all__ = ["merge_stats", "merge_top_k", "merge_range"]
 
 
 def merge_stats(partials: Iterable[SearchStats]) -> SearchStats:
@@ -39,4 +50,20 @@ def merge_top_k(partials: Iterable[TopKResult], k: int) -> TopKResult:
         all_items.extend(partial.items)
     top = heapq.nsmallest(k, all_items)
     return TopKResult(items=sorted(top),
+                      stats=merge_stats(p.stats for p in partials))
+
+
+def merge_range(partials: Iterable[TopKResult]) -> TopKResult:
+    """Merge per-partition range-query results into a global one.
+
+    Every partition already returned *all* of its trajectories within
+    the radius, so the global answer is the sorted concatenation —
+    there is no k to cut at.  Stats are summed as in
+    :func:`merge_top_k`.
+    """
+    partials = list(partials)
+    items: list[tuple[float, int]] = []
+    for partial in partials:
+        items.extend(partial.items)
+    return TopKResult(items=sorted(items),
                       stats=merge_stats(p.stats for p in partials))

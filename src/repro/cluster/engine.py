@@ -1,4 +1,4 @@
-"""Execution backends for per-partition tasks.
+"""Execution backends for per-partition tasks, with adaptive selection.
 
 Each backend runs one callable per partition and records the task's CPU
 duration.  Durations feed the simulated cluster scheduler
@@ -11,25 +11,37 @@ Backends:
 * ``"serial"`` — run tasks one by one (deterministic, default);
 * ``"thread"`` — a thread pool (numpy releases the GIL in kernels, so
   this gives real parallelism for distance-heavy workloads);
-* ``"process"`` — a process pool, for DP-heavy measures (DTW/ERP/EDR
-  row scans) whose Python-level loops keep the GIL held.  Tasks and
-  their results must be picklable: the mini-RDD's task chain and the
-  REPOSE partition functions are module-level callables for exactly
-  this reason, so the whole distributed engine runs on real subprocess
-  workers when user-supplied functions are picklable too.
+* ``"process"`` — a process pool, for DP-heavy measures (EDR/LCSS row
+  scans) whose Python-level loops keep the GIL held.  Tasks and their
+  results must be picklable: the mini-RDD's task chain and the REPOSE
+  partition functions are module-level callables for exactly this
+  reason, so the whole distributed engine runs on real subprocess
+  workers when user-supplied functions are picklable too;
+* ``"auto"`` — pick one of the above per :meth:`ExecutionEngine.run`
+  call from a small cost model over :class:`WorkloadHints` (measure
+  class x partition size x batch width; see :func:`choose_backend`).
+
+Thread and process pools are created once per engine and reused across
+``run`` calls, so worker startup (and, for processes, interpreter
+spawn) is amortized over a whole scheduled query batch instead of paid
+per query.  Backend choice never changes results — every backend runs
+the same tasks and returns them in partition order — so ``"auto"`` is
+purely a placement decision.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-__all__ = ["TaskTiming", "ExecutionEngine"]
+__all__ = ["TaskTiming", "WorkloadHints", "choose_backend",
+           "ExecutionEngine"]
 
-_BACKENDS = ("serial", "thread", "process")
+_BACKENDS = ("serial", "thread", "process", "auto")
 
 
 @dataclass(frozen=True)
@@ -38,6 +50,112 @@ class TaskTiming:
 
     partition_id: int
     seconds: float
+
+
+@dataclass(frozen=True)
+class WorkloadHints:
+    """What the driver knows about a batch of per-partition tasks.
+
+    The ``"auto"`` backend feeds these into :func:`choose_backend`;
+    every field is optional, and with no hints at all the engine stays
+    serial (the deterministic default).
+
+    Attributes
+    ----------
+    measure:
+        Distance measure name, keying the per-point cost and
+        GIL-residency tables below.
+    partition_points:
+        Average number of trajectory points per partition — the size of
+        the work one task touches.
+    num_tasks:
+        Tasks in this ``run`` call (queries x partitions for scheduled
+        batches).
+    batch_width:
+        Queries amortized over the same dispatch; pool startup is paid
+        once for the whole batch.
+    """
+
+    measure: str | None = None
+    partition_points: int = 0
+    num_tasks: int = 0
+    batch_width: int = 1
+
+
+#: Rough leaf-refinement cost per trajectory point of one local query,
+#: in microseconds, by measure (dev-box ballpark with the batch
+#: refinement engine).  Only the ratios to the overhead constants below
+#: matter, not the absolute values.
+_MEASURE_COST_US = {
+    "hausdorff": 0.05,
+    "frechet": 0.35,
+    "dtw": 0.30,
+    "erp": 0.60,
+    "edr": 1.20,
+    "lcss": 1.20,
+}
+_DEFAULT_COST_US = 0.50
+
+#: Fraction of a task's work spent holding the GIL.  The tensor-based
+#: measures run in numpy kernels that release it (threads parallelize
+#: well); EDR/LCSS still run Python-level row loops per survivor, so
+#: only processes parallelize them.
+_GIL_FRACTION = {
+    "hausdorff": 0.10,
+    "frechet": 0.25,
+    "dtw": 0.25,
+    "erp": 0.40,
+    "edr": 0.90,
+    "lcss": 0.90,
+}
+_DEFAULT_GIL_FRACTION = 0.50
+
+#: Below this much estimated total work (us) any pool dispatch costs
+#: more than it saves; above it, threads are the cheap default.
+_SERIAL_CUTOFF_US = 2_000.0
+
+#: GIL share above which threads stop scaling and processes become
+#: worth their pickling cost.
+_GIL_THRESHOLD = 0.5
+
+#: One-off cost of spinning up a process pool (interpreter spawn plus
+#: task/index pickling).  Amortized: once the engine's pool exists, the
+#: model only charges the per-run pickling share.
+_PROCESS_SPAWN_US = 250_000.0
+_PROCESS_WARM_US = 25_000.0
+
+
+def choose_backend(hints: WorkloadHints | None,
+                   process_pool_warm: bool = False) -> str:
+    """Resolve ``"auto"`` to a concrete backend for one task batch.
+
+    The model estimates total work as
+    ``measure cost x partition points x batch width x tasks`` and
+    compares the GIL-held share against pool overheads:
+
+    * tiny batches (or a single task) stay serial;
+    * GIL-releasing workloads go to the thread pool;
+    * GIL-bound workloads go to the process pool once their parallel
+      benefit covers worker startup — startup that drops to the warm
+      rate when the engine's pool already exists.
+
+    Pure function of its inputs (no measurement at choice time), so
+    selections are reproducible and unit-testable.
+    """
+    if hints is None or hints.num_tasks <= 1:
+        return "serial"
+    cost = _MEASURE_COST_US.get(hints.measure, _DEFAULT_COST_US)
+    per_task = cost * max(hints.partition_points, 1) * max(
+        hints.batch_width, 1)
+    total = per_task * hints.num_tasks
+    if total < _SERIAL_CUTOFF_US:
+        return "serial"
+    gil = _GIL_FRACTION.get(hints.measure, _DEFAULT_GIL_FRACTION)
+    if gil > _GIL_THRESHOLD:
+        spawn = _PROCESS_WARM_US if process_pool_warm else _PROCESS_SPAWN_US
+        if total * gil > spawn:
+            return "process"
+    return "thread"
 
 
 def _timed_task(pid: int, task: Callable[[], object]) -> tuple[object, TaskTiming]:
@@ -55,11 +173,17 @@ class ExecutionEngine:
     Parameters
     ----------
     backend:
-        ``"serial"``, ``"thread"`` or ``"process"``.
+        ``"serial"``, ``"thread"``, ``"process"`` or ``"auto"``.  With
+        ``"auto"`` every :meth:`run` call resolves a concrete backend
+        from its :class:`WorkloadHints` via :func:`choose_backend`; the
+        resolution is recorded on :attr:`last_backend` (``"thread"`` or
+        ``"mixed"`` when unpicklable tasks made an auto-selected
+        process run retry on threads).
     max_workers:
-        Pool size for the thread/process backends (defaults to the
-        partition count capped at 32, and additionally at the CPU count
-        for processes).
+        Pool size for the thread/process backends (defaults to the CPU
+        count capped at 32).  Pools are created lazily and kept for the
+        engine's lifetime — call :meth:`close` (or use the engine as a
+        context manager) to release them.
     """
 
     def __init__(self, backend: str = "serial", max_workers: int | None = None):
@@ -68,20 +192,72 @@ class ExecutionEngine:
                 f"unknown backend {backend!r} (use one of {_BACKENDS})")
         self.backend = backend
         self.max_workers = max_workers
+        self.last_backend: str | None = None
+        self._thread_pool: ThreadPoolExecutor | None = None
+        self._process_pool: ProcessPoolExecutor | None = None
 
-    def run(self, tasks: Sequence[Callable[[], object]]
+    def run(self, tasks: Sequence[Callable[[], object]],
+            hints: WorkloadHints | None = None,
             ) -> tuple[list[object], list[TaskTiming]]:
         """Execute ``tasks`` (one per partition).
 
-        Returns
-        -------
-        (results, timings) in partition order.
+        ``hints`` only matter for the ``"auto"`` backend; explicit
+        backends ignore them.  Returns ``(results, timings)`` in
+        partition order regardless of backend.
         """
-        if self.backend == "serial":
+        backend = self.backend
+        if backend == "auto":
+            backend = choose_backend(hints, self._process_pool is not None)
+        if not tasks:
+            backend = "serial"
+        self.last_backend = backend
+        if backend == "serial":
             return self._run_serial(tasks)
-        if self.backend == "thread":
-            return self._run_threads(tasks)
-        return self._run_processes(tasks)
+        if backend == "process":
+            if self.backend == "auto":
+                return self._run_processes_with_fallback(tasks)
+            return self._run_processes(tasks)
+        return self._run_threads(tasks)
+
+    # -- pool management ----------------------------------------------------
+
+    def _workers(self) -> int:
+        return self.max_workers or min(32, os.cpu_count() or 4)
+
+    def _threads(self) -> ThreadPoolExecutor:
+        if self._thread_pool is None:
+            self._thread_pool = ThreadPoolExecutor(
+                max_workers=self._workers())
+        return self._thread_pool
+
+    def _processes(self) -> ProcessPoolExecutor:
+        if self._process_pool is None:
+            self._process_pool = ProcessPoolExecutor(
+                max_workers=self._workers())
+        return self._process_pool
+
+    def close(self) -> None:
+        """Shut down any pools this engine started."""
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=True)
+            self._thread_pool = None
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=True)
+            self._process_pool = None
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown guard
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- backends -----------------------------------------------------------
 
     @staticmethod
     def _timed(pid: int, task: Callable[[], object]) -> tuple[object, TaskTiming]:
@@ -97,24 +273,52 @@ class ExecutionEngine:
         return results, timings
 
     def _run_threads(self, tasks):
-        workers = self.max_workers or min(32, max(1, len(tasks)))
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(self._timed, pid, task)
-                       for pid, task in enumerate(tasks)]
-            pairs = [future.result() for future in futures]
+        pool = self._threads()
+        futures = [pool.submit(self._timed, pid, task)
+                   for pid, task in enumerate(tasks)]
+        pairs = [future.result() for future in futures]
         results = [result for result, _ in pairs]
         timings = [timing for _, timing in pairs]
         return results, timings
 
     def _run_processes(self, tasks):
-        if not tasks:
-            return [], []
-        workers = self.max_workers or min(
-            32, max(1, len(tasks)), os.cpu_count() or 1)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_timed_task, pid, task)
-                       for pid, task in enumerate(tasks)]
-            pairs = [future.result() for future in futures]
+        pool = self._processes()
+        futures = [pool.submit(_timed_task, pid, task)
+                   for pid, task in enumerate(tasks)]
+        pairs = [future.result() for future in futures]
+        results = [result for result, _ in pairs]
+        timings = [timing for _, timing in pairs]
+        return results, timings
+
+    def _run_processes_with_fallback(self, tasks):
+        """Process-pool run that retries unpicklable tasks on threads.
+
+        Only used when the backend was *auto-selected*: the cost model
+        cannot know whether user-supplied callables pickle, and a task
+        that fails to pickle never reached a worker, so rerunning just
+        those tasks on the thread pool duplicates no work and no side
+        effects.  PicklingError covers module-level failures,
+        AttributeError "can't pickle local object" (closures/lambdas);
+        a task that genuinely raises either while *executing* re-raises
+        from the thread run just the same.
+        """
+        pool = self._processes()
+        futures = [pool.submit(_timed_task, pid, task)
+                   for pid, task in enumerate(tasks)]
+        pairs: list = [None] * len(tasks)
+        retry: list[int] = []
+        for pid, future in enumerate(futures):
+            try:
+                pairs[pid] = future.result()
+            except (pickle.PicklingError, AttributeError):
+                retry.append(pid)
+        if retry:
+            self.last_backend = "thread" if len(retry) == len(tasks) else "mixed"
+            thread_pool = self._threads()
+            retried = [thread_pool.submit(self._timed, pid, tasks[pid])
+                       for pid in retry]
+            for pid, future in zip(retry, retried):
+                pairs[pid] = future.result()
         results = [result for result, _ in pairs]
         timings = [timing for _, timing in pairs]
         return results, timings

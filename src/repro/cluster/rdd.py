@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Sequence
 
-from .engine import ExecutionEngine, TaskTiming
+from .engine import ExecutionEngine, TaskTiming, WorkloadHints
 from .partitioner import Partitioner
 
 __all__ = ["ClusterContext", "RDD"]
@@ -80,6 +80,12 @@ class ClusterContext:
     def __init__(self, engine: ExecutionEngine | None = None):
         self.engine = engine if engine is not None else ExecutionEngine()
         self.last_timings: list[TaskTiming] = []
+        #: Workload hints forwarded to the engine on every action, so
+        #: an ``"auto"`` engine can pick a backend per dispatch.  The
+        #: driver (:class:`repro.repose.DistributedTopK`) refreshes
+        #: this before each build/query; plain RDD users may leave it
+        #: None (the engine then stays on its deterministic default).
+        self.hints: WorkloadHints | None = None
 
     def parallelize(self, data: Iterable, num_partitions: int = 4,
                     partitioner: Partitioner | None = None) -> "RDD":
@@ -172,7 +178,8 @@ class RDD:
         source = rdd._source
 
         tasks = [_PartitionTask(part, chain) for part in source]
-        results, timings = self.context.engine.run(tasks)
+        results, timings = self.context.engine.run(
+            tasks, hints=self.context.hints)
         self.context.last_timings = timings
         return results
 

@@ -10,11 +10,13 @@ Leaf refinement — the dominant query cost — runs through the vectorized
 batch engine by default: a leaf's candidates are gathered from the
 trie's columnar :class:`~repro.core.store.TrajectoryStore` into one
 padded tensor, batch lower bounds are computed in a single broadcast
-(:mod:`repro.distances.batch`), and the exact DP runs only for
-candidates whose bound beats the current ``dk``.  Results are
-bit-identical to the per-trajectory early-abandoning loop, which is
-still available via ``batch_refine=False`` (used by the exactness
-property tests and the old-vs-new refinement benchmark).
+(:mod:`repro.distances.batch`), Sakoe-Chiba-banded DPs cap the
+DTW/Frechet threshold from above, and the surviving candidates' exact
+distances come from staged *batched* DPs that replicate the
+sequential per-pair DP's float operations.  Results are bit-identical
+to the per-trajectory early-abandoning loop, which is still available
+via ``batch_refine=False`` (used by the exactness property tests and
+the old-vs-new refinement benchmark).
 
 Search statistics (nodes visited/pruned, refinements) are collected so
 experiments can report pruning effectiveness.

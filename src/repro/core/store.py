@@ -18,8 +18,9 @@ Design notes:
 * Incremental inserts are buffered in a pending list and consolidated
   lazily, keeping ``append`` O(1) amortized instead of re-concatenating
   the column on every insert.
-* Per-measure derived columns (currently the ERP gap-mass of every
-  trajectory) are cached on the store, so they are computed once per
+* Per-measure derived columns (the ERP gap-mass of every trajectory,
+  and the running per-point cumulative masses behind the per-prefix ERP
+  bound) are cached on the store, so they are computed once per
   partition instead of once per (query, candidate) pair.
 * The columnar arrays are exactly what :mod:`repro.persistence` writes,
   so a loaded index re-creates its store zero-copy.
@@ -54,6 +55,7 @@ class TrajectoryStore:
         self._row_by_tid: dict[int, int] = {}
         self._pending: list[Trajectory] = []
         self._mass_cache: dict[tuple[float, float], np.ndarray] = {}
+        self._cum_mass_cache: dict[tuple[float, float], np.ndarray] = {}
         self._lock = threading.Lock()
         for traj in trajectories:
             self.append(traj)
@@ -112,6 +114,7 @@ class TrajectoryStore:
                  np.array([t.traj_id for t in self._pending],
                           dtype=np.int64)])
             self._mass_cache.clear()
+            self._cum_mass_cache.clear()
             self._pending.clear()
 
     def __getstate__(self) -> dict:
@@ -134,14 +137,17 @@ class TrajectoryStore:
 
     @property
     def num_trajectories(self) -> int:
+        """Number of trajectories held (including pending inserts)."""
         return len(self._by_id)
 
     @property
     def total_points(self) -> int:
+        """Total point count across all trajectories."""
         self._consolidate()
         return int(self._offsets[-1])
 
     def get(self, tid: int) -> Trajectory:
+        """The :class:`~repro.types.Trajectory` with id ``tid``."""
         return self._by_id[tid]
 
     def trajectories(self) -> list[Trajectory]:
@@ -149,6 +155,7 @@ class TrajectoryStore:
         return list(self._by_id.values())
 
     def ids(self) -> list[int]:
+        """All trajectory ids, in insertion order."""
         return list(self._by_id)
 
     def points_of(self, tid: int) -> np.ndarray:
@@ -168,17 +175,30 @@ class TrajectoryStore:
         return np.array([len(self._by_id[tid]) for tid in tids],
                         dtype=np.int64)
 
-    def gather(self, tids: Iterable[int]) -> tuple[np.ndarray, np.ndarray]:
+    def gather(self, tids: Iterable[int],
+               max_len: int | None = None) -> tuple[np.ndarray, np.ndarray]:
         """Pack the candidates into one padded tensor.
+
+        Parameters
+        ----------
+        tids:
+            Trajectory ids to gather, in the order the rows of the
+            returned tensor should follow.
+        max_len:
+            When given, each trajectory is clipped to its first
+            ``max_len`` points (used by the per-prefix ERP bound, which
+            only needs a small corner of each candidate).
 
         Returns
         -------
         (padded, lengths):
             ``padded`` has shape ``(c, Lmax, 2)`` with rows padded with
-            ``+inf`` past each trajectory's length — distances to the
-            padding come out ``+inf``, so min-reductions in the batch
-            kernels skip it without a masking pass.  ``lengths`` has
-            shape ``(c,)``.  Both are empty when ``tids`` is.
+            ``+inf`` past each trajectory's (possibly clipped) length —
+            distances to the padding come out ``+inf``, so
+            min-reductions in the batch kernels skip it without a
+            masking pass.  ``lengths`` has shape ``(c,)`` and holds the
+            gathered (clipped) lengths.  Both are empty when ``tids``
+            is.
         """
         self._consolidate()
         tids = list(tids)
@@ -189,6 +209,8 @@ class TrajectoryStore:
                         dtype=np.int64)
         starts = self._offsets[rows]
         lengths = self._offsets[rows + 1] - starts
+        if max_len is not None:
+            lengths = np.minimum(lengths, int(max_len))
         width = int(lengths.max())
         cols = np.arange(width, dtype=np.int64)
         valid = cols[np.newaxis, :] < lengths[:, np.newaxis]
@@ -218,6 +240,54 @@ class TrajectoryStore:
             self._mass_cache[key] = masses
         rows = [self._row_by_tid[tid] for tid in tids]
         return masses[rows]
+
+    def _cumulative_masses(self, key: tuple[float, float]) -> np.ndarray:
+        """Running per-point gap-mass sums over the whole column.
+
+        ``cum[i]`` is the mass of the first ``i`` points of the flat
+        column, so any trajectory-prefix mass is one subtraction:
+        ``cum[offset + k] - cum[offset]``.  Cached per gap point.
+        """
+        cum = self._cum_mass_cache.get(key)
+        if cum is None:
+            flat = np.hypot(self._points[:, 0] - key[0],
+                            self._points[:, 1] - key[1])
+            cum = np.concatenate(([0.0], np.cumsum(flat)))
+            self._cum_mass_cache[key] = cum
+        return cum
+
+    def erp_prefix_masses(self, tids: Iterable[int],
+                          gap: tuple[float, float],
+                          depth: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-candidate prefix gap masses for the tighter ERP bound.
+
+        Returns
+        -------
+        (prefixes, totals):
+            ``prefixes`` has shape ``(c, depth + 1)``; column ``j``
+            holds the gap-cost mass of the first ``min(j, len)`` points
+            of each candidate, so trajectories shorter than ``depth``
+            plateau at their total mass.  ``totals`` has shape ``(c,)``
+            and holds each candidate's full mass computed from the same
+            running sums, keeping prefix/suffix arithmetic internally
+            consistent.
+        """
+        self._consolidate()
+        key = (float(gap[0]), float(gap[1]))
+        cum = self._cumulative_masses(key)
+        rows = np.array([self._row_by_tid[tid] for tid in tids],
+                        dtype=np.int64)
+        if rows.size == 0:
+            return (np.empty((0, depth + 1), dtype=np.float64),
+                    np.empty(0, dtype=np.float64))
+        offs = self._offsets[rows]
+        lens = self._offsets[rows + 1] - offs
+        base = cum[offs]
+        jj = np.minimum(np.arange(depth + 1, dtype=np.int64),
+                        lens[:, np.newaxis])
+        prefixes = cum[offs[:, np.newaxis] + jj] - base[:, np.newaxis]
+        totals = cum[offs + lens] - base
+        return prefixes, totals
 
     def memory_bytes(self) -> int:
         """Footprint of the columnar arrays (excludes the originals)."""

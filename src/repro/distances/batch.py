@@ -3,11 +3,13 @@
 Leaf refinement dominates REPOSE's query cost: every candidate that
 survives the RP-Trie bounds needs an exact-distance check, and the
 per-trajectory loop pays a Python/numpy call overhead per candidate.
-This module screens a whole candidate batch at once: a single
-broadcasted query-to-all-candidate-points distance tensor of shape
-``(c, m, Lmax)`` is built (in bounded-memory chunks), from which each
-measure's cheap refinement lower bound falls out as array reductions —
-the batch analogue of the per-pair prefilters in
+This module refines a whole candidate batch at once, in three stages.
+
+**Stage 1 — batched screen.**  A single broadcasted
+query-to-all-candidate-points distance tensor of shape ``(c, m, Lmax)``
+is built (in bounded-memory chunks), from which each measure's cheap
+refinement lower bound falls out as array reductions — the batch
+analogue of the per-pair prefilters in
 :mod:`repro.distances.threshold`:
 
 * Hausdorff — row-min/col-min reductions give the *exact* distance, so
@@ -15,21 +17,35 @@ the batch analogue of the per-pair prefilters in
 * Frechet — the Hausdorff value lower-bounds the Frechet DP;
 * DTW — sums of row minima and of column minima;
 * ERP — the gap-mass difference, served from the columnar store's
-  per-trajectory mass cache (query independent);
+  per-trajectory mass cache, tightened by a per-prefix corner DP
+  (:func:`repro.distances.erp.erp_prefix_bound`, vectorized here);
 * EDR — the length difference;
 * LCSS — no cheap bound (zeros).
 
-Candidates are then refined in ascending-bound order against a probe
-copy of the result heap, so the k-th-best threshold tightens as early
-as possible and the expensive DPs run only for candidates whose bound
-beats it.  A final replay pass offers the refined values in the
-original candidate order, which makes the outcome **bit-identical** to
-the per-trajectory early-abandoning loop, including how equal distances
-at the k-th boundary tie-break: every value that can enter the heap is
-produced by the same :func:`distance_with_threshold` call (same
-operands, same threshold) the sequential loop would have made, and the
-batch bounds are computed with reduction orders that reproduce the
-per-pair prefilter values bit-for-bit.
+**Stage 2 — banded upper bounds (DTW/Frechet).**  While each chunk's
+distance tensor is hot, a Sakoe-Chiba-banded DP sweeps all surviving
+candidates at once (:func:`batch_dtw_banded`,
+:func:`batch_frechet_banded`).  Restricting warping paths to the band
+can only over-estimate, so the banded values are upper bounds; the
+k-th smallest of them caps the k-th-best distance the search can end
+with, which prunes exact-DP work before any DP runs.  When the band
+covers the whole matrix the banded sweep *is* the exact DP and its
+results are consumed directly.
+
+**Stage 3 — staged exact DPs.**  Candidates are probed in
+ascending-bound order against a probe heap, and the exact values for
+each stage come from one batched DP over the retained tensor
+(:func:`batch_dtw_distances`, :func:`batch_frechet_distances`) — a
+row sweep (DTW) or anti-diagonal sweep (Frechet) that performs, for
+every candidate simultaneously, the same floating-point operations the
+sequential per-pair DP performs, and is therefore bit-identical to it.
+A final replay pass offers the refined values in the original candidate
+order, which makes the outcome **bit-identical** to the per-trajectory
+early-abandoning loop, including how equal distances at the k-th
+boundary tie-break: every value that can enter the heap is either the
+sequential DP's value bit-for-bit or produced by the same
+:func:`distance_with_threshold` call (same operands, same threshold)
+the sequential loop would have made.
 """
 
 from __future__ import annotations
@@ -38,6 +54,7 @@ import numpy as np
 
 from .base import Measure
 from .dtw import dtw_distance
+from .erp import DEFAULT_PREFIX_DEPTH
 from .frechet import frechet_distance
 from .threshold import distance_with_threshold
 
@@ -45,6 +62,10 @@ __all__ = [
     "batch_point_distance_tensor",
     "batch_lower_bounds",
     "candidate_lower_bounds",
+    "batch_dtw_distances",
+    "batch_dtw_banded",
+    "batch_frechet_distances",
+    "batch_frechet_banded",
     "BatchRefiner",
     "refine_top_k",
     "refine_range",
@@ -75,11 +96,215 @@ def batch_point_distance_tensor(query: np.ndarray,
     return np.sqrt(dx, out=dx)
 
 
+# -- batched exact DP kernels -------------------------------------------------
+
+def batch_dtw_distances(dm: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Exact DTW for a whole candidate stack in one row sweep.
+
+    ``dm`` is a ``(c, m, L)`` cost tensor with ``+inf`` past each
+    candidate's length; ``lengths`` holds the true lengths.  The sweep
+    runs :func:`repro.distances.dtw.dtw_distance`'s min-plus prefix
+    scan over all candidates simultaneously — per candidate row the
+    elementwise operations (and their order) are exactly the per-pair
+    DP's, so each returned value is **bit-identical** to
+    ``dtw_distance(query, candidate)``.  Cost: ``m`` numpy row steps
+    for the whole stack instead of ``m`` steps per candidate.
+
+    Padding is benign: ``+inf`` costs produce ``inf``/``nan`` only at
+    columns at or past each candidate's length, and the recurrence
+    never feeds a later column into an earlier one, so the value read
+    at ``lengths - 1`` is untouched by padding.
+    """
+    cc, m, width = dm.shape
+    with np.errstate(invalid="ignore"):
+        row = np.cumsum(dm[:, 0, :], axis=1)
+        for i in range(1, m):
+            costs = dm[:, i, :]
+            cand = np.empty_like(row)
+            cand[:, 0] = row[:, 0]
+            np.minimum(row[:, :-1], row[:, 1:], out=cand[:, 1:])
+            cand += costs
+            prefix = np.cumsum(costs, axis=1)
+            cand -= prefix
+            np.minimum.accumulate(cand, axis=1, out=cand)
+            cand += prefix
+            row = cand
+    return row[np.arange(cc), lengths - 1]
+
+
+def batch_dtw_banded(dm: np.ndarray, lengths: np.ndarray,
+                     band: int) -> tuple[np.ndarray, bool]:
+    """Sakoe-Chiba-banded DTW over a candidate stack: upper bounds.
+
+    Row ``i`` evaluates the fixed-width window of ``2 * r + 1`` columns
+    starting at ``max(0, i - r)``, where ``r`` widens ``band`` to the
+    largest query/candidate length difference in the stack so every
+    candidate's end cell stays reachable.  Out-of-window cells count as
+    ``+inf``, so the result can only over-estimate the exact DTW —
+    matching :func:`repro.distances.dtw.dtw_banded_distance` called
+    with the resolved radius.
+
+    Returns ``(values, is_exact)``.  When the window covers the whole
+    matrix the exact kernel runs instead and ``is_exact`` is True: the
+    values are then bit-identical exact distances, not just bounds.
+    """
+    cc, m, width = dm.shape
+    r = int(max(int(band), np.abs(m - lengths).max()))
+    w = 2 * r + 1
+    if r >= m - 1 and w >= width:
+        return batch_dtw_distances(dm, lengths), True
+    lo_last = max(0, m - 1 - r)
+    pad = max(0, lo_last + w - width)
+    if pad:
+        dmp = np.concatenate(
+            [dm, np.full((cc, m, pad), np.inf)], axis=2)
+    else:
+        dmp = dm
+    with np.errstate(invalid="ignore"):
+        window = np.cumsum(dmp[:, 0, :w], axis=1)
+        lo_prev = 0
+        for i in range(1, m):
+            lo = max(0, i - r)
+            costs = dmp[:, i, lo:lo + w]
+            # Fold the diagonal and vertical moves from the previous
+            # window, aligned by how far the window slid (0 or 1).
+            move = np.empty_like(window)
+            if lo == lo_prev:
+                move[:, 0] = window[:, 0]
+                np.minimum(window[:, :-1], window[:, 1:], out=move[:, 1:])
+            else:
+                move[:, -1] = window[:, -1]
+                np.minimum(window[:, :-1], window[:, 1:], out=move[:, :-1])
+            cand = move + costs
+            prefix = np.cumsum(costs, axis=1)
+            cand -= prefix
+            np.minimum.accumulate(cand, axis=1, out=cand)
+            cand += prefix
+            window = cand
+            lo_prev = lo
+    return window[np.arange(cc), lengths - 1 - lo_last], False
+
+
+def _gather_diagonal(diag: np.ndarray, diag_lo: int,
+                     wanted: np.ndarray, count: int) -> np.ndarray:
+    """Values of a previous anti-diagonal at row indices ``wanted`` for
+    every candidate (``+inf`` outside the diagonal's row range — a
+    missing neighbour)."""
+    out = np.full((count, len(wanted)), np.inf)
+    ok = (wanted >= diag_lo) & (wanted < diag_lo + diag.shape[1])
+    if ok.any():
+        out[:, ok] = diag[:, wanted[ok] - diag_lo]
+    return out
+
+
+def _frechet_sweep(dm: np.ndarray, lengths: np.ndarray,
+                   r: int | None) -> np.ndarray:
+    """Anti-diagonal Frechet sweep over a candidate stack.
+
+    With ``r`` None the sweep is the exact DP; otherwise anti-diagonals
+    are clipped to the Sakoe-Chiba band ``|i - j| <= r``.  Candidates
+    finish on different diagonals (their lengths differ), so each
+    candidate's value is captured on its final diagonal
+    ``(m - 1) + (length - 1)``.
+    """
+    cc, m, width = dm.shape
+    out = np.empty(cc, dtype=np.float64)
+    final_s = (m - 1) + lengths - 1
+    prev2, lo2 = np.empty((cc, 0)), 0
+    prev1, lo1 = dm[:, 0, 0:1].copy(), 0
+    hit = final_s == 0
+    if hit.any():
+        out[hit] = prev1[hit, 0]
+    for s in range(1, m + width - 1):
+        i_lo = max(0, s - width + 1)
+        i_hi = min(m - 1, s)
+        if r is not None:
+            i_lo = max(i_lo, (s - r + 1) // 2)
+            i_hi = min(i_hi, (s + r) // 2)
+        if i_hi < i_lo:
+            # The band excludes this whole diagonal; later diagonals
+            # see it as all-missing (gathers return inf).
+            prev2, lo2 = prev1, lo1
+            prev1, lo1 = np.empty((cc, 0)), 0
+            continue
+        ii = np.arange(i_lo, i_hi + 1)
+        costs = dm[:, ii, s - ii]
+        best = _gather_diagonal(prev2, lo2, ii - 1, cc)       # f[i-1, j-1]
+        np.minimum(best, _gather_diagonal(prev1, lo1, ii - 1, cc),
+                   out=best)                                  # f[i-1, j]
+        np.minimum(best, _gather_diagonal(prev1, lo1, ii, cc),
+                   out=best)                                  # f[i, j-1]
+        current = np.maximum(costs, best)
+        hit = final_s == s
+        if hit.any():
+            out[hit] = current[hit, m - 1 - i_lo]
+        prev2, lo2 = prev1, lo1
+        prev1, lo1 = current, i_lo
+    return out
+
+
+def batch_frechet_distances(dm: np.ndarray,
+                            lengths: np.ndarray) -> np.ndarray:
+    """Exact discrete Frechet for a whole candidate stack.
+
+    One anti-diagonal sweep over the shared ``(c, m, L)`` tensor
+    computes every candidate's DP at once: ``m + L - 1`` numpy steps
+    for the stack instead of per candidate.  The Frechet DP uses only
+    min/max — exact float selections — so its value is
+    evaluation-order independent and each result is **bit-identical**
+    to :func:`repro.distances.frechet.frechet_distance`.
+    """
+    return _frechet_sweep(dm, lengths, None)
+
+
+def batch_frechet_banded(dm: np.ndarray, lengths: np.ndarray,
+                         band: int) -> tuple[np.ndarray, bool]:
+    """Banded Frechet over a candidate stack: upper bounds.
+
+    Anti-diagonals are clipped to ``|i - j| <= r`` with ``r`` widened
+    to the largest length difference in the stack (end cells stay in
+    band).  Returns ``(values, is_exact)``; when the band covers every
+    cell the sweep equals the exact DP bit for bit and ``is_exact`` is
+    True.  Matches
+    :func:`repro.distances.frechet.frechet_banded_distance` called with
+    the resolved radius, exactly (min/max-only DP).
+    """
+    cc, m, width = dm.shape
+    r = int(max(int(band), np.abs(m - lengths).max()))
+    if r >= max(m, width) - 1:
+        return _frechet_sweep(dm, lengths, None), True
+    return _frechet_sweep(dm, lengths, r), False
+
+
 #: Tolerated padding overwork per chunk (padded elements may exceed the
 #: useful elements by this factor) and the chunk size below which the
 #: per-chunk numpy call overhead outweighs tighter padding.
 _PAD_WASTE_FACTOR = 1.25
 _MIN_CHUNK = 8
+
+#: Sakoe-Chiba radius of the banded upper-bound screen: at least
+#: ``_BAND_MIN`` cells, scaled to ``_BAND_FRAC`` of the longer side of
+#: the cost matrix (the classic "a few percent of the length" setting).
+_BAND_MIN = 4
+_BAND_FRAC = 1.0 / 16.0
+
+#: Staged exact-DP batches: the first probe stage refines this many
+#: candidates in one batched DP, doubling per stage (bounded below) so
+#: a tight k-th best can stop the probe before most DPs ever run.
+_DP_BATCH0 = 8
+_DP_BATCH_MAX = 64
+
+#: Minimum screen survivors per chunk before the banded upper-bound
+#: sweep runs.  The sweep costs a near-constant number of numpy row (or
+#: diagonal) steps however many candidates it covers, so below this
+#: count one staged exact DP handles the survivors cheaper than the
+#: band could ever save.
+_BAND_SCREEN_MIN = 2 * _DP_BATCH0
+
+
+def _band_radius(m: int, width: int) -> int:
+    """Screening band radius for an ``m x width`` cost matrix."""
+    return max(_BAND_MIN, int(_BAND_FRAC * max(m, width)))
 
 
 def _length_sorted_chunks(lengths: np.ndarray, m: int):
@@ -198,7 +423,9 @@ def candidate_lower_bounds(measure: Measure, query: np.ndarray,
     """Bounds for candidates held in a columnar store.
 
     Only the tensor-based measures pay the gather; ERP uses the store's
-    cached per-trajectory masses and EDR only needs lengths.
+    cached per-trajectory masses (the classic gap-mass bound — the
+    tighter per-prefix variant lives on :class:`BatchRefiner`, which
+    knows the pruning threshold) and EDR only needs lengths.
     """
     name = measure.name
     if name in ("hausdorff", "frechet", "dtw"):
@@ -215,6 +442,53 @@ def candidate_lower_bounds(measure: Measure, query: np.ndarray,
                               masses=masses)
 
 
+def _erp_prefix_tighten(measure: Measure, query: np.ndarray, store,
+                        tids: list[int], classic: np.ndarray,
+                        rows: np.ndarray) -> np.ndarray:
+    """Vectorized per-prefix ERP bound for the candidates in ``rows``.
+
+    Batch analogue of :func:`repro.distances.erp.erp_prefix_bound`: the
+    exact edit DP runs on the leading ``DEFAULT_PREFIX_DEPTH`` corner of
+    every candidate at once (prefix gap masses come precomputed from the
+    store's cumulative-mass cache) and the suffixes are bounded by their
+    gap-mass difference.  Returns bounds for ``rows`` only, already
+    ``max``-ed with the classic bound.
+    """
+    gap = tuple(np.asarray(measure.params.get("gap", (0.0, 0.0))))
+    depth = DEFAULT_PREFIX_DEPTH
+    sub_tids = [tids[i] for i in rows.tolist()]
+    g = np.asarray(gap, dtype=np.float64)
+    ga = np.hypot(query[:, 0] - g[0], query[:, 1] - g[1])
+    ca = np.concatenate(([0.0], np.cumsum(ga)))
+    suff_a = ca[-1] - ca
+    pa = min(depth, len(query))
+    prefixes, totals = store.erp_prefix_masses(sub_tids, gap, depth)
+    padded, _ = store.gather(sub_tids, max_len=depth)
+    pb = padded.shape[1]
+    corner = batch_point_distance_tensor(query[:pa], padded)  # (cc, pa, pb)
+    gb = prefixes[:, 1:pb + 1] - prefixes[:, :pb]             # 0 past length
+    suff_b = totals[:, np.newaxis] - prefixes[:, :pb + 1]
+    prev = prefixes[:, :pb + 1].copy()                        # V[0, j]
+    cc = len(sub_tids)
+    last_col = np.empty((cc, pa + 1), dtype=np.float64)
+    last_col[:, 0] = prev[:, pb]
+    for i in range(1, pa + 1):
+        cur = np.empty_like(prev)
+        cur[:, 0] = prev[:, 0] + ga[i - 1]
+        for j in range(1, pb + 1):
+            step = np.minimum(prev[:, j - 1] + corner[:, i - 1, j - 1],
+                              prev[:, j] + ga[i - 1])
+            np.minimum(step, cur[:, j - 1] + gb[:, j - 1], out=step)
+            cur[:, j] = step
+        last_col[:, i] = cur[:, pb]
+        prev = cur
+    bottom = (prev + np.abs(suff_a[pa] - suff_b)).min(axis=1)
+    right = (last_col
+             + np.abs(suff_a[np.newaxis, :pa + 1]
+                      - suff_b[:, pb:pb + 1])).min(axis=1)
+    return np.maximum(classic[rows], np.minimum(bottom, right))
+
+
 #: Below these candidate counts the per-trajectory loop beats the batch
 #: kernels (gather/broadcast setup overhead); the sequential path is
 #: used instead.  Hausdorff amortizes fastest because the tensor yields
@@ -224,7 +498,7 @@ _MIN_BATCH_DEFAULT = 4
 
 
 class BatchRefiner:
-    """Bounds plus exact evaluation for one candidate batch.
+    """Bounds, banded upper bounds and exact evaluation for one batch.
 
     Computes all candidates' refinement lower bounds up front (one
     batched kernel) and then answers per-candidate
@@ -232,18 +506,42 @@ class BatchRefiner:
     and the same bits — as :func:`distance_with_threshold`: the batch
     bounds reproduce that function's internal prefilter values
     bit-for-bit, so its branch can be replicated without recomputing
-    the prefilter.  For Frechet/DTW the broadcast distance tensor is
-    retained (when it fits the chunk budget) and sliced per survivor,
-    so the exact DP skips the per-pair matrix rebuild as well.
+    the prefilter.
+
+    For Frechet/DTW three further accelerations apply:
+
+    * the broadcast distance tensor is retained (when it fits the chunk
+      budget) and sliced per survivor, so exact DPs skip the per-pair
+      matrix rebuild;
+    * while each chunk's tensor is hot, a banded DP computes upper
+      bounds (:attr:`uppers`) for every candidate whose lower bound
+      beats ``dk`` — when the band covers the whole matrix these are
+      exact distances and :attr:`exact_mask` marks them;
+    * :meth:`exact_batch` evaluates many survivors' exact DPs in one
+      batched sweep, bit-identical to the per-pair DP.
+
+    For ERP the classic gap-mass screen is tightened for surviving
+    candidates by the vectorized per-prefix corner DP.
+
+    Parameters
+    ----------
+    measure, query, store, tids:
+        The candidate batch: ``tids`` index trajectories in ``store``.
+    dk:
+        The current pruning threshold (k-th best distance, or the range
+        radius).  Used only to skip screening work for candidates that
+        are already out — never to change results.
     """
 
     def __init__(self, measure: Measure, query: np.ndarray, store,
-                 tids: list[int]):
+                 tids: list[int], dk: float = np.inf):
         self.measure = measure
         self.query = query
         self.store = store
         self.tids = tids
         self.name = measure.name
+        self.uppers: np.ndarray | None = None
+        self.exact_mask: np.ndarray | None = None
         self._chunks: list | None = None    # [(rows, tensor)] when kept
         self._row_of: np.ndarray | None = None
         self._lengths: np.ndarray | None = None
@@ -253,19 +551,101 @@ class BatchRefiner:
             # Keep the per-chunk tensors for DP reuse unless the whole
             # batch is too large to hold resident.
             keep = int(lengths.sum()) * len(query) <= _CHUNK_ELEMS
-            retain: list | None = [] if keep else None
-            self.bounds = _tensor_bounds(self.name, query, padded, lengths,
-                                         retain=retain)
-            if retain is not None:
-                self._chunks = retain
-                self._row_of = np.empty((len(tids), 2), dtype=np.int64)
-                for ci, (rows, _) in enumerate(retain):
-                    for ri, i in enumerate(rows.tolist()):
-                        self._row_of[i] = (ci, ri)
+            self._screen_tensor_measures(padded, lengths, dk, keep)
+        elif self.name == "erp" and tids:
+            self._lengths = store.lengths(tids)
+            self.bounds, _ = candidate_lower_bounds(measure, query,
+                                                    store, tids)
+            # The corner DP only pays when a threshold can actually
+            # prune; with an unfilled heap (dk = inf) every candidate
+            # runs the full DP regardless, so the classic bound is all
+            # the ordering needs.
+            if np.isfinite(dk):
+                survivors = np.flatnonzero(self.bounds < dk)
+                if survivors.size:
+                    self.bounds[survivors] = _erp_prefix_tighten(
+                        measure, query, store, tids, self.bounds,
+                        survivors)
         else:
             self.bounds, _ = candidate_lower_bounds(measure, query,
                                                     store, tids)
         self.is_exact = self.name == "hausdorff"
+
+    def _screen_tensor_measures(self, padded: np.ndarray,
+                                lengths: np.ndarray, dk: float,
+                                keep: bool) -> None:
+        """Chunked screen for DTW/Frechet: lower bounds, banded upper
+        bounds for survivors, and (optionally) retained tensors."""
+        count = len(lengths)
+        m = len(self.query)
+        banded = (batch_dtw_banded if self.name == "dtw"
+                  else batch_frechet_banded)
+        self.bounds = np.empty(count, dtype=np.float64)
+        self.uppers = np.full(count, np.inf)
+        self.exact_mask = np.zeros(count, dtype=bool)
+        if keep:
+            self._chunks = []
+            self._row_of = np.empty((count, 2), dtype=np.int64)
+        for rows in _length_sorted_chunks(lengths, m):
+            chunk_lengths = lengths[rows]
+            width = int(chunk_lengths.max())
+            dist = batch_point_distance_tensor(self.query,
+                                               padded[rows, :width])
+            chunk_bounds = _reduce_tensor(self.name, dist, chunk_lengths)
+            self.bounds[rows] = chunk_bounds
+            if keep:
+                ci = len(self._chunks)
+                self._chunks.append((rows, dist))
+                for ri, i in enumerate(rows.tolist()):
+                    self._row_of[i] = (ci, ri)
+            survivors = np.flatnonzero(chunk_bounds < dk)
+            if survivors.size >= _BAND_SCREEN_MIN:
+                if survivors.size == len(rows):
+                    sub, sub_lengths = dist, chunk_lengths
+                else:
+                    sub = dist[survivors]
+                    sub_lengths = chunk_lengths[survivors]
+                values, exact = banded(sub, sub_lengths,
+                                       _band_radius(m, width))
+                self.uppers[rows[survivors]] = values
+                if exact:
+                    self.exact_mask[rows[survivors]] = True
+
+    @property
+    def supports_batch_dp(self) -> bool:
+        """True when :meth:`exact_batch` runs a real batched DP."""
+        return self.name in ("frechet", "dtw")
+
+    def exact_batch(self, idxs: list[int]) -> np.ndarray:
+        """Exact distances for candidates ``idxs`` via one batched DP.
+
+        Bit-identical to calling the per-pair DP for each candidate;
+        reuses retained tensor slices when available, otherwise
+        regathers just these candidates.
+        """
+        if len(idxs) == 1:
+            return np.array([self._exact_pair(idxs[0])])
+        lengths = self._lengths[idxs]
+        if self._chunks is not None:
+            width = int(lengths.max())
+            dm = np.full((len(idxs), len(self.query), width), np.inf)
+            for k, i in enumerate(idxs):
+                piece = self._slice(i)
+                dm[k, :, :piece.shape[1]] = piece
+        else:
+            padded, lengths = self.store.gather(
+                [self.tids[i] for i in idxs])
+            dm = batch_point_distance_tensor(self.query, padded)
+        if self.name == "dtw":
+            return batch_dtw_distances(dm, lengths)
+        return batch_frechet_distances(dm, lengths)
+
+    def _exact_pair(self, i: int) -> float:
+        """Per-pair exact DP for candidate ``i`` (tensor-measure only)."""
+        points = self.store.points_of(self.tids[i])
+        if self.name == "frechet":
+            return frechet_distance(self.query, points, dm=self._slice(i))
+        return dtw_distance(self.query, points, dm=self._slice(i))
 
     def exact_or_bound(self, i: int, threshold: float) -> float:
         """``distance_with_threshold`` for candidate ``i``, reusing the
@@ -273,14 +653,12 @@ class BatchRefiner:
         bound = float(self.bounds[i])
         if bound >= threshold:
             return bound
-        points = self.store.points_of(self.tids[i])
-        if self.name == "frechet":
-            return frechet_distance(self.query, points, dm=self._slice(i))
-        if self.name == "dtw":
-            return dtw_distance(self.query, points, dm=self._slice(i))
+        if self.name in ("frechet", "dtw"):
+            return self._exact_pair(i)
         # ERP/EDR/LCSS: the cheap prefilter already passed (or does not
         # exist), so the full computation is what the threshold path runs.
-        return self.measure.distance(self.query, points)
+        return self.measure.distance(self.query,
+                                     self.store.points_of(self.tids[i]))
 
     def _slice(self, i: int) -> np.ndarray | None:
         if self._chunks is None:
@@ -298,15 +676,26 @@ def refine_top_k(measure: Measure, query: np.ndarray, tids: list[int],
     ends up bit-identical to offering each candidate's
     ``distance_with_threshold(..., heap.dk)`` value in ``tids`` order:
 
-    1. bounds for all candidates come from one batched kernel;
+    1. bounds for all candidates come from one batched kernel; for
+       DTW/Frechet a banded DP additionally yields upper bounds, whose
+       k-th smallest caps the best threshold the batch can end with;
     2. candidates are probed in ascending-bound order against a clone
-       of the heap, running the exact computation only while the bound
-       beats the probe's ``dk`` — once one candidate's bound fails, all
-       remaining (larger) bounds fail too;
+       of the heap, running exact computations only while the bound
+       beats the tighter of the probe's ``dk`` and the banded cap —
+       once one candidate's bound fails, all remaining (larger) bounds
+       fail too.  DTW/Frechet exact values come from staged batched
+       DPs (doubling stages, so a tight threshold stops most DPs);
     3. the refined values replay into the real heap in the original
        order; a stored lower bound that would now be accepted is
        recomputed with the replay threshold first, so only values the
        sequential loop would have produced ever enter the heap.
+
+    Every value that can enter the heap is either the sequential DP's
+    result bit-for-bit (batched DPs reproduce the per-pair float
+    operations) or the output of the same ``distance_with_threshold``
+    call the sequential loop would have made, so the final heap —
+    including tie-breaks at the k-th boundary — is bit-identical to the
+    per-trajectory loop's.
     """
     count = len(tids)
     if count == 0:
@@ -316,7 +705,7 @@ def refine_top_k(measure: Measure, query: np.ndarray, tids: list[int],
             heap.offer(distance_with_threshold(
                 measure, query, store.points_of(tid), heap.dk), tid)
         return
-    refiner = BatchRefiner(measure, query, store, tids)
+    refiner = BatchRefiner(measure, query, store, tids, dk=heap.dk)
     bounds = refiner.bounds
     if refiner.is_exact:
         for tid, dist in zip(tids, bounds.tolist()):
@@ -326,19 +715,65 @@ def refine_top_k(measure: Measure, query: np.ndarray, tids: list[int],
     values = bounds.copy()
     exact = np.zeros(count, dtype=bool)
     probe = heap.clone()
-    for i in np.argsort(bounds, kind="stable").tolist():
-        dk = probe.dk
-        if bounds[i] >= dk:
-            # Bounds are processed ascending and a skip leaves the probe
-            # untouched, so every remaining bound fails too; their
-            # values[] entries stay at the (inexact) lower bounds.
-            break
-        # bounds[i] < dk, so exact_or_bound ran the full computation:
-        # the value is the exact distance even when it lands >= dk.
-        value = refiner.exact_or_bound(i, dk)
-        values[i] = value
-        exact[i] = True
-        probe.offer(value, tids[i])
+    cap = np.inf
+    if refiner.exact_mask is not None and refiner.exact_mask.any():
+        # Full-coverage banded sweeps already produced exact distances.
+        known = np.flatnonzero(refiner.exact_mask)
+        values[known] = refiner.uppers[known]
+        exact[known] = True
+        for i in known.tolist():
+            probe.offer(values[i], tids[i])
+    if refiner.uppers is not None:
+        # The k-th smallest upper bound caps the k-th best distance this
+        # batch can end with; min()-ed with the probe's dk below.
+        capper = heap.clone()
+        finite = np.flatnonzero(np.isfinite(refiner.uppers))
+        for i in finite.tolist():
+            capper.offer(float(refiner.uppers[i]), tids[i])
+        cap = capper.dk
+
+    order = np.argsort(bounds, kind="stable").tolist()
+    if refiner.supports_batch_dp:
+        pos = 0
+        stage = _DP_BATCH0
+        while pos < count:
+            dk = min(probe.dk, cap)
+            group: list[int] = []
+            while pos < count and len(group) < stage:
+                i = order[pos]
+                if exact[i]:
+                    pos += 1
+                    continue
+                if bounds[i] >= dk:
+                    # Bounds are processed ascending, so every
+                    # remaining bound fails too.
+                    pos = count
+                    break
+                group.append(i)
+                pos += 1
+            if not group:
+                break
+            for i, value in zip(group,
+                                refiner.exact_batch(group).tolist()):
+                values[i] = value
+                exact[i] = True
+                probe.offer(value, tids[i])
+            stage = min(stage * 2, _DP_BATCH_MAX)
+    else:
+        for i in order:
+            dk = probe.dk
+            if bounds[i] >= dk:
+                # A skip leaves the probe untouched, so every remaining
+                # (larger) bound fails too; their values[] entries stay
+                # at the (inexact) lower bounds.
+                break
+            # bounds[i] < dk, so exact_or_bound ran the full
+            # computation: the value is the exact distance even when it
+            # lands >= dk.
+            value = refiner.exact_or_bound(i, dk)
+            values[i] = value
+            exact[i] = True
+            probe.offer(value, tids[i])
 
     for i in range(count):
         value = float(values[i])
@@ -353,8 +788,9 @@ def refine_range(measure: Measure, query: np.ndarray, tids: list[int],
 
     Candidates whose batch bound already exceeds the radius are dropped
     without any per-candidate work; the rest go through the same
-    thresholded computation the sequential loop uses, so the surviving
-    set and its distances are bit-identical.
+    thresholded computation the sequential loop uses — batched for
+    DTW/Frechet — so the surviving set and its distances are
+    bit-identical.
     """
     matches: list[tuple[float, int]] = []
     if not tids:
@@ -367,16 +803,31 @@ def refine_range(measure: Measure, query: np.ndarray, tids: list[int],
             if dist <= radius:
                 matches.append((dist, tid))
         return matches
-    refiner = BatchRefiner(measure, query, store, tids)
+    refiner = BatchRefiner(measure, query, store, tids, dk=cutoff)
     if refiner.is_exact:
         for tid, dist in zip(tids, refiner.bounds.tolist()):
             if dist <= radius:
                 matches.append((dist, tid))
         return matches
-    for i, tid in enumerate(tids):
-        if refiner.bounds[i] >= cutoff:
-            continue
+    survivors = [i for i in range(len(tids))
+                 if refiner.bounds[i] < cutoff]
+    if refiner.supports_batch_dp:
+        known = refiner.exact_mask
+        pending = [i for i in survivors if not known[i]]
+        distances = dict(
+            (i, float(refiner.uppers[i]))
+            for i in survivors if known[i])
+        for lo in range(0, len(pending), _DP_BATCH_MAX):
+            group = pending[lo:lo + _DP_BATCH_MAX]
+            for i, value in zip(group,
+                                refiner.exact_batch(group).tolist()):
+                distances[i] = value
+        for i in survivors:
+            if distances[i] <= radius:
+                matches.append((distances[i], tids[i]))
+        return matches
+    for i in survivors:
         dist = refiner.exact_or_bound(i, cutoff)
         if dist <= radius:
-            matches.append((dist, tid))
+            matches.append((dist, tids[i]))
     return matches

@@ -8,7 +8,12 @@ uses only the basic RP-Trie and the one/two-side bounds built from
 point-to-cell minimum distances (paper, Eq. 15 note).
 
 :func:`dtw_next_column` exposes a single column step for incremental
-bound maintenance along trie paths.
+bound maintenance along trie paths.  :func:`dtw_banded_distance` is the
+Sakoe-Chiba-banded variant used by the batch refinement engine
+(:mod:`repro.distances.batch`) as a cheap upper-bound screen: the band
+restricts warping paths, so the banded value can only over-estimate the
+unconstrained DTW, and it equals the exact distance whenever the window
+covers the whole cost matrix.
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ import numpy as np
 from .base import Measure, register_measure
 from .matrix import point_distance_matrix
 
-__all__ = ["dtw_distance", "dtw_next_column"]
+__all__ = ["dtw_distance", "dtw_banded_distance", "dtw_next_column"]
 
 
 def dtw_next_column(prev_column: np.ndarray,
@@ -76,6 +81,48 @@ def dtw_distance(a: np.ndarray, b: np.ndarray,
         prefix = np.cumsum(costs)
         row = prefix + np.minimum.accumulate(candidates - prefix)
     return float(row[-1])
+
+
+def dtw_banded_distance(a: np.ndarray, b: np.ndarray, band: int,
+                        dm: np.ndarray | None = None) -> float:
+    """Sakoe-Chiba-banded DTW: an upper bound on :func:`dtw_distance`.
+
+    Row ``i`` only evaluates the window of ``2 * r + 1`` columns
+    starting at ``max(0, i - r)``, where ``r = max(band, |m - n|)``
+    (widening to the length difference keeps the end cell reachable);
+    cells outside the window count as ``+inf``.  Restricting the
+    warping paths this way can only *raise* the optimum, so the result
+    upper-bounds the exact DTW — and equals it whenever the window
+    covers the full matrix (``r >= m - 1`` and ``2 * r + 1 >= n``).
+
+    This reference implementation defines the window semantics the
+    vectorized batch kernel
+    (:func:`repro.distances.batch.batch_dtw_banded`) reproduces; the
+    batch property tests compare the two.
+    """
+    if dm is None:
+        dm = point_distance_matrix(a, b)
+    m, n = dm.shape
+    r = max(int(band), abs(m - n))
+    w = 2 * r + 1
+    inf = np.inf
+    row = np.full(n, inf)
+    hi = min(n, w)
+    row[:hi] = np.cumsum(dm[0, :hi])
+    for i in range(1, m):
+        lo = max(0, i - r)
+        hi = min(n, lo + w)
+        new = np.full(n, inf)
+        for j in range(lo, hi):
+            best = row[j]  # vertical move
+            if j >= 1:
+                if row[j - 1] < best:
+                    best = row[j - 1]  # diagonal move
+                if j > lo and new[j - 1] < best:
+                    best = new[j - 1]  # horizontal move (in-window only)
+            new[j] = best + dm[i, j]
+        row = new
+    return float(row[n - 1])
 
 
 register_measure(Measure(

@@ -11,7 +11,12 @@ optimization.
 
 The DP is evaluated column by column; :func:`frechet_next_column` exposes
 one column step so the index can extend bounds incrementally along a trie
-path (paper, Eq. 9).
+path (paper, Eq. 9).  :func:`frechet_banded_distance` restricts couplings
+to a Sakoe-Chiba band, yielding the upper-bound screen the batch
+refinement engine (:mod:`repro.distances.batch`) runs over whole
+candidate sets; because the Frechet DP uses only min/max (exact float
+selections), its banded and unbanded values are evaluation-order
+independent, so every implementation agrees bit for bit.
 """
 
 from __future__ import annotations
@@ -21,7 +26,8 @@ import numpy as np
 from .base import Measure, register_measure
 from .matrix import point_distance_matrix
 
-__all__ = ["frechet_distance", "frechet_next_column"]
+__all__ = ["frechet_distance", "frechet_banded_distance",
+           "frechet_next_column"]
 
 
 def frechet_next_column(prev_column: np.ndarray,
@@ -106,6 +112,48 @@ def frechet_distance(a: np.ndarray, b: np.ndarray,
         prev2, prev1 = prev1, current
         i_lo_prev2, i_lo_prev1 = i_lo_prev1, i_lo
     return float(prev1[-1])
+
+
+def frechet_banded_distance(a: np.ndarray, b: np.ndarray, band: int,
+                            dm: np.ndarray | None = None) -> float:
+    """Sakoe-Chiba-banded discrete Frechet distance (upper bound).
+
+    Only cells with ``|i - j| <= r`` are evaluated, where
+    ``r = max(band, |m - n|)`` so the end cell stays inside the band;
+    out-of-band cells count as ``+inf``.  Restricting the couplings can
+    only raise the optimum, so the result upper-bounds
+    :func:`frechet_distance` — and equals it (bit for bit, since the DP
+    only selects among cost values) when the band covers the matrix
+    (``r >= max(m, n) - 1``).
+
+    The batched kernel
+    (:func:`repro.distances.batch.batch_frechet_banded`) computes the
+    same quantity for whole candidate sets; the property tests compare
+    the two implementations for exact equality.
+    """
+    if dm is None:
+        dm = point_distance_matrix(a, b)
+    m, n = dm.shape
+    r = max(int(band), abs(m - n))
+    inf = np.inf
+    row = np.full(n, inf)
+    hi = min(n, r + 1)
+    row[:hi] = np.maximum.accumulate(dm[0, :hi])
+    for i in range(1, m):
+        lo = max(0, i - r)
+        hi = min(n, i + r + 1)
+        new = np.full(n, inf)
+        for j in range(lo, hi):
+            best = row[j]  # f[i-1, j]
+            if j >= 1:
+                if row[j - 1] < best:
+                    best = row[j - 1]  # f[i-1, j-1]
+                if new[j - 1] < best:
+                    best = new[j - 1]  # f[i, j-1]
+            cost = dm[i, j]
+            new[j] = cost if cost > best else best
+        row = new
+    return float(row[n - 1])
 
 
 register_measure(Measure(

@@ -27,8 +27,8 @@ from typing import Callable
 
 import numpy as np
 
-from .cluster.driver import merge_stats, merge_top_k
-from .cluster.engine import ExecutionEngine
+from .cluster.driver import merge_range, merge_top_k
+from .cluster.engine import ExecutionEngine, WorkloadHints
 from .cluster.rdd import ClusterContext
 from .cluster.scheduler import ClusterSpec, ScheduleReport, simulate_schedule
 from .core.grid import Grid
@@ -256,7 +256,16 @@ class DistributedTopK:
     cluster_spec:
         Virtual cluster shape for simulated times.
     engine:
-        Execution backend for real per-partition work.
+        Execution backend for real per-partition work: an
+        :class:`~repro.cluster.engine.ExecutionEngine` or a backend
+        name (``"serial"``, ``"thread"``, ``"process"`` or ``"auto"``).
+        With ``"auto"`` the engine picks a backend per dispatch from
+        the workload hints this driver supplies (measure, partition
+        size, batch width); the choice never changes results.
+    measure_hint:
+        Measure name forwarded to an ``"auto"`` engine's cost model.
+        :class:`Repose` and :func:`make_baseline` fill it in; only
+        custom index factories need to pass it explicitly.
     """
 
     def __init__(self, dataset: TrajectoryDataset,
@@ -264,21 +273,43 @@ class DistributedTopK:
                  strategy: str | Callable = "heterogeneous",
                  num_partitions: int = 64,
                  cluster_spec: ClusterSpec | None = None,
-                 engine: ExecutionEngine | None = None):
+                 engine: ExecutionEngine | str | None = None,
+                 measure_hint: str | None = None):
         self.dataset = dataset
         self.index_factory = index_factory
         self.strategy = (make_strategy(strategy)
                          if isinstance(strategy, str) else strategy)
         self.num_partitions = num_partitions
         self.cluster_spec = cluster_spec or ClusterSpec()
+        if isinstance(engine, str):
+            engine = ExecutionEngine(engine)
         self.context = ClusterContext(engine or ExecutionEngine())
+        self.measure_hint = measure_hint
+        self._partition_points: int | None = None
         self._rdd = None
         self.build_report: BuildReport | None = None
+
+    def _workload_hints(self, num_tasks: int,
+                        batch_width: int = 1) -> WorkloadHints:
+        """Hints for the ``"auto"`` engine: what one dispatch looks like.
+
+        The average partition size is computed from the dataset once
+        and cached; the measure comes from :attr:`measure_hint` (None
+        for custom factories, which makes the cost model conservative).
+        """
+        if self._partition_points is None:
+            total = sum(len(t) for t in self.dataset.trajectories)
+            self._partition_points = total // max(self.num_partitions, 1)
+        return WorkloadHints(measure=self.measure_hint,
+                             partition_points=self._partition_points,
+                             num_tasks=num_tasks,
+                             batch_width=batch_width)
 
     def build(self) -> BuildReport:
         """Partition the dataset and build one local index per partition."""
         start = time.perf_counter()
         partitions = self.strategy(self.dataset, self.num_partitions)
+        self.context.hints = self._workload_hints(len(partitions))
         base = self.context.from_partitions(partitions)
         packaged = (base.map_partitions(_BuildPartition(self.index_factory))
                     .collect_partitions())
@@ -322,6 +353,7 @@ class DistributedTopK:
         if self._rdd is None:
             raise IndexNotBuiltError("call build() before top_k()")
         start = time.perf_counter()
+        self.context.hints = self._workload_hints(self.num_partitions)
         query_kwargs = {**self._query_kwargs_for(query, query_kwargs),
                         **query_kwargs}
         partials = (self._rdd
@@ -366,7 +398,12 @@ class DistributedTopK:
             kwargs = self._query_kwargs_for(query)
             for rp in parts:
                 tasks.append(_LocalTopKTask(rp, query, k, kwargs))
-        outputs, timings = self.context.engine.run(tasks)
+        # A whole batch amortizes one backend dispatch: the hints say
+        # so (batch_width), which is what lets an "auto" engine justify
+        # spinning up its process pool for DP-heavy measures.
+        outputs, timings = self.context.engine.run(
+            tasks, hints=self._workload_hints(len(tasks),
+                                              batch_width=len(queries)))
         wall = time.perf_counter() - start
 
         results = []
@@ -391,6 +428,7 @@ class DistributedTopK:
         if self._rdd is None:
             raise IndexNotBuiltError("call build() before range_query()")
         start = time.perf_counter()
+        self.context.hints = self._workload_hints(self.num_partitions)
         query_kwargs = {**self._query_kwargs_for(query, query_kwargs),
                         **query_kwargs}
         partials = (self._rdd
@@ -398,11 +436,7 @@ class DistributedTopK:
                                                     query_kwargs))
                     .collect())
         timings = self.context.last_timings
-        merged_items: list[tuple[float, int]] = []
-        for partial in partials:
-            merged_items.extend(partial.items)
-        result = TopKResult(items=sorted(merged_items),
-                            stats=merge_stats(p.stats for p in partials))
+        result = merge_range(partials)
         wall = time.perf_counter() - start
         schedule = simulate_schedule(timings, self.cluster_spec)
         return QueryOutcome(result=result, wall_seconds=wall,
@@ -464,6 +498,7 @@ class Repose(DistributedTopK):
         factory = functools.partial(
             _make_rptrie_index, grid, measure, optimized, num_pivots,
             succinct, search_options, self._pivot_box)
+        kwargs.setdefault("measure_hint", measure.name)
         super().__init__(dataset, factory, **kwargs)
 
     @property
@@ -497,7 +532,7 @@ class Repose(DistributedTopK):
               optimized: bool = True, num_pivots: int = 5,
               succinct: bool = False,
               cluster_spec: ClusterSpec | None = None,
-              engine: ExecutionEngine | None = None,
+              engine: ExecutionEngine | str | None = None,
               search_options: dict | None = None,
               pivot_sample: int = 500, seed: int = 7) -> "Repose":
         """Construct and build a REPOSE engine in one call.
@@ -505,6 +540,29 @@ class Repose(DistributedTopK):
         ``delta`` defaults to 1/128 of the dataset's smaller span.
         Global pivots are selected once, driver-side, from a sample of
         ``pivot_sample`` trajectories, then shared by every partition.
+
+        Parameters worth calling out:
+
+        engine:
+            Execution backend for per-partition work.  Accepts an
+            :class:`~repro.cluster.engine.ExecutionEngine` or a backend
+            name; ``engine="auto"`` lets a small cost model pick
+            serial/thread/process per dispatch from the measure,
+            partition size and batch width (results are identical
+            under every backend — only placement changes).  Default:
+            serial, the deterministic choice.
+        search_options:
+            Per-partition search keyword arguments, forwarded to
+            :func:`~repro.core.search.local_search`.  The most useful
+            key is ``batch_refine`` (default True): refine leaf
+            candidates through the vectorized batch engine
+            (:mod:`repro.distances.batch` — batched screens, banded
+            upper-bound DPs and batched exact DPs) instead of one
+            trajectory at a time.  Both settings return bit-identical
+            results; ``batch_refine=False`` exists for the exactness
+            property tests and like-for-like benchmarks.  The ablation
+            switches ``use_pivots``/``use_lbt``/``use_lbo`` are also
+            accepted.
         """
         measure_obj = get_measure(measure) if isinstance(measure, str) else measure
         box = dataset.bounding_box()
@@ -536,7 +594,7 @@ def make_baseline(name: str, dataset: TrajectoryDataset,
                   measure: Measure | str, num_partitions: int = 64,
                   strategy: str | Callable = "homogeneous",
                   cluster_spec: ClusterSpec | None = None,
-                  engine: ExecutionEngine | None = None,
+                  engine: ExecutionEngine | str | None = None,
                   **index_kwargs) -> DistributedTopK:
     """Distributed engine for a baseline: "dft", "dita" or "ls".
 
@@ -564,4 +622,5 @@ def make_baseline(name: str, dataset: TrajectoryDataset,
         raise ValueError(f"unknown baseline {name!r} (use dft, dita or ls)")
     return DistributedTopK(dataset, factory, strategy=strategy,
                            num_partitions=num_partitions,
-                           cluster_spec=cluster_spec, engine=engine)
+                           cluster_spec=cluster_spec, engine=engine,
+                           measure_hint=measure_obj.name)

@@ -1,0 +1,297 @@
+"""Exactness of the batched (banded) DP kernels and the tighter bounds.
+
+The batched exact DTW/Frechet DPs must be *bit-identical* to the
+sequential per-pair DPs for every candidate — including length-1 and
+degenerate trajectories, ties, and the band-fallback path where the
+banded screen fails to certify a candidate and the exact DP decides.
+The banded kernels must match their per-pair reference implementations
+and never under-estimate; the per-prefix ERP bound must stay a sound
+lower bound that dominates the classic gap-mass difference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.distances.batch as batch_mod
+from repro.core.search import ResultHeap
+from repro.core.store import TrajectoryStore
+from repro.distances.base import get_measure
+from repro.distances.batch import (
+    BatchRefiner,
+    batch_dtw_banded,
+    batch_dtw_distances,
+    batch_frechet_banded,
+    batch_frechet_distances,
+    batch_point_distance_tensor,
+    refine_range,
+    refine_top_k,
+)
+from repro.distances.dtw import dtw_banded_distance, dtw_distance
+from repro.distances.erp import erp_distance, erp_prefix_bound
+from repro.distances.frechet import frechet_banded_distance, frechet_distance
+from repro.distances.threshold import distance_with_threshold
+from repro.types import Trajectory
+
+
+def _walks(rng, count, min_len, max_len):
+    out = []
+    for _ in range(count):
+        n = int(rng.integers(min_len, max_len + 1))
+        out.append(rng.normal(0, 1, (n, 2)).cumsum(axis=0))
+    return out
+
+
+def _stack(query, trajs):
+    lengths = np.array([len(t) for t in trajs], dtype=np.int64)
+    padded = np.full((len(trajs), int(lengths.max()), 2), np.inf)
+    for i, t in enumerate(trajs):
+        padded[i, :len(t)] = t
+    return batch_point_distance_tensor(query, padded), lengths
+
+
+class TestBatchedExactKernels:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_dtw_bit_identical_to_sequential(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(1, 35))
+        query = rng.normal(0, 1, (m, 2)).cumsum(axis=0)
+        trajs = _walks(rng, 17, 1, 45)
+        dm, lengths = _stack(query, trajs)
+        values = batch_dtw_distances(dm, lengths)
+        for i, traj in enumerate(trajs):
+            assert values[i] == dtw_distance(query, traj)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_frechet_bit_identical_to_sequential(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(1, 35))
+        query = rng.normal(0, 1, (m, 2)).cumsum(axis=0)
+        trajs = _walks(rng, 17, 1, 45)
+        dm, lengths = _stack(query, trajs)
+        values = batch_frechet_distances(dm, lengths)
+        for i, traj in enumerate(trajs):
+            assert values[i] == frechet_distance(query, traj)
+
+    def test_degenerate_candidates(self):
+        # Length-1 query and candidates, duplicate points, exact ties.
+        query = np.array([[1.0, 1.0]])
+        trajs = [np.array([[1.0, 1.0]]),
+                 np.array([[2.0, 2.0]]),
+                 np.array([[3.0, 3.0]] * 6),
+                 np.array([[3.0, 3.0]] * 6),
+                 np.array([[0.0, 0.0], [5.0, 5.0]])]
+        dm, lengths = _stack(query, trajs)
+        dtw_values = batch_dtw_distances(dm, lengths)
+        fre_values = batch_frechet_distances(dm, lengths)
+        for i, traj in enumerate(trajs):
+            assert dtw_values[i] == dtw_distance(query, traj)
+            assert fre_values[i] == frechet_distance(query, traj)
+        assert dtw_values[2] == dtw_values[3]  # ties preserved
+
+    def test_single_point_everything(self):
+        query = np.array([[0.5, -0.5]])
+        trajs = [np.array([[0.5, -0.5]])]
+        dm, lengths = _stack(query, trajs)
+        assert batch_dtw_distances(dm, lengths)[0] == 0.0
+        assert batch_frechet_distances(dm, lengths)[0] == 0.0
+
+
+class TestBandedKernels:
+    @pytest.mark.parametrize("seed,band", [(0, 0), (0, 2), (1, 3),
+                                           (2, 8), (3, 100)])
+    def test_dtw_banded_matches_reference_and_dominates(self, seed, band):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(1, 30))
+        query = rng.normal(0, 1, (m, 2)).cumsum(axis=0)
+        trajs = _walks(rng, 11, 1, 40)
+        dm, lengths = _stack(query, trajs)
+        resolved = max(band, int(np.abs(m - lengths).max()))
+        values, is_exact = batch_dtw_banded(dm, lengths, band)
+        for i, traj in enumerate(trajs):
+            exact = dtw_distance(query, traj)
+            if is_exact:
+                assert values[i] == exact
+            else:
+                reference = dtw_banded_distance(query, traj, resolved)
+                assert values[i] == pytest.approx(reference, rel=1e-12)
+            assert values[i] >= exact - 1e-9 * max(1.0, exact)
+
+    @pytest.mark.parametrize("seed,band", [(0, 0), (0, 2), (1, 3),
+                                           (2, 8), (3, 100)])
+    def test_frechet_banded_matches_reference_exactly(self, seed, band):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(1, 30))
+        query = rng.normal(0, 1, (m, 2)).cumsum(axis=0)
+        trajs = _walks(rng, 11, 1, 40)
+        dm, lengths = _stack(query, trajs)
+        resolved = max(band, int(np.abs(m - lengths).max()))
+        values, is_exact = batch_frechet_banded(dm, lengths, band)
+        for i, traj in enumerate(trajs):
+            exact = frechet_distance(query, traj)
+            # min/max-only DP: banded values are evaluation-order
+            # independent, so reference and batch agree bit for bit.
+            assert values[i] == frechet_banded_distance(query, traj,
+                                                        resolved)
+            assert values[i] >= exact
+            if is_exact:
+                assert values[i] == exact
+
+    def test_full_coverage_band_is_flagged_exact(self):
+        rng = np.random.default_rng(9)
+        query = rng.normal(0, 1, (6, 2))
+        trajs = _walks(rng, 8, 2, 7)
+        dm, lengths = _stack(query, trajs)
+        for kernel, seq in ((batch_dtw_banded, dtw_distance),
+                            (batch_frechet_banded, frechet_distance)):
+            values, is_exact = kernel(dm, lengths, 1000)
+            assert is_exact
+            for i, traj in enumerate(trajs):
+                assert values[i] == seq(query, traj)
+
+
+class TestErpPrefixBound:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_sound_and_dominates_classic(self, seed):
+        rng = np.random.default_rng(seed)
+        gap = (0.25, -0.4)
+        for _ in range(40):
+            a = rng.normal(0, 1, (int(rng.integers(1, 25)), 2)).cumsum(axis=0)
+            b = rng.normal(0, 1, (int(rng.integers(1, 25)), 2)).cumsum(axis=0)
+            exact = erp_distance(a, b, gap=gap)
+            classic = abs(np.hypot(a[:, 0] - gap[0], a[:, 1] - gap[1]).sum()
+                          - np.hypot(b[:, 0] - gap[0],
+                                     b[:, 1] - gap[1]).sum())
+            bound = erp_prefix_bound(a, b, gap=gap)
+            assert bound <= exact + 1e-9
+            assert bound >= classic - 1e-12
+
+    def test_batch_refiner_erp_bounds_sound(self):
+        rng = np.random.default_rng(4)
+        trajs = [Trajectory(rng.normal(0, 1, (int(rng.integers(1, 30)), 2))
+                            .cumsum(axis=0), traj_id=i) for i in range(40)]
+        store = TrajectoryStore(trajs)
+        measure = get_measure("erp")
+        query = trajs[0].points
+        tids = [t.traj_id for t in trajs]
+        refiner = BatchRefiner(measure, query, store, tids)
+        for i, tid in enumerate(tids):
+            exact = measure.distance(query, store.points_of(tid))
+            assert refiner.bounds[i] <= exact + 1e-9
+
+
+def _make_store(rng, count, min_len, max_len):
+    trajs = [Trajectory(rng.normal(0, 1, (int(rng.integers(min_len,
+                                                           max_len + 1)), 2))
+                        .cumsum(axis=0), traj_id=i) for i in range(count)]
+    # Exact duplicates create ties at the k-th boundary.
+    trajs.append(Trajectory(trajs[0].points.copy(), traj_id=count))
+    trajs.append(Trajectory(trajs[0].points.copy(), traj_id=count + 1))
+    return TrajectoryStore(trajs), [t.traj_id for t in trajs]
+
+
+class TestRefinementBitIdentity:
+    """The staged banded/batched probe must not change any heap."""
+
+    @pytest.mark.parametrize("name", ["dtw", "frechet"])
+    @pytest.mark.parametrize("k", [1, 5, 60])
+    def test_refine_top_k_matches_sequential(self, name, k):
+        rng = np.random.default_rng(7)
+        measure = get_measure(name)
+        store, tids = _make_store(rng, 48, 20, 60)
+        query = store.points_of(3)
+        batch_heap = ResultHeap(k)
+        refine_top_k(measure, query, tids, store, batch_heap)
+        seq_heap = ResultHeap(k)
+        for tid in tids:
+            seq_heap.offer(distance_with_threshold(
+                measure, query, store.points_of(tid), seq_heap.dk), tid)
+        assert batch_heap.sorted_items() == seq_heap.sorted_items()
+
+    @pytest.mark.parametrize("name", ["dtw", "frechet"])
+    def test_band_fallback_cases(self, name, monkeypatch):
+        # Force the banded screen on for every survivor count and a
+        # narrow band, so candidates routinely fail certification and
+        # fall back to the exact DP ("band fallback").
+        monkeypatch.setattr(batch_mod, "_BAND_SCREEN_MIN", 1)
+        monkeypatch.setattr(batch_mod, "_BAND_MIN", 1)
+        monkeypatch.setattr(batch_mod, "_BAND_FRAC", 0.0)
+        rng = np.random.default_rng(11)
+        measure = get_measure(name)
+        store, tids = _make_store(rng, 40, 1, 70)
+        query = store.points_of(5)
+        for k in (1, 7):
+            batch_heap = ResultHeap(k)
+            refine_top_k(measure, query, tids, store, batch_heap)
+            seq_heap = ResultHeap(k)
+            for tid in tids:
+                seq_heap.offer(distance_with_threshold(
+                    measure, query, store.points_of(tid), seq_heap.dk), tid)
+            assert batch_heap.sorted_items() == seq_heap.sorted_items()
+
+    @pytest.mark.parametrize("name", ["dtw", "frechet", "erp"])
+    def test_refine_range_matches_sequential(self, name):
+        rng = np.random.default_rng(13)
+        measure = get_measure(name)
+        store, tids = _make_store(rng, 40, 5, 50)
+        query = store.points_of(2)
+        sample = sorted(measure.distance(query, store.points_of(t))
+                        for t in tids[:12])
+        radius = sample[len(sample) // 2]
+        got = refine_range(measure, query, tids, store, radius)
+        cutoff = float(np.nextafter(radius, np.inf))
+        expected = []
+        for tid in tids:
+            dist = distance_with_threshold(measure, query,
+                                           store.points_of(tid), cutoff)
+            if dist <= radius:
+                expected.append((dist, tid))
+        assert got == expected
+
+    @pytest.mark.parametrize("name", ["dtw", "frechet"])
+    def test_unretained_tensor_path(self, name, monkeypatch):
+        # Shrink the chunk budget so tensors are never retained and
+        # exact_batch regathers; results must not change.
+        monkeypatch.setattr(batch_mod, "_CHUNK_ELEMS", 512)
+        rng = np.random.default_rng(17)
+        measure = get_measure(name)
+        store, tids = _make_store(rng, 32, 10, 40)
+        query = store.points_of(1)
+        batch_heap = ResultHeap(6)
+        refine_top_k(measure, query, tids, store, batch_heap)
+        seq_heap = ResultHeap(6)
+        for tid in tids:
+            seq_heap.offer(distance_with_threshold(
+                measure, query, store.points_of(tid), seq_heap.dk), tid)
+        assert batch_heap.sorted_items() == seq_heap.sorted_items()
+
+
+class TestStorePrefixMasses:
+    def test_prefix_masses_match_direct_sums(self):
+        rng = np.random.default_rng(21)
+        trajs = [Trajectory(rng.uniform(-2, 2, (int(rng.integers(1, 12)), 2)),
+                            traj_id=i) for i in range(10)]
+        store = TrajectoryStore(trajs)
+        gap = (0.5, 0.5)
+        depth = 6
+        prefixes, totals = store.erp_prefix_masses(
+            [t.traj_id for t in trajs], gap, depth)
+        for i, traj in enumerate(trajs):
+            masses = np.hypot(traj.points[:, 0] - gap[0],
+                              traj.points[:, 1] - gap[1])
+            for j in range(depth + 1):
+                expect = masses[:min(j, len(traj))].sum()
+                assert prefixes[i, j] == pytest.approx(expect, abs=1e-12)
+            assert totals[i] == pytest.approx(masses.sum(), abs=1e-12)
+
+    def test_gather_max_len_clips(self):
+        rng = np.random.default_rng(22)
+        trajs = [Trajectory(rng.uniform(0, 1, (8, 2)), traj_id=0),
+                 Trajectory(rng.uniform(0, 1, (3, 2)), traj_id=1)]
+        store = TrajectoryStore(trajs)
+        padded, lengths = store.gather([0, 1], max_len=5)
+        assert padded.shape == (2, 5, 2)
+        assert lengths.tolist() == [5, 3]
+        np.testing.assert_array_equal(padded[0], trajs[0].points[:5])
+        assert np.isinf(padded[1, 3:]).all()

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.cluster.engine import ExecutionEngine, TaskTiming
+from repro.cluster.engine import (
+    ExecutionEngine,
+    TaskTiming,
+    WorkloadHints,
+    choose_backend,
+)
 from repro.cluster.driver import merge_top_k
 from repro.cluster.partitioner import (
     HashPartitioner,
@@ -239,6 +244,131 @@ class TestProcessBackend:
         results, timings = ExecutionEngine("process").run([])
         assert results == [] and timings == []
 
+class TestAutoBackend:
+    def test_no_hints_stays_serial(self):
+        assert choose_backend(None) == "serial"
+        assert choose_backend(WorkloadHints(num_tasks=1)) == "serial"
+
+    def test_tiny_work_stays_serial(self):
+        hints = WorkloadHints(measure="hausdorff", partition_points=100,
+                              num_tasks=4)
+        assert choose_backend(hints) == "serial"
+
+    def test_numpy_heavy_work_goes_to_threads(self):
+        hints = WorkloadHints(measure="hausdorff", partition_points=10**6,
+                              num_tasks=16)
+        assert choose_backend(hints) == "thread"
+
+    def test_gil_heavy_work_goes_to_processes(self):
+        hints = WorkloadHints(measure="lcss", partition_points=10**6,
+                              num_tasks=16, batch_width=8)
+        assert choose_backend(hints) == "process"
+
+    def test_warm_pool_lowers_the_process_bar(self):
+        hints = WorkloadHints(measure="edr", partition_points=4_000,
+                              num_tasks=16)
+        assert choose_backend(hints, process_pool_warm=False) == "thread"
+        assert choose_backend(hints, process_pool_warm=True) == "process"
+
+    def test_auto_resolution_recorded(self):
+        engine = ExecutionEngine("auto", max_workers=2)
+        hints = WorkloadHints(measure="hausdorff", partition_points=10**6,
+                              num_tasks=3)
+        results, timings = engine.run(
+            [lambda: 1, lambda: 2, lambda: 3], hints=hints)
+        assert results == [1, 2, 3]
+        assert engine.last_backend == "thread"
+        engine.close()
+
+    def test_auto_falls_back_to_threads_on_unpicklable_tasks(self):
+        engine = ExecutionEngine("auto", max_workers=2)
+        hints = WorkloadHints(measure="lcss", partition_points=10**6,
+                              num_tasks=2, batch_width=8)
+        assert choose_backend(hints) == "process"
+        results, _ = engine.run([lambda: 1, lambda: 2], hints=hints)
+        assert results == [1, 2]
+        assert engine.last_backend == "thread"
+        engine.close()
+
+    def test_mixed_picklability_retries_only_failed_tasks(self):
+        # Picklable tasks execute once in the process pool; only the
+        # unpicklable one is retried on threads (no duplicated work).
+        engine = ExecutionEngine("auto", max_workers=2)
+        hints = WorkloadHints(measure="lcss", partition_points=10**6,
+                              num_tasks=3, batch_width=8)
+        tasks = [_SquareTask(3), lambda: 99, _SquareTask(5)]
+        results, timings = engine.run(tasks, hints=hints)
+        assert results == [9, 99, 25]
+        assert [t.partition_id for t in timings] == [0, 1, 2]
+        assert engine.last_backend == "mixed"
+        engine.close()
+
+    def test_explicit_process_backend_still_raises(self):
+        engine = ExecutionEngine("process", max_workers=2)
+        import pickle
+        with pytest.raises((pickle.PicklingError, AttributeError)):
+            engine.run([lambda: 1])
+        engine.close()
+
+    def test_auto_never_changes_distributed_results(self):
+        # The acceptance regression: backend auto-selection is a pure
+        # placement decision; top-k and scheduled-batch results must be
+        # identical to the serial engine's.
+        from repro.repose import Repose
+        from repro.types import Trajectory, TrajectoryDataset
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        dataset = TrajectoryDataset(name="auto", trajectories=[
+            Trajectory(rng.uniform(0, 1, (int(rng.integers(4, 20)), 2)),
+                       traj_id=i) for i in range(120)])
+        queries = [dataset.trajectories[i] for i in (0, 17, 44)]
+        for measure in ("hausdorff", "dtw"):
+            serial = Repose.build(dataset, measure=measure,
+                                  num_partitions=6)
+            auto = Repose.build(dataset, measure=measure,
+                                num_partitions=6, engine="auto")
+            for query in queries:
+                assert (auto.top_k(query, 7).result.items
+                        == serial.top_k(query, 7).result.items)
+            batch_auto = auto.top_k_batch_scheduled(queries, 5)
+            batch_serial = serial.top_k_batch_scheduled(queries, 5)
+            assert ([r.items for r in batch_auto.results]
+                    == [r.items for r in batch_serial.results])
+            radius = serial.top_k(queries[0], 5).result.kth_distance()
+            assert (auto.range_query(queries[0], radius).result.items
+                    == serial.range_query(queries[0], radius).result.items)
+            auto.context.engine.close()
+
+
+class TestPersistentPools:
+    def test_thread_pool_reused_across_runs(self):
+        engine = ExecutionEngine("thread", max_workers=2)
+        engine.run([lambda: 1])
+        pool = engine._thread_pool
+        engine.run([lambda: 2])
+        assert engine._thread_pool is pool
+        engine.close()
+        assert engine._thread_pool is None
+
+    def test_process_pool_reused_across_runs(self):
+        engine = ExecutionEngine("process", max_workers=2)
+        tasks = [_SquareTask(v) for v in range(3)]
+        engine.run(tasks)
+        pool = engine._process_pool
+        results, _ = engine.run(tasks)
+        assert engine._process_pool is pool
+        assert results == [0, 1, 4]
+        engine.close()
+
+    def test_context_manager_closes(self):
+        with ExecutionEngine("thread", max_workers=2) as engine:
+            engine.run([lambda: 1])
+            assert engine._thread_pool is not None
+        assert engine._thread_pool is None
+
+
+class TestProcessBackendDistributed:
     def test_distributed_engine_on_process_backend(self):
         # Top-k through the mini-RDD with real subprocess workers; the
         # LinearScanIndex partitions pickle cleanly.
