@@ -34,6 +34,7 @@ EXPERIMENTS = {
     "ablation_succinct": ("bench_ablation_succinct",
                           "test_report_ablation_succinct"),
     "refinement": ("bench_refinement_batch", "test_report_refinement"),
+    "planner": ("bench_planner", "test_report_planner"),
 }
 
 

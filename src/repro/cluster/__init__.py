@@ -15,7 +15,11 @@ substrate for a single machine:
 * :mod:`~repro.cluster.scheduler` — a simulated ``W x C``-core cluster
   that schedules recorded task durations and reports the makespan, which
   stands in for wall-clock query time on the paper's 16-node cluster
-  (see DESIGN.md, substitutions).
+  (see DESIGN.md, substitutions);
+* :mod:`~repro.cluster.planner` — the two-phase query planner: probe
+  partitions for first-level lower bounds, dispatch them in promise
+  order through coordinated waves, and broadcast the tightening global
+  k-th-best distance into every later wave's local searches.
 """
 
 from .rdd import RDD, ClusterContext
@@ -26,8 +30,14 @@ from .partitioner import (
     RoundRobinPartitioner,
 )
 from .engine import ExecutionEngine, TaskTiming
-from .scheduler import ClusterSpec, ScheduleReport, simulate_schedule
-from .driver import merge_top_k
+from .scheduler import (
+    ClusterSpec,
+    ScheduleReport,
+    simulate_schedule,
+    simulate_schedule_waves,
+)
+from .driver import RunningTopK, merge_range, merge_top_k
+from .planner import PlanReport, QueryPlanner, WaveReport
 
 __all__ = [
     "RDD",
@@ -41,5 +51,11 @@ __all__ = [
     "ClusterSpec",
     "ScheduleReport",
     "simulate_schedule",
+    "simulate_schedule_waves",
+    "RunningTopK",
     "merge_top_k",
+    "merge_range",
+    "QueryPlanner",
+    "PlanReport",
+    "WaveReport",
 ]

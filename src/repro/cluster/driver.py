@@ -3,54 +3,102 @@
 After ``mapPartitions`` computes local results, the master collects
 them and reduces them into one global answer (paper, Section V-C: "the
 master collects the results from each partition by collect and
-determines the global top-k result").  Three reductions live here:
+determines the global top-k result").  Two reduction styles live here:
 
-* :func:`merge_top_k` — keep the k globally smallest distances across
-  every partition's local top-k list;
-* :func:`merge_range` — concatenate and sort per-partition range-query
-  matches (every partition already returned its full in-radius set);
-* :func:`merge_stats` — sum per-partition search statistics so pruning
-  effectiveness can be reported cluster-wide.
+* :class:`RunningTopK` — a *wave-incremental* merge: the query planner
+  folds each wave's partial results as they arrive and reads the
+  running global k-th-best distance ``dk`` off the accumulator to
+  broadcast into the next wave.  Folding is associative over any
+  grouping of the partials (the (distance, tid) order is total), so
+  wave boundaries never change the merged answer;
+* the one-shot functions :func:`merge_top_k`, :func:`merge_range` and
+  :func:`merge_stats`, which reduce a fully collected list of partials
+  (single-shot execution, batch scheduling, tests).  ``merge_top_k``
+  is a single :class:`RunningTopK` fold, so both styles share one
+  tie-breaking rule.
 
-All three are pure functions of the collected partials, so the driver
-stays correct under any execution backend and any task completion
-order.
+All reductions are pure functions of the collected partials, so the
+driver stays correct under any execution backend and any task
+completion order.
 """
 
 from __future__ import annotations
 
 import heapq
+from dataclasses import fields, replace
 from typing import Iterable
 
 from ..core.search import SearchStats, TopKResult
 
-__all__ = ["merge_stats", "merge_top_k", "merge_range"]
+__all__ = ["RunningTopK", "merge_stats", "merge_top_k", "merge_range"]
 
 
 def merge_stats(partials: Iterable[SearchStats]) -> SearchStats:
     """Sum per-partition :class:`SearchStats` field by field."""
     merged = SearchStats()
     for stats in partials:
-        merged.nodes_visited += stats.nodes_visited
-        merged.nodes_pruned += stats.nodes_pruned
-        merged.leaf_refinements += stats.leaf_refinements
-        merged.distance_computations += stats.distance_computations
+        for f in fields(SearchStats):
+            setattr(merged, f.name,
+                    getattr(merged, f.name) + getattr(stats, f.name))
     return merged
+
+
+class RunningTopK:
+    """Incremental global top-k accumulator for waved execution.
+
+    Keeps the k globally smallest ``(distance, tid)`` pairs folded so
+    far, with exactly :func:`merge_top_k`'s ordering and tie-breaking
+    (ascending distance, then ascending tid).  Because that order is
+    total, ``fold`` is associative: folding wave by wave, partition by
+    partition, or everything at once produces the same items — which
+    is what lets the planner merge incrementally without perturbing
+    results.  Stats are summed across every folded partial.
+    """
+
+    def __init__(self, k: int):
+        self.k = k
+        self._items: list[tuple[float, int]] = []
+        self._stats = SearchStats()
+
+    @property
+    def dk(self) -> float:
+        """Running global k-th best distance (inf until k items seen).
+
+        This is the threshold the planner broadcasts: it is only
+        finite once k items are actually held, so a seeded search can
+        never suppress a candidate that the unseeded run would keep.
+        """
+        if len(self._items) < self.k:
+            return float("inf")
+        return self._items[-1][0]
+
+    def fold(self, partials: Iterable[TopKResult]) -> "RunningTopK":
+        """Fold per-partition partials into the running global top-k."""
+        partials = list(partials)
+        all_items = list(self._items)
+        for partial in partials:
+            all_items.extend(partial.items)
+        self._items = sorted(heapq.nsmallest(self.k, all_items))
+        for partial in partials:
+            self._stats = merge_stats((self._stats, partial.stats))
+        return self
+
+    def result(self) -> TopKResult:
+        """The merged global result so far (items copied, stats shared
+        via a fresh dataclass copy)."""
+        return TopKResult(items=list(self._items),
+                          stats=replace(self._stats))
 
 
 def merge_top_k(partials: Iterable[TopKResult], k: int) -> TopKResult:
     """Merge per-partition :class:`TopKResult` lists into a global one.
 
+    One-shot form of :class:`RunningTopK` (a single fold), so one-shot
+    and waved execution share identical ordering and tie-breaking.
     Stats are summed across partitions so pruning effectiveness can be
     reported cluster-wide.
     """
-    partials = list(partials)
-    all_items: list[tuple[float, int]] = []
-    for partial in partials:
-        all_items.extend(partial.items)
-    top = heapq.nsmallest(k, all_items)
-    return TopKResult(items=sorted(top),
-                      stats=merge_stats(p.stats for p in partials))
+    return RunningTopK(k).fold(partials).result()
 
 
 def merge_range(partials: Iterable[TopKResult]) -> TopKResult:

@@ -27,6 +27,14 @@ spawn) is amortized over a whole scheduled query batch instead of paid
 per query.  Backend choice never changes results — every backend runs
 the same tasks and returns them in partition order — so ``"auto"`` is
 purely a placement decision.
+
+Two driver-feedback extensions support the two-phase query planner:
+:meth:`ExecutionEngine.run_waves` dispatches lazily produced task
+waves with an inter-wave callback (the planner's threshold-propagation
+hook) on the same persistent pools, and
+:meth:`ExecutionEngine.calibrate` replaces the ``"auto"`` cost model's
+dev-box ballpark constants with rates measured from one real partition
+task per measure on this machine.
 """
 
 from __future__ import annotations
@@ -35,8 +43,8 @@ import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Callable, Sequence
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Sequence
 
 __all__ = ["TaskTiming", "WorkloadHints", "choose_backend",
            "ExecutionEngine"]
@@ -126,7 +134,8 @@ _PROCESS_WARM_US = 25_000.0
 
 
 def choose_backend(hints: WorkloadHints | None,
-                   process_pool_warm: bool = False) -> str:
+                   process_pool_warm: bool = False,
+                   cost_us: dict[str, float] | None = None) -> str:
     """Resolve ``"auto"`` to a concrete backend for one task batch.
 
     The model estimates total work as
@@ -139,12 +148,17 @@ def choose_backend(hints: WorkloadHints | None,
       benefit covers worker startup — startup that drops to the warm
       rate when the engine's pool already exists.
 
-    Pure function of its inputs (no measurement at choice time), so
-    selections are reproducible and unit-testable.
+    ``cost_us`` optionally overrides the built-in per-measure cost
+    table with *measured* rates (see :meth:`ExecutionEngine.calibrate`)
+    so the model reflects this machine rather than the dev-box
+    ballparks.  Pure function of its inputs (no measurement at choice
+    time), so selections are reproducible and unit-testable.
     """
     if hints is None or hints.num_tasks <= 1:
         return "serial"
-    cost = _MEASURE_COST_US.get(hints.measure, _DEFAULT_COST_US)
+    cost = (cost_us or {}).get(hints.measure)
+    if cost is None:
+        cost = _MEASURE_COST_US.get(hints.measure, _DEFAULT_COST_US)
     per_task = cost * max(hints.partition_points, 1) * max(
         hints.batch_width, 1)
     total = per_task * hints.num_tasks
@@ -193,6 +207,10 @@ class ExecutionEngine:
         self.backend = backend
         self.max_workers = max_workers
         self.last_backend: str | None = None
+        #: Measured per-point task costs (us) keyed by measure name,
+        #: filled by :meth:`calibrate`; overrides the built-in cost
+        #: table for this engine's ``"auto"`` resolutions.
+        self.calibrated_cost_us: dict[str, float] = {}
         self._thread_pool: ThreadPoolExecutor | None = None
         self._process_pool: ProcessPoolExecutor | None = None
 
@@ -207,7 +225,8 @@ class ExecutionEngine:
         """
         backend = self.backend
         if backend == "auto":
-            backend = choose_backend(hints, self._process_pool is not None)
+            backend = choose_backend(hints, self._process_pool is not None,
+                                     self.calibrated_cost_us)
         if not tasks:
             backend = "serial"
         self.last_backend = backend
@@ -218,6 +237,62 @@ class ExecutionEngine:
                 return self._run_processes_with_fallback(tasks)
             return self._run_processes(tasks)
         return self._run_threads(tasks)
+
+    def run_waves(self, waves: Iterable[Sequence[Callable[[], object]]],
+                  hints: WorkloadHints | None = None,
+                  on_wave: Callable[[int, list, list[TaskTiming]], None]
+                  | None = None,
+                  ) -> tuple[list[object], list[list[TaskTiming]]]:
+        """Execute task batches wave by wave on the persistent pools.
+
+        ``waves`` is pulled *lazily*: the next wave's tasks are only
+        requested after the previous wave finished and ``on_wave`` ran,
+        which is what lets a driver-side planner shape wave ``w + 1``
+        from wave ``w``'s results (fold partials, tighten the global
+        threshold, rebuild the remaining tasks).  Pools persist across
+        waves exactly as they do across :meth:`run` calls, so the
+        feedback loop costs no worker restarts.
+
+        ``hints`` describe one wave; ``num_tasks`` is re-derived per
+        wave from the actual wave size so an ``"auto"`` engine resolves
+        each dispatch against what it really runs.  Returns the
+        flattened results plus per-wave timing lists (wave boundaries
+        are synchronization barriers, which the wave-aware makespan
+        simulation in :func:`repro.cluster.scheduler
+        .simulate_schedule_waves` accounts for).
+        """
+        all_results: list[object] = []
+        wave_timings: list[list[TaskTiming]] = []
+        for index, tasks in enumerate(waves):
+            tasks = list(tasks)
+            wave_hints = (replace(hints, num_tasks=len(tasks))
+                          if hints is not None else None)
+            results, timings = self.run(tasks, hints=wave_hints)
+            all_results.extend(results)
+            wave_timings.append(timings)
+            if on_wave is not None:
+                on_wave(index, results, timings)
+        return all_results, wave_timings
+
+    def calibrate(self, measure: str | None,
+                  task: Callable[[], object],
+                  partition_points: int) -> float:
+        """One-shot cost-model calibration for ``measure``.
+
+        Runs ``task`` (a representative single-partition query task)
+        once, serially, and converts the measured duration into the
+        per-point microsecond rate the ``"auto"`` cost model uses —
+        replacing the dev-box ballpark constant for that measure on
+        this engine.  Returns the measured rate.  One timing is enough:
+        the model only needs order-of-magnitude ratios against the pool
+        overhead constants, and a single real task reflects this
+        machine's numpy/BLAS/GIL behaviour far better than any built-in
+        table.
+        """
+        _, timing = _timed_task(0, task)
+        rate = timing.seconds * 1e6 / max(partition_points, 1)
+        self.calibrated_cost_us[measure] = rate
+        return rate
 
     # -- pool management ----------------------------------------------------
 

@@ -1,0 +1,336 @@
+"""Two-phase query planner with cross-partition threshold propagation.
+
+The paper's driver runs one monolithic map-then-merge: every partition
+computes its local top-k to full precision and the master merges the
+collected lists (Section V-C).  A partition holding none of the global
+top-k still refines k candidates exactly, and no partition ever
+benefits from another's k-th-best distance.  This module replaces that
+one-shot fan-out with a coordinated two-phase plan:
+
+1. **Probe phase** — every partition is asked for its root/first-level
+   RP-Trie lower bounds (:func:`repro.core.search.probe_search`): a
+   near-free, refinement-free summary giving a sound lower bound on
+   the distance from the query to *everything* the partition holds,
+   plus an LB-only candidate estimate.
+2. **Wave phase** — partitions are ordered by estimated promise
+   (ascending probe bound) and dispatched in configurable waves
+   through :meth:`repro.cluster.engine.ExecutionEngine.run_waves`.
+   After each wave the driver folds the partials into a running
+   global :class:`~repro.cluster.driver.RunningTopK` and *broadcasts
+   the tightened k-th best distance* ``dk`` into the next wave's
+   ``local_search`` calls, where it seeds the result heap, the trie
+   pruning, the banded screens and the batch refinement threshold.
+   Partitions whose probe bound already exceeds the running ``dk``
+   are skipped outright — their every trajectory is provably out.
+
+Threshold propagation only ever prunes work: the broadcast ``dk`` is
+applied strictly (candidates tied with it survive, matching the driver
+merge's (distance, tid) tie-breaks) and is only finite once k global
+results exist, so waved execution is **bit-identical** to single-shot
+execution — property-tested for every measure in
+``tests/test_planner.py``.  Range queries ride the same machinery with
+the fixed radius in place of a tightening ``dk`` (no broadcasts, but
+probe-phase partition skipping applies unchanged).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.search import PartitionProbe, SearchStats, TopKResult
+from .driver import RunningTopK, merge_stats
+from .engine import ExecutionEngine, TaskTiming, WorkloadHints
+
+__all__ = ["WaveReport", "PlanReport", "QueryPlanner"]
+
+#: Default number of waves a plan is cut into when no explicit
+#: ``wave_size`` is configured: enough feedback rounds for the
+#: threshold to bite, few enough that barrier overhead stays small.
+DEFAULT_WAVES = 4
+
+#: Floor on the default wave size.  Every wave is a synchronization
+#: barrier, so cutting a handful of partitions into many tiny waves
+#: serializes the cluster for negligible propagation benefit; below
+#: this many partitions per wave the default plan degenerates to one
+#: probe-ordered wave (explicit ``wave_size`` overrides the floor).
+MIN_WAVE_SIZE = 8
+
+
+@dataclass
+class WaveReport:
+    """What one dispatched wave did (per-wave planner statistics)."""
+
+    #: Zero-based wave number.
+    index: int
+    #: Partition ids dispatched in this wave (promise order).
+    partitions: list[int] = field(default_factory=list)
+    #: Partition ids skipped because their probe bound exceeded the
+    #: running global ``dk`` — searched by a single-shot plan, not here.
+    skipped: list[int] = field(default_factory=list)
+    #: Global k-th best distance broadcast into this wave (inf for the
+    #: first wave / an unfilled heap).
+    dk_before: float = float("inf")
+    #: Global k-th best after folding this wave's results.
+    dk_after: float = float("inf")
+    #: Trie nodes pruned inside this wave's local searches.
+    nodes_pruned: int = 0
+    #: Exact evaluations paid inside this wave's local searches.
+    exact_refinements: int = 0
+
+
+@dataclass
+class PlanReport:
+    """One executed query plan, wave by wave.
+
+    Attached to :class:`repro.repose.QueryOutcome` so experiments can
+    report how much work threshold propagation saved (skipped
+    partitions, per-wave pruned-node and exact-refinement counts)
+    alongside the usual timing numbers.
+    """
+
+    #: ``"waves"`` (this planner) or ``"single"`` (one-shot fan-out).
+    mode: str
+    #: Partitions per wave the plan was cut into.
+    wave_size: int
+    #: Dispatch order (partition ids, most promising first).
+    order: list[int] = field(default_factory=list)
+    #: Per-partition probe bounds, indexed by partition id.
+    probe_bounds: list[float] = field(default_factory=list)
+    #: Driver-side seconds spent in the probe phase.
+    probe_seconds: float = 0.0
+    #: Per-wave execution reports.
+    waves: list[WaveReport] = field(default_factory=list)
+    #: Number of waves that received a finite broadcast threshold.
+    threshold_broadcasts: int = 0
+
+    @property
+    def partitions_skipped(self) -> int:
+        """Partitions never searched because their probe bound proved
+        every trajectory they hold is outside the global top-k."""
+        return sum(len(w.skipped) for w in self.waves)
+
+
+class QueryPlanner:
+    """Probe, order and dispatch partitions in threshold-coupled waves.
+
+    The planner is index-agnostic: it drives opaque per-partition
+    records through caller-supplied task factories, discovering the two
+    optional capabilities by duck typing —
+
+    * a ``probe(query, dqp=...)`` method on the local index (returning
+      a :class:`~repro.core.search.PartitionProbe`) enables promise
+      ordering and probe-bound partition skipping;
+    * a truthy ``supports_threshold`` attribute enables the ``dk``
+      broadcast into the index's ``top_k``.
+
+    Indexes with neither (the DFT/DITA/LS baselines) still execute
+    correctly — they are simply dispatched in id order with no
+    propagation, degenerating to a barriered single-shot plan.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.cluster.engine.ExecutionEngine` whose
+        persistent pools run every wave.
+    wave_size:
+        Partitions per wave; ``None`` cuts the plan into
+        :data:`DEFAULT_WAVES` equal waves.  ``wave_size >= partitions``
+        degenerates to single-shot dispatch (still probe-ordered).
+    """
+
+    def __init__(self, engine: ExecutionEngine,
+                 wave_size: int | None = None):
+        self.engine = engine
+        self.wave_size = wave_size
+
+    # -- phase 1: probe ------------------------------------------------------
+
+    def probe(self, parts: Sequence, query, kwargs: dict,
+              ) -> list[PartitionProbe | None]:
+        """Collect every partition's first-level probe, driver-side.
+
+        The probe is orders of magnitude cheaper than a search (no
+        leaf refinement, no distance computations beyond the shared
+        query-pivot distances already in ``kwargs``), so it runs
+        serially on the driver — the same place the paper computes
+        ``dqp`` — rather than paying a dispatch round-trip.
+        """
+        probe_kwargs = ({"dqp": kwargs["dqp"]} if "dqp" in kwargs else {})
+        probes: list[PartitionProbe | None] = []
+        for rp in parts:
+            probe_fn = getattr(rp.index, "probe", None)
+            if probe_fn is None:
+                probes.append(None)
+                continue
+            probes.append(probe_fn(query, **probe_kwargs))
+        return probes
+
+    def plan_order(self, probes: Sequence[PartitionProbe | None],
+                   ) -> list[int]:
+        """Partition dispatch order: ascending probe bound, then id.
+
+        Promising partitions (small lower bounds) go first so the
+        running global ``dk`` tightens as early as possible; the id
+        tie-break keeps plans deterministic.  Partitions without a
+        probe sort as bound 0 — never skippable, maximally early —
+        which is the conservative choice for unknown indexes.
+        """
+        keyed = [(p.bound if p is not None else 0.0, pid)
+                 for pid, p in enumerate(probes)]
+        return [pid for _, pid in sorted(keyed)]
+
+    def plan_waves(self, order: list[int]) -> list[list[int]]:
+        """Cut the dispatch order into waves of ``wave_size``."""
+        if not order:
+            return []
+        size = self.wave_size
+        if size is None:
+            size = max(MIN_WAVE_SIZE,
+                       math.ceil(len(order) / DEFAULT_WAVES))
+        size = max(1, int(size))
+        return [order[lo:lo + size] for lo in range(0, len(order), size)]
+
+    # -- phase 2: waves ------------------------------------------------------
+
+    def _prepare_plan(self, parts: Sequence, query, kwargs: dict,
+                      ) -> tuple[list[PartitionProbe | None],
+                                 list[list[int]], PlanReport]:
+        """Shared phase-1 setup: probe, order, cut waves, open report."""
+        start = time.perf_counter()
+        probes = self.probe(parts, query, kwargs)
+        order = self.plan_order(probes)
+        waves = self.plan_waves(order)
+        report = PlanReport(
+            mode="waves",
+            wave_size=len(waves[0]) if waves else 0,
+            order=order,
+            probe_bounds=[p.bound if p is not None else 0.0
+                          for p in probes],
+            probe_seconds=time.perf_counter() - start,
+        )
+        return probes, waves, report
+
+    def execute_top_k(self, parts: Sequence, query, k: int, kwargs: dict,
+                      make_task: Callable[[object, dict], Callable],
+                      hints: WorkloadHints | None = None,
+                      ) -> tuple[TopKResult, list[list[TaskTiming]],
+                                 PlanReport]:
+        """Run one distributed top-k query as a two-phase wave plan.
+
+        ``make_task(rp, task_kwargs)`` builds the engine task for one
+        partition record; the planner owns which partitions run, in
+        which wave, and with which extra ``dk`` kwarg.  Returns the
+        merged global result (bit-identical to single-shot execution),
+        the per-wave task timings for barrier-aware makespan
+        simulation, and the :class:`PlanReport`.
+        """
+        probes, waves, report = self._prepare_plan(parts, query, kwargs)
+        merge = RunningTopK(k)
+
+        def wave_tasks():
+            """Lazily build each wave against the freshest global dk."""
+            for index, wave in enumerate(waves):
+                dk = merge.dk
+                wave_report = WaveReport(index=index, dk_before=dk)
+                report.waves.append(wave_report)
+                tasks = []
+                broadcast = False
+                for pid in wave:
+                    probe = probes[pid]
+                    if probe is not None and probe.bound > dk:
+                        # Sound skip: probe.bound lower-bounds every
+                        # trajectory here, and dk certifies k global
+                        # results at or below it already exist.  Ties
+                        # are dispatched (strict >) to preserve the
+                        # merge's tid tie-breaking bit-for-bit.
+                        wave_report.skipped.append(pid)
+                        continue
+                    task_kwargs = kwargs
+                    if (math.isfinite(dk)
+                            and getattr(parts[pid].index,
+                                        "supports_threshold", False)):
+                        # A caller-supplied dk stays in force when it
+                        # is the tighter of the two.
+                        task_kwargs = {
+                            **kwargs,
+                            "dk": min(dk, kwargs.get("dk", float("inf"))),
+                        }
+                        broadcast = True
+                    wave_report.partitions.append(pid)
+                    tasks.append(make_task(parts[pid], task_kwargs))
+                if broadcast:
+                    report.threshold_broadcasts += 1
+                yield tasks
+
+        def fold_wave(index: int, results: list,
+                      timings: list[TaskTiming]) -> None:
+            merge.fold(results)
+            wave_report = report.waves[index]
+            wave_report.dk_after = merge.dk
+            wave_stats = merge_stats(r.stats for r in results)
+            wave_report.nodes_pruned = wave_stats.nodes_pruned
+            wave_report.exact_refinements = wave_stats.exact_refinements
+
+        _, wave_timings = self.engine.run_waves(
+            wave_tasks(), hints=hints, on_wave=fold_wave)
+
+        result = merge.result()
+        self._finalize_stats(result.stats, report)
+        return result, wave_timings, report
+
+    def execute_range(self, parts: Sequence, query, radius: float,
+                      kwargs: dict,
+                      make_task: Callable[[object, dict], Callable],
+                      hints: WorkloadHints | None = None,
+                      ) -> tuple[list[TopKResult], list[list[TaskTiming]],
+                                 PlanReport]:
+        """Run one distributed range query as a probed wave plan.
+
+        The radius is a fixed threshold, so there is nothing to
+        propagate between waves — but the probe phase still skips every
+        partition whose first-level bound exceeds the radius without
+        searching it, and dispatch stays wave-structured so range and
+        top-k share one execution (and accounting) path.  Returns the
+        per-partition partials in dispatch order (the driver's
+        ``merge_range`` is order-insensitive), per-wave timings and the
+        report.
+        """
+        probes, waves, report = self._prepare_plan(parts, query, kwargs)
+        partials: list[TopKResult] = []
+
+        def wave_tasks():
+            for index, wave in enumerate(waves):
+                wave_report = WaveReport(index=index, dk_before=radius,
+                                         dk_after=radius)
+                report.waves.append(wave_report)
+                tasks = []
+                for pid in wave:
+                    probe = probes[pid]
+                    if probe is not None and probe.bound > radius:
+                        wave_report.skipped.append(pid)
+                        continue
+                    wave_report.partitions.append(pid)
+                    tasks.append(make_task(parts[pid], kwargs))
+                yield tasks
+
+        def fold_wave(index: int, results: list,
+                      timings: list[TaskTiming]) -> None:
+            partials.extend(results)
+            wave_stats = merge_stats(r.stats for r in results)
+            report.waves[index].nodes_pruned = wave_stats.nodes_pruned
+            report.waves[index].exact_refinements = (
+                wave_stats.exact_refinements)
+
+        _, wave_timings = self.engine.run_waves(
+            wave_tasks(), hints=hints, on_wave=fold_wave)
+        return partials, wave_timings, report
+
+    @staticmethod
+    def _finalize_stats(stats: SearchStats, report: PlanReport) -> None:
+        """Copy driver-level plan counters onto the merged stats."""
+        stats.waves = len(report.waves)
+        stats.threshold_broadcasts = report.threshold_broadcasts
+        stats.partitions_skipped = report.partitions_skipped

@@ -78,14 +78,47 @@ class ClusterContext:
     """Entry point, playing the role of Spark's ``SparkContext``."""
 
     def __init__(self, engine: ExecutionEngine | None = None):
+        #: Measured cost-model rates persisted by
+        #: :meth:`repro.repose.DistributedTopK.calibrate`.  Assigning a
+        #: new :attr:`engine` re-seeds it from this dict, so
+        #: calibration outlives any single engine.  (Set before the
+        #: engine so the setter can read it.)
+        self.calibration: dict[str, float] = {}
         self.engine = engine if engine is not None else ExecutionEngine()
         self.last_timings: list[TaskTiming] = []
+        #: Wave-aware task accounting: per-wave timing lists of the most
+        #: recent action.  Single-shot actions record one wave; the
+        #: query planner records one entry per dispatched wave, which is
+        #: what the barrier-aware makespan simulation
+        #: (:func:`repro.cluster.scheduler.simulate_schedule_waves`)
+        #: consumes.  ``last_timings`` stays the flat concatenation.
+        self.last_wave_timings: list[list[TaskTiming]] = []
         #: Workload hints forwarded to the engine on every action, so
         #: an ``"auto"`` engine can pick a backend per dispatch.  The
         #: driver (:class:`repro.repose.DistributedTopK`) refreshes
         #: this before each build/query; plain RDD users may leave it
         #: None (the engine then stays on its deterministic default).
         self.hints: WorkloadHints | None = None
+
+    @property
+    def engine(self) -> ExecutionEngine:
+        """The execution engine running this context's actions."""
+        return self._engine
+
+    @engine.setter
+    def engine(self, engine: ExecutionEngine) -> None:
+        """Install ``engine``, seeding it with any persisted calibration
+        (engine-measured rates win over previously stored ones)."""
+        for measure, rate in self.calibration.items():
+            engine.calibrated_cost_us.setdefault(measure, rate)
+        self._engine = engine
+
+    def record_timings(self,
+                       wave_timings: Sequence[list[TaskTiming]]) -> None:
+        """Record one action's per-wave task timings (flat + waved)."""
+        self.last_wave_timings = [list(w) for w in wave_timings]
+        self.last_timings = [t for wave in self.last_wave_timings
+                             for t in wave]
 
     def parallelize(self, data: Iterable, num_partitions: int = 4,
                     partitioner: Partitioner | None = None) -> "RDD":
@@ -180,7 +213,7 @@ class RDD:
         tasks = [_PartitionTask(part, chain) for part in source]
         results, timings = self.context.engine.run(
             tasks, hints=self.context.hints)
-        self.context.last_timings = timings
+        self.context.record_timings([timings])
         return results
 
     def count(self) -> int:

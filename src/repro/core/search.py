@@ -20,6 +20,20 @@ the old-vs-new refinement benchmark).
 
 Search statistics (nodes visited/pruned, refinements) are collected so
 experiments can report pruning effectiveness.
+
+Two driver-facing hooks support the two-phase query planner
+(:mod:`repro.cluster.planner`):
+
+* :func:`probe_search` summarizes a partition from the root's
+  first-level bounds alone — no refinement — so the driver can order
+  partitions by promise and skip ones whose every trajectory is
+  provably out;
+* ``local_search(..., dk=...)`` seeds the search with an externally
+  known k-th-best distance.  The threshold is applied *strictly* (only
+  candidates whose distance exceeds ``dk`` are suppressed; ties at
+  exactly ``dk`` survive), which keeps the driver's merged global
+  top-k — including its (distance, tid) tie-breaks — bit-identical to
+  a run without the seed.  Seeding only prunes work, never answers.
 """
 
 from __future__ import annotations
@@ -35,18 +49,32 @@ from ..distances.threshold import distance_with_threshold
 from ..types import Trajectory
 from .bounds import make_bound_computer
 
-__all__ = ["TopKResult", "SearchStats", "ResultHeap",
-           "local_search", "local_range_search"]
+__all__ = ["TopKResult", "SearchStats", "ResultHeap", "PartitionProbe",
+           "probe_search", "local_search", "local_range_search"]
 
 
 @dataclass
 class SearchStats:
-    """Counters describing one search run."""
+    """Counters describing one search run.
+
+    The first block counts local per-partition work; the second is
+    filled in by the driver-side query planner (zero for purely local
+    runs) so cluster-wide pruning effectiveness is reportable from one
+    merged object.  ``exact_refinements`` counts candidates that paid a
+    full exact-distance evaluation (an exact DP for DTW/Frechet, the
+    full measure otherwise) instead of being dismissed by a bound — the
+    number threshold propagation exists to shrink.
+    """
 
     nodes_visited: int = 0
     nodes_pruned: int = 0
     leaf_refinements: int = 0
     distance_computations: int = 0
+    exact_refinements: int = 0
+    # -- driver/planner counters (see repro.cluster.planner) ---------------
+    waves: int = 0
+    threshold_broadcasts: int = 0
+    partitions_skipped: int = 0
 
 
 @dataclass
@@ -70,19 +98,34 @@ class TopKResult:
 
 
 class ResultHeap:
-    """Fixed-capacity max-heap over (distance, tid): tracks dk."""
+    """Fixed-capacity max-heap over (distance, tid): tracks dk.
 
-    def __init__(self, k: int):
+    ``threshold`` is an optional *strict* external cutoff: distances at
+    or above it are rejected outright and :attr:`dk` never exceeds it.
+    The query planner seeds it with ``nextafter(global dk, inf)`` so
+    candidates tied with the global k-th best still enter (the driver
+    merge tie-breaks ties by tid), making threshold seeding invisible
+    in the merged global result.
+    """
+
+    def __init__(self, k: int, threshold: float = float("inf")):
         self.k = k
+        self.threshold = threshold
         self._heap: list[tuple[float, int]] = []  # (-distance, tid)
 
     @property
     def dk(self) -> float:
+        """Current pruning threshold: the tighter of the heap's k-th
+        best distance and the external :attr:`threshold`."""
         if len(self._heap) < self.k:
-            return float("inf")
-        return -self._heap[0][0]
+            return self.threshold
+        return min(-self._heap[0][0], self.threshold)
 
     def offer(self, distance: float, tid: int) -> None:
+        """Insert ``(distance, tid)`` if it beats the k-th best and the
+        external threshold; otherwise drop it."""
+        if distance >= self.threshold:
+            return
         if len(self._heap) < self.k:
             heapq.heappush(self._heap, (-distance, tid))
         elif distance < -self._heap[0][0]:
@@ -90,7 +133,7 @@ class ResultHeap:
 
     def clone(self) -> "ResultHeap":
         """Independent copy (used as the batch refiner's probe heap)."""
-        other = ResultHeap(self.k)
+        other = ResultHeap(self.k, threshold=self.threshold)
         other._heap = list(self._heap)
         return other
 
@@ -112,6 +155,69 @@ def _pivot_bound(dqp: np.ndarray | None, node) -> float:
     return max(float(low.max()), float(high.max()), 0.0)
 
 
+@dataclass(frozen=True)
+class PartitionProbe:
+    """Cheap first-level summary of one partition (planner probe phase).
+
+    ``bound`` lower-bounds the distance from the query to *every*
+    trajectory in the partition (the minimum over the root's
+    first-level child bounds), so a partition with
+    ``bound > global dk`` provably holds none of the global top-k and
+    can be skipped without being searched at all.  ``child_bounds``
+    keeps the per-subtree values for promise ordering and LB-only
+    candidate estimation; no leaf is refined to produce any of this.
+    """
+
+    bound: float
+    child_bounds: tuple[float, ...]
+    trajectories: int
+
+    def estimated_candidates(self, threshold: float) -> int:
+        """LB-only estimate: first-level subtrees a search seeded with
+        ``threshold`` could still be forced to descend into."""
+        return sum(1 for b in self.child_bounds if b <= threshold)
+
+
+def probe_search(trie, query: Trajectory,
+                 use_pivots: bool = True, use_lbt: bool = True,
+                 use_lbo: bool = True,
+                 dqp: np.ndarray | None = None) -> PartitionProbe:
+    """Probe one RP-Trie: root/first-level lower bounds only.
+
+    The planner's phase-one primitive: costs one bound extension per
+    first-level child (O(children x query length)), touches no leaves
+    and computes no distances beyond the (driver-shared) query-pivot
+    distances.  Ablation switches mirror :func:`local_search` so the
+    probe is sound under the same configuration it will later search
+    with (a disabled bound contributes 0, which never over-estimates).
+    """
+    trie._require_built()
+    measure = trie.measure
+    computer = make_bound_computer(measure, trie.grid, query.points)
+    if not (use_pivots and trie.pivots):
+        dqp = None
+    elif dqp is None:
+        dqp = np.array([measure.distance(query, p) for p in trie.pivots])
+
+    state = computer.initial_state()
+    bounds: list[float] = []
+    for child in trie.root.iter_children():
+        if child.is_leaf:
+            bound = (computer.leaf_bound(state, child.dmax, 0)
+                     if use_lbt else 0.0)
+        else:
+            _, lbo = computer.extend(state, child.z_value,
+                                     child.max_traj_len)
+            bound = lbo if use_lbo else 0.0
+        bound = max(bound, _pivot_bound(dqp, child) if use_pivots else 0.0)
+        bounds.append(bound)
+    return PartitionProbe(
+        bound=min(bounds) if bounds else float("inf"),
+        child_bounds=tuple(sorted(bounds)),
+        trajectories=int(getattr(trie, "num_trajectories", 0) or 0),
+    )
+
+
 def _refine_leaf_top_k(trie, measure, query: Trajectory, tids: list[int],
                        results: ResultHeap, stats: SearchStats,
                        batch_refine: bool) -> None:
@@ -119,12 +225,14 @@ def _refine_leaf_top_k(trie, measure, query: Trajectory, tids: list[int],
     stats.leaf_refinements += 1
     stats.distance_computations += len(tids)
     if batch_refine:
-        refine_top_k(measure, query.points, tids, trie.store, results)
+        refine_top_k(measure, query.points, tids, trie.store, results,
+                     stats=stats)
         return
     for tid in tids:
         traj = trie.trajectory(tid)
         dist = distance_with_threshold(
             measure, query.points, traj.points, results.dk)
+        stats.exact_refinements += 1
         results.offer(dist, tid)
 
 
@@ -132,7 +240,8 @@ def local_search(trie, query: Trajectory, k: int,
                  use_pivots: bool = True, use_lbt: bool = True,
                  use_lbo: bool = True,
                  dqp: np.ndarray | None = None,
-                 batch_refine: bool = True) -> TopKResult:
+                 batch_refine: bool = True,
+                 dk: float = float("inf")) -> TopKResult:
     """Top-k search on one RP-Trie (Algorithm 2).
 
     Parameters
@@ -156,11 +265,22 @@ def local_search(trie, query: Trajectory, k: int,
         Refine leaf candidates through the vectorized batch engine
         (default) instead of one at a time.  Both paths return
         bit-identical results.
+    dk:
+        Externally known k-th-best distance (the planner's running
+        global threshold).  Applied strictly — only candidates whose
+        distance *exceeds* ``dk`` may be suppressed — so the driver's
+        merged global top-k is unchanged; it seeds the result heap, the
+        node pruning, the banded screens and the batch refinement
+        threshold, turning cross-partition knowledge into local
+        pruning.  Default infinity: plain single-partition semantics.
     """
     trie._require_built()
     measure = trie.measure
     stats = SearchStats()
-    results = ResultHeap(k)
+    # Strict external cutoff: candidates tied with the global k-th best
+    # must survive for the driver merge's (distance, tid) tie-breaks.
+    results = ResultHeap(k, threshold=float(np.nextafter(dk, np.inf))
+                         if np.isfinite(dk) else float("inf"))
 
     computer = make_bound_computer(measure, trie.grid, query.points)
     if not (use_pivots and trie.pivots):
@@ -178,8 +298,8 @@ def local_search(trie, query: Trajectory, k: int,
 
     while heap:
         priority, _, node, state, depth = heapq.heappop(heap)
-        dk = results.dk
-        if priority >= dk:
+        cutoff = results.dk
+        if priority >= cutoff:
             break
         stats.nodes_visited += 1
 
@@ -245,7 +365,7 @@ def local_range_search(trie, query: Trajectory, radius: float,
             stats.distance_computations += len(tids)
             if batch_refine:
                 items.extend(refine_range(measure, query.points, tids,
-                                          trie.store, radius))
+                                          trie.store, radius, stats=stats))
             else:
                 for tid in tids:
                     traj = trie.trajectory(tid)
@@ -254,6 +374,7 @@ def local_range_search(trie, query: Trajectory, radius: float,
                     dist = distance_with_threshold(
                         measure, query.points, traj.points,
                         float(np.nextafter(radius, np.inf)))
+                    stats.exact_refinements += 1
                     if dist <= radius:
                         items.append((dist, tid))
             continue

@@ -282,11 +282,21 @@ def batch_frechet_banded(dm: np.ndarray, lengths: np.ndarray,
 _PAD_WASTE_FACTOR = 1.25
 _MIN_CHUNK = 8
 
-#: Sakoe-Chiba radius of the banded upper-bound screen: at least
-#: ``_BAND_MIN`` cells, scaled to ``_BAND_FRAC`` of the longer side of
-#: the cost matrix (the classic "a few percent of the length" setting).
+#: Sakoe-Chiba radius of the banded upper-bound screen.  Without a
+#: pruning threshold the radius falls back to the classic fixed
+#: heuristic — at least ``_BAND_MIN`` cells, ``_BAND_FRAC`` of the
+#: longer side of the cost matrix.  With a finite running ``dk`` the
+#: screen is adaptive instead: it starts at ``_BAND_MIN`` and doubles
+#: the radius only for candidates whose banded value still exceeds
+#: ``dk`` (see ``BatchRefiner._adaptive_band_sweep``), so
+#: well-separated top-k sets certify under a very narrow — cheap —
+#: band and contested ones grow just as far as the threshold demands.
 _BAND_MIN = 4
 _BAND_FRAC = 1.0 / 16.0
+#: Adaptive growth cap: the band never widens past this fraction of the
+#: longer matrix side (beyond it a sweep costs as much as the staged
+#: exact DP that would otherwise settle the survivors).
+_BAND_MAX_FRAC = 1.0 / 4.0
 
 #: Staged exact-DP batches: the first probe stage refines this many
 #: candidates in one batched DP, doubling per stage (bounded below) so
@@ -605,11 +615,52 @@ class BatchRefiner:
                 else:
                     sub = dist[survivors]
                     sub_lengths = chunk_lengths[survivors]
-                values, exact = banded(sub, sub_lengths,
-                                       _band_radius(m, width))
-                self.uppers[rows[survivors]] = values
-                if exact:
-                    self.exact_mask[rows[survivors]] = True
+                self._adaptive_band_sweep(banded, sub, sub_lengths, dk,
+                                          m, width, rows[survivors])
+
+    def _adaptive_band_sweep(self, banded, sub: np.ndarray,
+                             sub_lengths: np.ndarray, dk: float,
+                             m: int, width: int,
+                             out_rows: np.ndarray) -> None:
+        """``dk``-driven banded screen over one chunk's survivors.
+
+        Without a finite threshold there is nothing to certify against,
+        so one sweep at the classic fixed radius supplies the upper
+        bounds that cap the k-th best (the pre-adaptive behaviour).
+        With a finite ``dk`` the sweep starts at the narrowest band and
+        doubles the radius only for candidates whose banded value still
+        exceeds ``dk`` — each widening can only tighten an upper bound,
+        so a candidate stops growing as soon as its value *certifies*
+        (drops to ``dk`` or below, yielding a usable cap) and the loop
+        stops when every survivor certified, too few remain to justify
+        another sweep, or the band hits the growth cap.  Radius choice
+        never affects results: every banded value is a sound upper
+        bound, and full-coverage sweeps are exact bit-for-bit.
+        """
+        if not np.isfinite(dk):
+            values, exact = banded(sub, sub_lengths, _band_radius(m, width))
+            self.uppers[out_rows] = values
+            if exact:
+                self.exact_mask[out_rows] = True
+            return
+        r = _BAND_MIN
+        r_max = max(_BAND_MIN, int(_BAND_MAX_FRAC * max(m, width)))
+        values, exact = banded(sub, sub_lengths, r)
+        self.uppers[out_rows] = values
+        if exact:
+            self.exact_mask[out_rows] = True
+            return
+        while r < r_max:
+            pending = np.flatnonzero(values > dk)
+            if pending.size < _BAND_SCREEN_MIN:
+                break
+            r = min(2 * r, r_max)
+            grown, exact = banded(sub[pending], sub_lengths[pending], r)
+            values[pending] = grown
+            self.uppers[out_rows[pending]] = grown
+            if exact:
+                self.exact_mask[out_rows[pending]] = True
+                break
 
     @property
     def supports_batch_dp(self) -> bool:
@@ -668,12 +719,19 @@ class BatchRefiner:
 
 
 def refine_top_k(measure: Measure, query: np.ndarray, tids: list[int],
-                 store, heap) -> None:
+                 store, heap, stats=None) -> None:
     """Refine a candidate batch into a top-k ``heap``.
 
     ``heap`` must expose ``dk``, ``offer(distance, tid)`` and
-    ``clone()`` (see :class:`repro.core.search.ResultHeap`).  The heap
-    ends up bit-identical to offering each candidate's
+    ``clone()`` (see :class:`repro.core.search.ResultHeap`); a heap
+    carrying an external ``threshold`` (the planner's broadcast ``dk``)
+    tightens every stage below for free, since all stages prune against
+    ``heap.dk``.  ``stats``, when given, must expose an
+    ``exact_refinements`` counter; it is incremented once per exact
+    evaluation actually performed (each candidate of a staged batched
+    DP, each thresholded full computation on the non-DP path), the
+    planner's measure of how much work threshold propagation saved.
+    The heap ends up bit-identical to offering each candidate's
     ``distance_with_threshold(..., heap.dk)`` value in ``tids`` order:
 
     1. bounds for all candidates come from one batched kernel; for
@@ -702,6 +760,8 @@ def refine_top_k(measure: Measure, query: np.ndarray, tids: list[int],
         return
     if count < _MIN_BATCH.get(measure.name, _MIN_BATCH_DEFAULT):
         for tid in tids:
+            if stats is not None:
+                stats.exact_refinements += 1
             heap.offer(distance_with_threshold(
                 measure, query, store.points_of(tid), heap.dk), tid)
         return
@@ -721,6 +781,8 @@ def refine_top_k(measure: Measure, query: np.ndarray, tids: list[int],
         known = np.flatnonzero(refiner.exact_mask)
         values[known] = refiner.uppers[known]
         exact[known] = True
+        if stats is not None:
+            stats.exact_refinements += int(known.size)
         for i in known.tolist():
             probe.offer(values[i], tids[i])
     if refiner.uppers is not None:
@@ -753,6 +815,8 @@ def refine_top_k(measure: Measure, query: np.ndarray, tids: list[int],
                 pos += 1
             if not group:
                 break
+            if stats is not None:
+                stats.exact_refinements += len(group)
             for i, value in zip(group,
                                 refiner.exact_batch(group).tolist()):
                 values[i] = value
@@ -770,6 +834,8 @@ def refine_top_k(measure: Measure, query: np.ndarray, tids: list[int],
             # bounds[i] < dk, so exact_or_bound ran the full
             # computation: the value is the exact distance even when it
             # lands >= dk.
+            if stats is not None:
+                stats.exact_refinements += 1
             value = refiner.exact_or_bound(i, dk)
             values[i] = value
             exact[i] = True
@@ -778,19 +844,23 @@ def refine_top_k(measure: Measure, query: np.ndarray, tids: list[int],
     for i in range(count):
         value = float(values[i])
         if not exact[i] and value < heap.dk:
+            if stats is not None:
+                stats.exact_refinements += 1
             value = refiner.exact_or_bound(i, heap.dk)
         heap.offer(value, tids[i])
 
 
 def refine_range(measure: Measure, query: np.ndarray, tids: list[int],
-                 store, radius: float) -> list[tuple[float, int]]:
+                 store, radius: float,
+                 stats=None) -> list[tuple[float, int]]:
     """All candidates within ``radius``, as ``(distance, tid)`` pairs.
 
     Candidates whose batch bound already exceeds the radius are dropped
     without any per-candidate work; the rest go through the same
     thresholded computation the sequential loop uses — batched for
     DTW/Frechet — so the surviving set and its distances are
-    bit-identical.
+    bit-identical.  ``stats`` counts exact evaluations as in
+    :func:`refine_top_k`.
     """
     matches: list[tuple[float, int]] = []
     if not tids:
@@ -798,6 +868,8 @@ def refine_range(measure: Measure, query: np.ndarray, tids: list[int],
     cutoff = float(np.nextafter(radius, np.inf))
     if len(tids) < _MIN_BATCH.get(measure.name, _MIN_BATCH_DEFAULT):
         for tid in tids:
+            if stats is not None:
+                stats.exact_refinements += 1
             dist = distance_with_threshold(measure, query,
                                            store.points_of(tid), cutoff)
             if dist <= radius:
@@ -817,6 +889,8 @@ def refine_range(measure: Measure, query: np.ndarray, tids: list[int],
         distances = dict(
             (i, float(refiner.uppers[i]))
             for i in survivors if known[i])
+        if stats is not None:
+            stats.exact_refinements += len(survivors)
         for lo in range(0, len(pending), _DP_BATCH_MAX):
             group = pending[lo:lo + _DP_BATCH_MAX]
             for i, value in zip(group,
@@ -827,6 +901,8 @@ def refine_range(measure: Measure, query: np.ndarray, tids: list[int],
                 matches.append((distances[i], tids[i]))
         return matches
     for i in survivors:
+        if stats is not None:
+            stats.exact_refinements += 1
         dist = refiner.exact_or_bound(i, cutoff)
         if dist <= radius:
             matches.append((dist, tids[i]))

@@ -29,12 +29,24 @@ import numpy as np
 
 from .cluster.driver import merge_range, merge_top_k
 from .cluster.engine import ExecutionEngine, WorkloadHints
+from .cluster.planner import PlanReport, QueryPlanner
 from .cluster.rdd import ClusterContext
-from .cluster.scheduler import ClusterSpec, ScheduleReport, simulate_schedule
+from .cluster.scheduler import (
+    ClusterSpec,
+    ScheduleReport,
+    simulate_schedule,
+    simulate_schedule_waves,
+)
 from .core.grid import Grid
 from .core.pivots import select_pivots
 from .core.rptrie import RPTrie
-from .core.search import TopKResult, local_range_search, local_search
+from .core.search import (
+    PartitionProbe,
+    TopKResult,
+    local_range_search,
+    local_search,
+    probe_search,
+)
 from .core.succinct import SuccinctRPTrie
 from .distances.base import Measure, get_measure
 from .exceptions import IndexNotBuiltError
@@ -127,6 +139,21 @@ class _LocalTopKTask:
         return self.rp.index.top_k(self.query, self.k, **self.kwargs)
 
 
+class _LocalRangeTask:
+    """One (query, partition) range-search task of a wave (picklable)."""
+
+    def __init__(self, rp: RpTraj, query: Trajectory, radius: float,
+                 kwargs: dict):
+        self.rp = rp
+        self.query = query
+        self.radius = radius
+        self.kwargs = kwargs
+
+    def __call__(self):
+        return self.rp.index.range_query(self.query, self.radius,
+                                         **self.kwargs)
+
+
 @dataclass
 class BuildReport:
     """Index construction metrics (the paper's IT and IS)."""
@@ -140,13 +167,21 @@ class BuildReport:
 
 @dataclass
 class QueryOutcome:
-    """One distributed top-k execution."""
+    """One distributed top-k execution.
+
+    ``plan`` carries the query planner's per-wave report (dispatch
+    order, probe bounds, threshold broadcasts, per-wave pruned-node and
+    exact-refinement counts) for waved executions; it is ``None`` for
+    single-shot plans.  The same counters are also summed onto
+    ``result.stats`` so existing stats plumbing reports them.
+    """
 
     result: TopKResult
     wall_seconds: float
     simulated_seconds: float
     per_partition_seconds: list[float] = field(default_factory=list)
     schedule: ScheduleReport | None = None
+    plan: PlanReport | None = None
 
 
 @dataclass
@@ -177,7 +212,18 @@ class RPTrieLocalIndex:
     Parameters mirror :class:`~repro.core.rptrie.RPTrie`; ``succinct``
     freezes the built trie into the SuRF-style structure before
     querying.
+
+    The adapter announces the two planner capabilities: ``probe``
+    (first-level lower bounds for promise ordering and partition
+    skipping) and ``supports_threshold`` (``top_k`` accepts the
+    driver-broadcast ``dk``).  Baseline indexes expose neither and the
+    planner degrades gracefully around them.
     """
+
+    #: The planner may pass ``dk=`` (the running global k-th best) to
+    #: :meth:`top_k`; seeding is strictly work-pruning, never
+    #: answer-changing (see :func:`repro.core.search.local_search`).
+    supports_threshold = True
 
     def __init__(self, grid: Grid, measure: Measure, optimized: bool = True,
                  num_pivots: int = 5, pivots: list[Trajectory] | None = None,
@@ -200,11 +246,29 @@ class RPTrieLocalIndex:
         return self
 
     def top_k(self, query: Trajectory, k: int,
-              dqp: np.ndarray | None = None) -> TopKResult:
+              dqp: np.ndarray | None = None,
+              dk: float = float("inf")) -> TopKResult:
+        """Local top-k; ``dk`` optionally seeds an external threshold."""
         if self._trie is None:
             raise IndexNotBuiltError("call build() before top_k()")
-        return local_search(self._trie, query, k, dqp=dqp,
+        return local_search(self._trie, query, k, dqp=dqp, dk=dk,
                             **self.search_options)
+
+    def probe(self, query: Trajectory,
+              dqp: np.ndarray | None = None) -> PartitionProbe:
+        """First-level partition summary for the planner's probe phase.
+
+        Respects the same ablation switches the search runs with, so
+        the probe bound is sound for the configured search.
+        """
+        if self._trie is None:
+            raise IndexNotBuiltError("call build() before probe()")
+        options = self.search_options
+        return probe_search(
+            self._trie, query, dqp=dqp,
+            use_pivots=options.get("use_pivots", True),
+            use_lbt=options.get("use_lbt", True),
+            use_lbo=options.get("use_lbo", True))
 
     def range_query(self, query: Trajectory, radius: float,
                     dqp: np.ndarray | None = None) -> TopKResult:
@@ -266,7 +330,22 @@ class DistributedTopK:
         Measure name forwarded to an ``"auto"`` engine's cost model.
         :class:`Repose` and :func:`make_baseline` fill it in; only
         custom index factories need to pass it explicitly.
+    plan:
+        Query execution plan: ``"waves"`` (default) routes single
+        top-k and range queries through the two-phase
+        :class:`~repro.cluster.planner.QueryPlanner` — probe
+        partitions, dispatch them by promise in waves, and broadcast
+        the tightening global k-th-best distance into later waves —
+        while ``"single"`` keeps the paper's one-shot map-then-merge.
+        Both plans return bit-identical results; waves only prune
+        work.  Individual calls may override via ``top_k(...,
+        plan=...)``.
+    plan_options:
+        Planner knobs; currently ``{"wave_size": int}`` (partitions
+        per wave, default: the partition count cut into 4 waves).
     """
+
+    _PLANS = ("waves", "single")
 
     def __init__(self, dataset: TrajectoryDataset,
                  index_factory: Callable[[], object],
@@ -274,7 +353,9 @@ class DistributedTopK:
                  num_partitions: int = 64,
                  cluster_spec: ClusterSpec | None = None,
                  engine: ExecutionEngine | str | None = None,
-                 measure_hint: str | None = None):
+                 measure_hint: str | None = None,
+                 plan: str = "waves",
+                 plan_options: dict | None = None):
         self.dataset = dataset
         self.index_factory = index_factory
         self.strategy = (make_strategy(strategy)
@@ -285,9 +366,20 @@ class DistributedTopK:
             engine = ExecutionEngine(engine)
         self.context = ClusterContext(engine or ExecutionEngine())
         self.measure_hint = measure_hint
+        self.plan = self._resolve_plan(plan)
+        self.plan_options = dict(plan_options or {})
         self._partition_points: int | None = None
         self._rdd = None
+        self._parts: list[RpTraj] | None = None
         self.build_report: BuildReport | None = None
+
+    def _resolve_plan(self, plan: str | None) -> str:
+        """Validate a plan name, defaulting to the engine-level plan."""
+        mode = plan if plan is not None else self.plan
+        if mode not in self._PLANS:
+            raise ValueError(
+                f"unknown plan {mode!r} (use one of {self._PLANS})")
+        return mode
 
     def _workload_hints(self, num_tasks: int,
                         batch_width: int = 1) -> WorkloadHints:
@@ -315,8 +407,13 @@ class DistributedTopK:
                     .collect_partitions())
         timings = self.context.last_timings
         wall = time.perf_counter() - start
-        # Re-wrap the built partitions so queries reuse the indexes.
+        # Re-wrap the built partitions so queries reuse the indexes, and
+        # keep the flat driver-side list: the planner and scheduled
+        # batches address partitions directly, without paying an engine
+        # dispatch (and, under process backends, an index pickle
+        # round-trip) just to re-materialize what the driver holds.
         self._rdd = self.context.from_partitions(packaged)
+        self._parts = [rp for part in packaged for rp in part]
         schedule = simulate_schedule(timings, self.cluster_spec)
         index_bytes = sum(part[0].index.memory_bytes()
                           for part in packaged if part)
@@ -342,16 +439,21 @@ class DistributedTopK:
         """
         return {}
 
-    def top_k(self, query: Trajectory, k: int,
+    def top_k(self, query: Trajectory, k: int, plan: str | None = None,
               **query_kwargs) -> QueryOutcome:
         """Distributed top-k: local search per partition, driver merge.
 
-        Extra ``query_kwargs`` are forwarded to every local index's
-        ``top_k`` (on top of :meth:`_query_kwargs_for`, which lets
-        :class:`Repose` share driver-computed query-pivot distances).
+        ``plan`` overrides the engine-level execution plan for this
+        query (``"waves"`` or ``"single"``; both return bit-identical
+        results).  Extra ``query_kwargs`` are forwarded to every local
+        index's ``top_k`` (on top of :meth:`_query_kwargs_for`, which
+        lets :class:`Repose` share driver-computed query-pivot
+        distances).
         """
         if self._rdd is None:
             raise IndexNotBuiltError("call build() before top_k()")
+        if self._resolve_plan(plan) == "waves":
+            return self._top_k_waves(query, k, query_kwargs)
         start = time.perf_counter()
         self.context.hints = self._workload_hints(self.num_partitions)
         query_kwargs = {**self._query_kwargs_for(query, query_kwargs),
@@ -361,6 +463,7 @@ class DistributedTopK:
                     .collect())
         timings = self.context.last_timings
         result = merge_top_k(partials, k)
+        result.stats.waves = 1
         wall = time.perf_counter() - start
         schedule = simulate_schedule(timings, self.cluster_spec)
         return QueryOutcome(
@@ -370,6 +473,70 @@ class DistributedTopK:
             per_partition_seconds=[t.seconds for t in timings],
             schedule=schedule,
         )
+
+    def _planner(self) -> QueryPlanner:
+        """The wave planner bound to this engine's execution pools."""
+        return QueryPlanner(self.context.engine,
+                            wave_size=self.plan_options.get("wave_size"))
+
+    def _top_k_waves(self, query: Trajectory, k: int,
+                     query_kwargs: dict) -> QueryOutcome:
+        """Two-phase waved top-k (see :mod:`repro.cluster.planner`).
+
+        Probes every partition driver-side, dispatches them by promise
+        in waves, folds each wave into a running global merge and
+        broadcasts the tightened ``dk`` into the next wave.  The
+        result is bit-identical to the single-shot plan; the simulated
+        time treats every wave boundary as a cluster barrier.
+        """
+        start = time.perf_counter()
+        parts = self._parts
+        kwargs = {**self._query_kwargs_for(query, query_kwargs),
+                  **query_kwargs}
+        result, wave_timings, report = self._planner().execute_top_k(
+            parts, query, k, kwargs,
+            make_task=lambda rp, kw: _LocalTopKTask(rp, query, k, kw),
+            hints=self._workload_hints(self.num_partitions))
+        self.context.record_timings(wave_timings)
+        timings = self.context.last_timings
+        wall = time.perf_counter() - start
+        schedule = simulate_schedule_waves(wave_timings, self.cluster_spec)
+        return QueryOutcome(
+            result=result,
+            wall_seconds=wall,
+            simulated_seconds=schedule.makespan,
+            per_partition_seconds=[t.seconds for t in timings],
+            schedule=schedule,
+            plan=report,
+        )
+
+    def calibrate(self, query: Trajectory | None = None,
+                  k: int = 10) -> float:
+        """Calibrate the ``"auto"`` cost model on this machine.
+
+        Times one real partition task (a local top-k of ``query``
+        against the largest partition) through
+        :meth:`~repro.cluster.engine.ExecutionEngine.calibrate`,
+        replacing the dev-box ballpark constant for this engine's
+        measure, and persists the measured rates on the cluster
+        context so they outlive the engine.  Returns the measured
+        per-point rate in microseconds.
+        """
+        if self._rdd is None:
+            raise IndexNotBuiltError("call build() before calibrate()")
+        parts = [rp for rp in self._parts if rp.trajectories]
+        if not parts:
+            raise IndexNotBuiltError("cannot calibrate an empty dataset")
+        rp = max(parts, key=lambda rp: sum(len(t) for t in rp.trajectories))
+        if query is None:
+            query = rp.trajectories[0]
+        kwargs = self._query_kwargs_for(query)
+        task = _LocalTopKTask(rp, query, k, kwargs)
+        points = sum(len(t) for t in rp.trajectories)
+        rate = self.context.engine.calibrate(self.measure_hint, task, points)
+        self.context.calibration = dict(
+            self.context.engine.calibrated_cost_us)
+        return rate
 
     def top_k_batch(self, queries: list[Trajectory],
                     k: int) -> list[QueryOutcome]:
@@ -388,7 +555,7 @@ class DistributedTopK:
         """
         if self._rdd is None:
             raise IndexNotBuiltError("call build() before batch queries")
-        parts = self._rdd.collect()
+        parts = self._parts
         start = time.perf_counter()
 
         tasks = []
@@ -417,16 +584,23 @@ class DistributedTopK:
                             schedule=schedule)
 
     def range_query(self, query: Trajectory, radius: float,
+                    plan: str | None = None,
                     **query_kwargs) -> QueryOutcome:
         """Distributed range search: every trajectory within ``radius``.
 
         Supported when the local index exposes ``range_query`` (the
         RP-Trie adapter does; the baselines are top-k only).  Per-query
         driver state (:meth:`_query_kwargs_for`) is shared with every
-        partition, as in :meth:`top_k`.
+        partition, as in :meth:`top_k`.  Under the default
+        ``plan="waves"`` the probe phase skips partitions whose
+        first-level bound already exceeds the radius (the radius being
+        a fixed threshold, nothing propagates between waves); results
+        are identical either way.
         """
         if self._rdd is None:
             raise IndexNotBuiltError("call build() before range_query()")
+        if self._resolve_plan(plan) == "waves":
+            return self._range_waves(query, radius, query_kwargs)
         start = time.perf_counter()
         self.context.hints = self._workload_hints(self.num_partitions)
         query_kwargs = {**self._query_kwargs_for(query, query_kwargs),
@@ -437,12 +611,37 @@ class DistributedTopK:
                     .collect())
         timings = self.context.last_timings
         result = merge_range(partials)
+        result.stats.waves = 1
         wall = time.perf_counter() - start
         schedule = simulate_schedule(timings, self.cluster_spec)
         return QueryOutcome(result=result, wall_seconds=wall,
                             simulated_seconds=schedule.makespan,
                             per_partition_seconds=[t.seconds for t in timings],
                             schedule=schedule)
+
+    def _range_waves(self, query: Trajectory, radius: float,
+                     query_kwargs: dict) -> QueryOutcome:
+        """Probed, waved range search (planner-skipped partitions)."""
+        start = time.perf_counter()
+        parts = self._parts
+        kwargs = {**self._query_kwargs_for(query, query_kwargs),
+                  **query_kwargs}
+        partials, wave_timings, report = self._planner().execute_range(
+            parts, query, radius, kwargs,
+            make_task=lambda rp, kw: _LocalRangeTask(rp, query, radius, kw),
+            hints=self._workload_hints(self.num_partitions))
+        self.context.record_timings(wave_timings)
+        timings = self.context.last_timings
+        result = merge_range(partials)
+        result.stats.waves = len(report.waves)
+        result.stats.partitions_skipped = report.partitions_skipped
+        wall = time.perf_counter() - start
+        schedule = simulate_schedule_waves(wave_timings, self.cluster_spec)
+        return QueryOutcome(result=result, wall_seconds=wall,
+                            simulated_seconds=schedule.makespan,
+                            per_partition_seconds=[t.seconds for t in timings],
+                            schedule=schedule,
+                            plan=report)
 
     def index_bytes(self) -> int:
         if self.build_report is None:
@@ -453,7 +652,7 @@ class DistributedTopK:
         """The per-partition local index objects, in partition order."""
         if self._rdd is None:
             raise IndexNotBuiltError("call build() first")
-        return [rp.index for rp in self._rdd.collect()]
+        return [rp.index for rp in self._parts]
 
     def insert(self, traj: Trajectory) -> None:
         """Route a new trajectory to the smallest partition and insert.
@@ -466,8 +665,7 @@ class DistributedTopK:
             raise IndexNotBuiltError("call build() first")
         sizes = self.build_report.partition_sizes
         target = min(range(len(sizes)), key=lambda pid: sizes[pid])
-        parts = self._rdd.collect_partitions()
-        rp = parts[target][0]
+        rp = self._parts[target]
         rp.index.insert(traj)
         rp.trajectories.append(traj)
         sizes[target] += 1
@@ -534,6 +732,7 @@ class Repose(DistributedTopK):
               cluster_spec: ClusterSpec | None = None,
               engine: ExecutionEngine | str | None = None,
               search_options: dict | None = None,
+              plan: str = "waves", plan_options: dict | None = None,
               pivot_sample: int = 500, seed: int = 7) -> "Repose":
         """Construct and build a REPOSE engine in one call.
 
@@ -543,6 +742,14 @@ class Repose(DistributedTopK):
 
         Parameters worth calling out:
 
+        plan:
+            Query execution plan (default ``"waves"``): route single
+            queries through the two-phase planner — probe partitions,
+            dispatch by promise in waves, broadcast the tightening
+            global ``dk`` — or keep the paper's one-shot fan-out with
+            ``"single"``.  Bit-identical results either way; waves
+            only prune work.  ``plan_options={"wave_size": n}``
+            controls partitions per wave.
         engine:
             Execution backend for per-partition work.  Accepts an
             :class:`~repro.cluster.engine.ExecutionEngine` or a backend
@@ -585,7 +792,8 @@ class Repose(DistributedTopK):
                          num_pivots=num_pivots, succinct=succinct,
                          strategy=strategy, num_partitions=num_partitions,
                          cluster_spec=cluster_spec, engine=engine,
-                         search_options=search_options)
+                         search_options=search_options,
+                         plan=plan, plan_options=plan_options)
         DistributedTopK.build(engine_obj)
         return engine_obj
 

@@ -31,6 +31,8 @@ DOC_MODULES = [
     "src/repro/distances/batch.py",
     "src/repro/core/store.py",
     "src/repro/cluster/engine.py",
+    "src/repro/cluster/planner.py",
+    "src/repro/cluster/driver.py",
 ]
 
 #: Minimum fraction of public objects (module included) with docstrings.
