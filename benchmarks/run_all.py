@@ -35,6 +35,7 @@ EXPERIMENTS = {
                           "test_report_ablation_succinct"),
     "refinement": ("bench_refinement_batch", "test_report_refinement"),
     "planner": ("bench_planner", "test_report_planner"),
+    "batch_planner": ("bench_batch_planner", "test_report_batch_planner"),
 }
 
 

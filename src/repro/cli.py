@@ -57,6 +57,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: random sample)")
     query.add_argument("--radius", type=float, default=None,
                        help="run a range query instead of top-k")
+    query.add_argument("--plan", default=None,
+                       choices=["waves", "single"],
+                       help="query execution plan: 'waves' (two-phase "
+                            "planner, the default) or 'single' "
+                            "(one-shot fan-out); results are identical")
+    query.add_argument("--wave-size", type=int, default=None,
+                       help="partitions per planner wave "
+                            "(plan_options={'wave_size': N})")
+    query.add_argument("--calibrate", action="store_true",
+                       help="calibrate the 'auto' cost model on one "
+                            "real partition task before querying")
+    query.add_argument("--batch", type=int, default=None, metavar="N",
+                       help="run N sampled queries as one batch through "
+                            "the multi-query batch planner (with "
+                            "--plan single: sequentially) and print "
+                            "per-query top-1 plus batch statistics")
 
     info = sub.add_parser("info", help="dataset statistics for a CSV file")
     info.add_argument("data")
@@ -94,27 +110,72 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    if args.batch is not None and (args.radius is not None
+                                   or args.query_id is not None):
+        print("error: --batch samples its own top-k queries and cannot "
+              "be combined with --radius or --query-id", file=sys.stderr)
+        return 2
     data = load_csv(args.data)
     measure = get_measure(args.measure)
+    plan_options = ({"wave_size": args.wave_size}
+                    if args.wave_size is not None else None)
     engine = Repose.build(data, measure=measure, delta=args.delta,
                           num_partitions=args.partitions,
-                          strategy=args.strategy)
+                          strategy=args.strategy,
+                          plan=args.plan or "waves",
+                          plan_options=plan_options)
+    if args.calibrate:
+        rate = engine.calibrate(k=args.k)
+        print(f"calibrated {measure.name}: {rate:.3f} us/point")
+    if args.batch is not None:
+        return _run_batch(engine, data, args)
     if args.query_id is not None:
         query = data.get(args.query_id)
     else:
         query = sample_queries(data, count=1)[0]
     if args.radius is not None:
-        outcome = engine.range_query(query, args.radius)
+        outcome = engine.range_query(query, args.radius, plan=args.plan)
         print(f"range query (id {query.traj_id}, radius {args.radius}): "
               f"{len(outcome.result)} results")
     else:
-        outcome = engine.top_k(query, args.k)
+        outcome = engine.top_k(query, args.k, plan=args.plan)
         print(f"top-{args.k} for trajectory {query.traj_id} "
               f"({measure.name}):")
     for rank, (dist, tid) in enumerate(outcome.result.items, start=1):
         print(f"  {rank:3d}. id {tid:6d}  distance {dist:.6f}")
+    if outcome.plan is not None:
+        print(f"plan: {len(outcome.plan.waves)} waves, "
+              f"{outcome.plan.partitions_skipped} partitions skipped, "
+              f"{outcome.plan.threshold_broadcasts} threshold broadcasts")
     print(f"simulated query time: {outcome.simulated_seconds * 1e3:.2f} ms "
           f"(wall {outcome.wall_seconds * 1e3:.2f} ms)")
+    return 0
+
+
+def _run_batch(engine: Repose, data, args: argparse.Namespace) -> int:
+    """Run ``--batch N`` sampled queries through ``top_k_batch``."""
+    queries = sample_queries(data, count=args.batch)
+    batch = engine.top_k_batch(queries, args.k, plan=args.plan)
+    print(f"batch of {len(queries)} top-{args.k} queries "
+          f"({engine.measure.name}, plan={args.plan or engine.plan}):")
+    for query, result in zip(queries, batch.results):
+        best = (f"id {result.items[0][1]} "
+                f"distance {result.items[0][0]:.6f}"
+                if result.items else "no results")
+        print(f"  query {query.traj_id:6d}: {len(result)} results, "
+              f"best {best}")
+    if batch.plan is not None:
+        report = batch.plan
+        grouped = (report.grouped_queries / report.tasks_dispatched
+                   if report.tasks_dispatched else 0.0)
+        print(f"batch plan: {report.tasks_dispatched} multi-query tasks "
+              f"for {report.partition_queries_dispatched} partition-"
+              f"queries ({grouped:.2f} queries/task), "
+              f"{report.partitions_skipped} skipped, "
+              f"{report.cross_query_tightenings} cross-query "
+              f"tightenings")
+    print(f"simulated batch time: {batch.simulated_seconds * 1e3:.2f} ms "
+          f"(wall {batch.wall_seconds * 1e3:.2f} ms)")
     return 0
 
 

@@ -19,10 +19,13 @@ substrate for a single machine:
 * :mod:`~repro.cluster.planner` — the two-phase query planner: probe
   partitions for first-level lower bounds, dispatch them in promise
   order through coordinated waves, and broadcast the tightening global
-  k-th-best distance into every later wave's local searches.
+  k-th-best distance into every later wave's local searches;
+* :mod:`~repro.cluster.batch` — the multi-query batch planner: shared
+  (cached) probes, partition-affinity task grouping, and a per-query
+  threshold vector with cross-query triangle-inequality reuse.
 """
 
-from .rdd import RDD, ClusterContext
+from .rdd import RDD, ClusterContext, ProbeCache
 from .partitioner import (
     HashPartitioner,
     ListPartitioner,
@@ -33,15 +36,18 @@ from .engine import ExecutionEngine, TaskTiming
 from .scheduler import (
     ClusterSpec,
     ScheduleReport,
+    lpt_order,
     simulate_schedule,
     simulate_schedule_waves,
 )
-from .driver import RunningTopK, merge_range, merge_top_k
+from .driver import RunningTopK, RunningTopKVector, merge_range, merge_top_k
 from .planner import PlanReport, QueryPlanner, WaveReport
+from .batch import BatchPlanReport, BatchQueryPlanner
 
 __all__ = [
     "RDD",
     "ClusterContext",
+    "ProbeCache",
     "Partitioner",
     "HashPartitioner",
     "RoundRobinPartitioner",
@@ -50,12 +56,16 @@ __all__ = [
     "TaskTiming",
     "ClusterSpec",
     "ScheduleReport",
+    "lpt_order",
     "simulate_schedule",
     "simulate_schedule_waves",
     "RunningTopK",
+    "RunningTopKVector",
     "merge_top_k",
     "merge_range",
     "QueryPlanner",
     "PlanReport",
     "WaveReport",
+    "BatchQueryPlanner",
+    "BatchPlanReport",
 ]

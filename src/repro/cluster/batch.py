@@ -1,0 +1,377 @@
+"""Multi-query batch planner: shared probes, partition-affinity
+dispatch, and cross-query threshold reuse.
+
+The single-query planner (:mod:`repro.cluster.planner`) already turned
+one query's fan-out into a probe-then-waves feedback loop.  A
+production service, though, receives *streams* of concurrent queries,
+and running each one as its own wave plan dispatches
+``queries x partitions`` tasks and lets no query benefit from another's
+work.  This module plans a whole batch at once:
+
+1. **Shared probe pass.**  Every (query, partition) pair is probed once
+   — through the driver's epoch-invalidated
+   :class:`~repro.cluster.rdd.ProbeCache`, so repeated queries across
+   consecutive batches pay nothing — producing per-query promise
+   orders and wave cuts exactly as the single-query planner would.
+2. **Partition-affinity dispatch.**  Within each wave, queries bound
+   for the same partition are *grouped*: one dispatched task searches
+   one partition for the whole group through the multi-query entry
+   point (:func:`repro.core.search.local_search_multi`), which shares
+   one columnar gather per leaf and the store's per-measure caches
+   across the group.  Skewed workloads — many queries hot on the same
+   partitions — collapse to one task per (wave, partition) instead of
+   one per (query, partition).  Each wave's tasks are submitted
+   heaviest-estimated-group first
+   (:func:`repro.cluster.scheduler.lpt_order`), so FIFO placement
+   never leaves the biggest group straggling at the barrier.
+3. **Per-query threshold vector, cross-query reuse.**  Between waves
+   the driver folds every task's per-query partials into a
+   :class:`~repro.cluster.driver.RunningTopKVector` and broadcasts the
+   per-query running ``dk`` vector into the next wave.  For metric
+   measures the vector is additionally tightened *across* queries by
+   the triangle inequality (query ``j``'s final k-th best cannot
+   exceed ``dk_i + d(q_i, q_j)``), so a query that has not yet filled
+   its own heap can still skip partitions and seed its searches off a
+   neighbour's results.
+
+Fingerprint-identical queries inside a batch — the same trajectory
+issued twice in one stream, a common production pattern — are
+*deduplicated* outright: one representative executes and its twins
+reuse the merged result, which is trivially bit-identical (a search's
+answer is a pure function of the query's points and shared kwargs).
+
+Every threshold is applied strictly and upper-bounds the query's final
+k-th-best distance, and each query's merge is the single-query merge,
+so every per-query answer is **bit-identical** to running that query
+alone under ``plan="single"`` — property-tested for all six measures
+in ``tests/test_batch_planner.py``.  The batch only removes work:
+fewer dispatched tasks (grouping, dedup), fewer probes (caching),
+fewer exact refinements (dedup, and earlier tighter thresholds).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.search import SearchStats, TopKResult
+from .driver import RunningTopKVector
+from .engine import TaskTiming, WorkloadHints
+from .planner import PlanReport, QueryPlanner, WaveReport
+from .rdd import ProbeCache
+from .scheduler import lpt_order
+
+__all__ = ["BatchPlanReport", "BatchQueryPlanner"]
+
+#: Largest number of *distinct* queries for which the planner computes
+#: the full query-to-query distance matrix behind cross-query threshold
+#: reuse.  The matrix is built serially on the driver at a wave
+#: boundary, so beyond this size its O(B^2) trajectory distances can
+#: cost more than the pruning they unlock; larger batches simply skip
+#: cross-query reuse (thresholds stay per-query — always sound).
+CROSS_QUERY_LIMIT = 64
+
+
+@dataclass
+class BatchPlanReport:
+    """One executed multi-query batch plan.
+
+    Aggregates the batch-level counters (task grouping, probe-cache
+    effectiveness, cross-query tightenings) and keeps one full
+    single-query-style :class:`~repro.cluster.planner.PlanReport` per
+    query, so per-query wave accounting (dispatched/skipped partitions,
+    per-wave thresholds, pruned-node and exact-refinement counts) stays
+    as inspectable as it is for single queries.
+    """
+
+    #: Always ``"batch-waves"`` (distinguishes the report from the
+    #: single-query planner's ``"waves"``).
+    mode: str = "batch-waves"
+    #: Queries in the batch.
+    num_queries: int = 0
+    #: Partitions per wave each query's plan was cut into.
+    wave_size: int = 0
+    #: Driver-side seconds spent probing (all queries).
+    probe_seconds: float = 0.0
+    #: Multi-query partition tasks actually dispatched — the number a
+    #: per-query plan would inflate to ``sum of per-query dispatches``.
+    tasks_dispatched: int = 0
+    #: Sum over dispatched tasks of their group width; divided by
+    #: :attr:`tasks_dispatched` this is the mean queries-per-task the
+    #: grouping achieved (1.0 means no affinity was found).
+    grouped_queries: int = 0
+    #: Queries whose broadcast threshold was tightened below their own
+    #: running ``dk`` by a neighbour's results (summed over waves).
+    cross_query_tightenings: int = 0
+    #: Queries that were fingerprint-identical to an earlier batch
+    #: member and reused its merged result without executing.
+    queries_deduplicated: int = 0
+    #: Per-query plan reports, aligned with the input queries.
+    per_query: list[PlanReport] = field(default_factory=list)
+
+    @property
+    def partition_queries_dispatched(self) -> int:
+        """Total (query, partition) searches executed — the work the
+        thresholds could not prove away, however it was grouped."""
+        return sum(len(w.partitions) for plan in self.per_query
+                   for w in plan.waves)
+
+    @property
+    def partitions_skipped(self) -> int:
+        """Total (query, partition) searches skipped via probe bounds."""
+        return sum(plan.partitions_skipped for plan in self.per_query)
+
+
+class BatchQueryPlanner(QueryPlanner):
+    """Plan and execute a whole query batch in threshold-coupled waves.
+
+    Extends :class:`~repro.cluster.planner.QueryPlanner` (whose probe /
+    promise-order / wave-cut primitives are reused per query) with
+    partition-affinity task grouping and the per-query threshold
+    vector.  Like its parent it is index-agnostic: grouping requires
+    nothing of the index (the driver's task factory decides how a group
+    is executed — REPOSE's uses ``top_k_multi``, baselines fall back to
+    a per-query loop inside the task), probing and threshold seeding
+    remain duck-typed capabilities.
+
+    Parameters
+    ----------
+    engine, wave_size, probe_cache:
+        As for :class:`~repro.cluster.planner.QueryPlanner`.
+    query_distance:
+        Optional metric ``distance(query_a, query_b)`` used for
+        cross-query threshold reuse.  Pass None (the default) for
+        non-metric measures — reuse is then disabled and thresholds
+        stay per-query.
+    """
+
+    def __init__(self, engine, wave_size: int | None = None,
+                 probe_cache=None,
+                 query_distance: Callable | None = None):
+        super().__init__(engine, wave_size=wave_size,
+                         probe_cache=probe_cache)
+        self.query_distance = query_distance
+
+    def _pairwise(self, queries: Sequence,
+                  active: Sequence[int]) -> np.ndarray:
+        """Symmetric query-to-query distance matrix (zero diagonal).
+
+        Computed driver-side, once per batch, and only on demand: the
+        cross-query bound needs some query to already hold k results,
+        so the first wave never pays for it.  Only the ``active``
+        (representative, non-deduplicated) queries get real distances —
+        every other entry stays ``+inf``, which
+        :meth:`~repro.cluster.driver.RunningTopKVector.broadcast_vector`
+        treats as "no coupling".
+        """
+        count = len(queries)
+        pairwise = np.full((count, count), np.inf)
+        np.fill_diagonal(pairwise, 0.0)
+        for ai, i in enumerate(active):
+            for j in active[ai + 1:]:
+                distance = float(self.query_distance(queries[i],
+                                                     queries[j]))
+                pairwise[i, j] = pairwise[j, i] = distance
+        return pairwise
+
+    def execute_batch(self, parts: Sequence, queries: Sequence, k: int,
+                      kwargs_list: Sequence[dict],
+                      make_task: Callable[[object, list, list], Callable],
+                      hints: WorkloadHints | None = None,
+                      ) -> tuple[list[TopKResult],
+                                 list[list[TaskTiming]], BatchPlanReport]:
+        """Run a batch of top-k queries as one grouped wave plan.
+
+        ``make_task(rp, group_queries, group_kwargs)`` builds one
+        engine task searching partition record ``rp`` for every query
+        in the group (kwargs aligned with the group); the task must
+        return one :class:`~repro.core.search.TopKResult` per group
+        query, in order.  Returns the per-query merged results (input
+        order, each bit-identical to single-shot execution), the
+        per-wave task timings, and the :class:`BatchPlanReport`.
+        """
+        start = time.perf_counter()
+        report = BatchPlanReport(num_queries=len(queries))
+        alias = self._dedup(queries, kwargs_list, report)
+        plans = []  # per query: (probes, waves); empty for duplicates
+        for qi, (query, kwargs) in enumerate(zip(queries, kwargs_list)):
+            if alias[qi] != qi:
+                # Duplicate: never probed, never dispatched — it will
+                # copy its representative's merged result at the end.
+                report.per_query.append(PlanReport(mode="batch-waves",
+                                                   wave_size=0))
+                plans.append(([], []))
+                continue
+            probes = self.probe(parts, query, kwargs)
+            order = self.plan_order(probes)
+            waves = self.plan_waves(order)
+            plan = PlanReport(
+                mode="batch-waves",
+                wave_size=len(waves[0]) if waves else 0,
+                order=order,
+                probe_bounds=[p.bound if p is not None else 0.0
+                              for p in probes],
+            )
+            report.per_query.append(plan)
+            plans.append((probes, waves))
+        report.probe_seconds = time.perf_counter() - start
+        report.wave_size = next(
+            (plan.wave_size for plan in report.per_query if plan.order), 0)
+        num_waves = max((len(waves) for _, waves in plans), default=0)
+        merges = RunningTopKVector(len(queries), k)
+        pairwise: np.ndarray | None = None
+        # Per wave: the dispatched (pid, group) pairs, for the fold.
+        wave_groups: list[list[tuple[int, list[int]]]] = []
+
+        active = [qi for qi in range(len(queries)) if alias[qi] == qi]
+
+        def wave_tasks():
+            """Lazily build each wave against the freshest dk vector."""
+            nonlocal pairwise
+            for index in range(num_waves):
+                if (pairwise is None and self.query_distance is not None
+                        and 1 < len(active) <= CROSS_QUERY_LIMIT
+                        and np.isfinite(merges.dk_vector()).any()):
+                    pairwise = self._pairwise(queries, active)
+                dks, tightened = merges.broadcast_vector(pairwise)
+                report.cross_query_tightenings += tightened
+                groups: dict[int, list[int]] = {}
+                for qi, (probes, waves) in enumerate(plans):
+                    if index >= len(waves):
+                        continue
+                    wave_report = WaveReport(index=index,
+                                             dk_before=float(dks[qi]))
+                    report.per_query[qi].waves.append(wave_report)
+                    for pid in waves[index]:
+                        probe = probes[pid]
+                        if probe is not None and probe.bound > dks[qi]:
+                            # Same sound strict skip as the single-query
+                            # planner: the probe bound proves every
+                            # trajectory here sits outside this query's
+                            # final top-k.
+                            wave_report.skipped.append(pid)
+                        else:
+                            groups.setdefault(pid, []).append(qi)
+                # Heaviest group first: a group's weight is the sum of
+                # its members' probe-estimated work on this partition.
+                pids = sorted(groups)
+                weights = [sum(self.task_weight(plans[qi][0][pid],
+                                                float(dks[qi]))
+                               for qi in groups[pid]) for pid in pids]
+                tasks = []
+                entries: list[tuple[int, list[int]]] = []
+                broadcast_queries: set[int] = set()
+                for rank in lpt_order(weights):
+                    pid = pids[rank]
+                    group = groups[pid]
+                    supports = getattr(parts[pid].index,
+                                       "supports_threshold", False)
+                    group_kwargs = []
+                    for qi in group:
+                        kwargs = kwargs_list[qi]
+                        if supports and math.isfinite(dks[qi]):
+                            kwargs = {
+                                **kwargs,
+                                "dk": min(float(dks[qi]),
+                                          kwargs.get("dk", float("inf"))),
+                            }
+                            broadcast_queries.add(qi)
+                        report.per_query[qi].waves[-1].partitions.append(
+                            pid)
+                        group_kwargs.append(kwargs)
+                    tasks.append(make_task(
+                        parts[pid], [queries[qi] for qi in group],
+                        group_kwargs))
+                    entries.append((pid, group))
+                # At most one broadcast per (query, wave), mirroring the
+                # single-query planner's per-wave accounting.
+                for qi in broadcast_queries:
+                    report.per_query[qi].threshold_broadcasts += 1
+                wave_groups.append(entries)
+                report.tasks_dispatched += len(tasks)
+                grouped = sum(len(g) for _, g in entries)
+                report.grouped_queries += grouped
+                if hints is not None and tasks:
+                    # Report this wave's *actual* mean group width so
+                    # the "auto" cost model sees the real per-task
+                    # work, not a whole-batch upper bound.
+                    yield tasks, replace(
+                        hints, queries_per_task=grouped / len(tasks))
+                else:
+                    yield tasks
+
+        def fold_wave(index: int, results: list,
+                      timings: list[TaskTiming]) -> None:
+            for (pid, group), task_result in zip(wave_groups[index],
+                                                 results):
+                for qi, partial in zip(group, task_result):
+                    merges.fold(qi, [partial])
+                    wave_report = report.per_query[qi].waves[-1]
+                    wave_report.nodes_pruned += partial.stats.nodes_pruned
+                    wave_report.exact_refinements += (
+                        partial.stats.exact_refinements)
+            for qi in range(len(queries)):
+                plan = report.per_query[qi]
+                if plan.waves and plan.waves[-1].index == index:
+                    plan.waves[-1].dk_after = merges.dk(qi)
+
+        _, wave_timings = self.engine.run_waves(
+            wave_tasks(), hints=hints, on_wave=fold_wave)
+
+        results = merges.results()
+        for qi, rep in enumerate(alias):
+            if rep != qi:
+                # Same points, same shared kwargs: the search's answer
+                # is a pure function of both, so the twin's result is
+                # the representative's.  Fresh zero stats keep the
+                # batch's work accounting truthful (nothing ran).
+                results[qi] = TopKResult(items=list(results[rep].items),
+                                         stats=SearchStats())
+        for result, plan in zip(results, report.per_query):
+            self._finalize_stats(result.stats, plan)
+        return results, wave_timings, report
+
+    def _dedup(self, queries: Sequence, kwargs_list: Sequence[dict],
+               report: BatchPlanReport) -> list[int]:
+        """Alias fingerprint-identical queries to their first occurrence.
+
+        Returns ``alias`` with ``alias[qi]`` the index of the query
+        ``qi`` will reuse the result of (itself for representatives).
+        Queries only deduplicate when their points and every shared
+        kwarg fingerprint identically (:meth:`_dedup_key`); anything
+        unfingerprintable runs on its own.
+        """
+        alias = list(range(len(queries)))
+        seen: dict = {}
+        for qi, (query, kwargs) in enumerate(zip(queries, kwargs_list)):
+            key = self._dedup_key(query, kwargs)
+            if key is None:
+                continue
+            representative = seen.setdefault(key, qi)
+            if representative != qi:
+                alias[qi] = representative
+                report.queries_deduplicated += 1
+        return alias
+
+    @staticmethod
+    def _dedup_key(query, kwargs: dict):
+        """Content key two queries must share to be interchangeable.
+
+        The point-array (and ``dqp``) fingerprint comes from
+        :meth:`~repro.cluster.rdd.ProbeCache.fingerprint`; remaining
+        kwargs participate only when they are plain scalars, whose
+        equality is unambiguous — any richer kwarg disables dedup for
+        safety (None return)."""
+        fingerprint = ProbeCache.fingerprint(query, kwargs.get("dqp"))
+        if fingerprint is None:
+            return None
+        extra = sorted((key, value) for key, value in kwargs.items()
+                       if key != "dqp")
+        for _, value in extra:
+            if not isinstance(value, (int, float, str, bool, type(None))):
+                return None
+        return (fingerprint, tuple(extra))

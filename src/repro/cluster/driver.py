@@ -10,7 +10,10 @@ determines the global top-k result").  Two reduction styles live here:
   running global k-th-best distance ``dk`` off the accumulator to
   broadcast into the next wave.  Folding is associative over any
   grouping of the partials (the (distance, tid) order is total), so
-  wave boundaries never change the merged answer;
+  wave boundaries never change the merged answer.
+  :class:`RunningTopKVector` lifts this to a whole query batch — one
+  accumulator per query, with an optional triangle-inequality
+  cross-query tightening of the broadcast thresholds;
 * the one-shot functions :func:`merge_top_k`, :func:`merge_range` and
   :func:`merge_stats`, which reduce a fully collected list of partials
   (single-shot execution, batch scheduling, tests).  ``merge_top_k``
@@ -28,9 +31,12 @@ import heapq
 from dataclasses import fields, replace
 from typing import Iterable
 
+import numpy as np
+
 from ..core.search import SearchStats, TopKResult
 
-__all__ = ["RunningTopK", "merge_stats", "merge_top_k", "merge_range"]
+__all__ = ["RunningTopK", "RunningTopKVector", "merge_stats",
+           "merge_top_k", "merge_range"]
 
 
 def merge_stats(partials: Iterable[SearchStats]) -> SearchStats:
@@ -88,6 +94,73 @@ class RunningTopK:
         via a fresh dataclass copy)."""
         return TopKResult(items=list(self._items),
                           stats=replace(self._stats))
+
+
+class RunningTopKVector:
+    """Per-query running merges for multi-query batched execution.
+
+    The batch query planner (:mod:`repro.cluster.batch`) folds one
+    wave's multi-query task results into one :class:`RunningTopK` per
+    query and reads the whole batch's running k-th-best distances back
+    as a vector to broadcast into the next wave.  Each query's fold is
+    exactly the single-query fold (same ordering, same tie-breaks), so
+    every per-query answer stays bit-identical to running that query
+    alone.
+
+    :meth:`broadcast_vector` additionally supports *cross-query
+    threshold reuse* for metric measures: if query ``i`` already holds
+    k results at distance ``dk_i`` or better, then by the triangle
+    inequality those same k trajectories lie within
+    ``dk_i + d(q_i, q_j)`` of query ``j``, so query ``j``'s *final*
+    k-th best can never exceed that — making it a sound (strictly
+    applied, hence answer-preserving) threshold for ``j`` even before
+    ``j`` has found k results of its own.
+    """
+
+    def __init__(self, num_queries: int, k: int):
+        self.k = k
+        self._merges = [RunningTopK(k) for _ in range(num_queries)]
+
+    def __len__(self) -> int:
+        return len(self._merges)
+
+    def fold(self, index: int, partials: Iterable[TopKResult]) -> None:
+        """Fold partial results into query ``index``'s running merge."""
+        self._merges[index].fold(partials)
+
+    def dk(self, index: int) -> float:
+        """Query ``index``'s running global k-th best distance."""
+        return self._merges[index].dk
+
+    def dk_vector(self) -> np.ndarray:
+        """Every query's running ``dk`` as one float vector."""
+        return np.array([merge.dk for merge in self._merges])
+
+    def broadcast_vector(self, pairwise: np.ndarray | None = None,
+                         ) -> tuple[np.ndarray, int]:
+        """Per-query thresholds for the next wave, cross-tightened.
+
+        ``pairwise``, when given, is the symmetric query-to-query
+        distance matrix of a *metric* measure (zero diagonal); each
+        query's threshold becomes
+        ``min_i(dk_i + pairwise[i, j])`` — which includes its own
+        ``dk_j`` via the zero diagonal, and single-hop tightening is
+        enough because the triangle inequality makes multi-hop chains
+        no tighter.  Returns ``(thresholds, tightened)`` where
+        ``tightened`` counts the queries whose threshold improved over
+        their own ``dk``.  The running merges are never modified: the
+        vector is a broadcast value, not a result.
+        """
+        dks = self.dk_vector()
+        if pairwise is None or len(dks) < 2 or not np.isfinite(dks).any():
+            return dks, 0
+        cross = (dks[:, np.newaxis] + np.asarray(pairwise)).min(axis=0)
+        tightened = int(np.count_nonzero(cross < dks))
+        return np.minimum(dks, cross), tightened
+
+    def results(self) -> list[TopKResult]:
+        """The merged global result of every query, in input order."""
+        return [merge.result() for merge in self._merges]
 
 
 def merge_top_k(partials: Iterable[TopKResult], k: int) -> TopKResult:

@@ -82,12 +82,19 @@ class WorkloadHints:
     batch_width:
         Queries amortized over the same dispatch; pool startup is paid
         once for the whole batch.
+    queries_per_task:
+        Queries evaluated *inside* each task.  The batch query planner
+        dispatches multi-query partition tasks (one task searches one
+        partition for a whole query group), so per-task work scales
+        with the group width even though ``num_tasks`` shrinks; this
+        keeps the cost model's total-work estimate honest for them.
     """
 
     measure: str | None = None
     partition_points: int = 0
     num_tasks: int = 0
     batch_width: int = 1
+    queries_per_task: float = 1.0
 
 
 #: Rough leaf-refinement cost per trajectory point of one local query,
@@ -138,9 +145,9 @@ def choose_backend(hints: WorkloadHints | None,
                    cost_us: dict[str, float] | None = None) -> str:
     """Resolve ``"auto"`` to a concrete backend for one task batch.
 
-    The model estimates total work as
-    ``measure cost x partition points x batch width x tasks`` and
-    compares the GIL-held share against pool overheads:
+    The model estimates total work as ``measure cost x partition points
+    x batch width x queries per task x tasks`` and compares the
+    GIL-held share against pool overheads:
 
     * tiny batches (or a single task) stay serial;
     * GIL-releasing workloads go to the thread pool;
@@ -159,8 +166,9 @@ def choose_backend(hints: WorkloadHints | None,
     cost = (cost_us or {}).get(hints.measure)
     if cost is None:
         cost = _MEASURE_COST_US.get(hints.measure, _DEFAULT_COST_US)
-    per_task = cost * max(hints.partition_points, 1) * max(
-        hints.batch_width, 1)
+    per_task = (cost * max(hints.partition_points, 1)
+                * max(hints.batch_width, 1)
+                * max(hints.queries_per_task, 1.0))
     total = per_task * hints.num_tasks
     if total < _SERIAL_CUTOFF_US:
         return "serial"
@@ -255,7 +263,11 @@ class ExecutionEngine:
 
         ``hints`` describe one wave; ``num_tasks`` is re-derived per
         wave from the actual wave size so an ``"auto"`` engine resolves
-        each dispatch against what it really runs.  Returns the
+        each dispatch against what it really runs.  A producer that
+        knows more may yield ``(tasks, wave_hints)`` instead of bare
+        ``tasks`` to override the hints for that wave — the batch
+        planner uses this to report each wave's *actual* mean group
+        width rather than a whole-batch estimate.  Returns the
         flattened results plus per-wave timing lists (wave boundaries
         are synchronization barriers, which the wave-aware makespan
         simulation in :func:`repro.cluster.scheduler
@@ -264,9 +276,12 @@ class ExecutionEngine:
         all_results: list[object] = []
         wave_timings: list[list[TaskTiming]] = []
         for index, tasks in enumerate(waves):
+            wave_hints = hints
+            if isinstance(tasks, tuple):
+                tasks, wave_hints = tasks
             tasks = list(tasks)
-            wave_hints = (replace(hints, num_tasks=len(tasks))
-                          if hints is not None else None)
+            wave_hints = (replace(wave_hints, num_tasks=len(tasks))
+                          if wave_hints is not None else None)
             results, timings = self.run(tasks, hints=wave_hints)
             all_results.extend(results)
             wave_timings.append(timings)

@@ -31,6 +31,16 @@ execution — property-tested for every measure in
 ``tests/test_planner.py``.  Range queries ride the same machinery with
 the fixed radius in place of a tightening ``dk`` (no broadcasts, but
 probe-phase partition skipping applies unchanged).
+
+The probe phase also feeds the *scheduler*: within each wave, tasks are
+submitted heaviest-estimated-work first
+(:func:`repro.cluster.scheduler.lpt_order` over
+:meth:`QueryPlanner.task_weight`), so FIFO core placement packs light
+partitions around the heavy ones instead of letting a straggler
+stretch the wave barrier.  Probes are memoizable across repeated
+queries through a driver-owned
+:class:`~repro.cluster.rdd.ProbeCache`, and the multi-query batch
+variant of this planner lives in :mod:`repro.cluster.batch`.
 """
 
 from __future__ import annotations
@@ -43,6 +53,7 @@ from typing import Callable, Sequence
 from ..core.search import PartitionProbe, SearchStats, TopKResult
 from .driver import RunningTopK, merge_stats
 from .engine import ExecutionEngine, TaskTiming, WorkloadHints
+from .scheduler import lpt_order
 
 __all__ = ["WaveReport", "PlanReport", "QueryPlanner"]
 
@@ -65,7 +76,9 @@ class WaveReport:
 
     #: Zero-based wave number.
     index: int
-    #: Partition ids dispatched in this wave (promise order).
+    #: Partition ids dispatched in this wave, in dispatch order:
+    #: heaviest estimated work first (LPT), so FIFO placement never
+    #: leaves the wave's longest task straggling at the barrier.
     partitions: list[int] = field(default_factory=list)
     #: Partition ids skipped because their probe bound exceeded the
     #: running global ``dk`` — searched by a single-shot plan, not here.
@@ -139,12 +152,20 @@ class QueryPlanner:
         Partitions per wave; ``None`` cuts the plan into
         :data:`DEFAULT_WAVES` equal waves.  ``wave_size >= partitions``
         degenerates to single-shot dispatch (still probe-ordered).
+    probe_cache:
+        Optional :class:`~repro.cluster.rdd.ProbeCache`.  When given,
+        :meth:`probe` serves repeated (query, partition) probes from it
+        instead of recomputing — the cache is epoch-invalidated by the
+        driver whenever indexes change, so a served probe is always the
+        one that would have been computed.
     """
 
     def __init__(self, engine: ExecutionEngine,
-                 wave_size: int | None = None):
+                 wave_size: int | None = None,
+                 probe_cache=None):
         self.engine = engine
         self.wave_size = wave_size
+        self.probe_cache = probe_cache
 
     # -- phase 1: probe ------------------------------------------------------
 
@@ -156,17 +177,46 @@ class QueryPlanner:
         leaf refinement, no distance computations beyond the shared
         query-pivot distances already in ``kwargs``), so it runs
         serially on the driver — the same place the paper computes
-        ``dqp`` — rather than paying a dispatch round-trip.
+        ``dqp`` — rather than paying a dispatch round-trip.  With a
+        :attr:`probe_cache`, a query fingerprinted identically to an
+        earlier one (same points, same ``dqp``) reuses that query's
+        probes outright.
         """
         probe_kwargs = ({"dqp": kwargs["dqp"]} if "dqp" in kwargs else {})
+        cache = self.probe_cache
+        fingerprint = (cache.fingerprint(query, probe_kwargs.get("dqp"))
+                       if cache is not None else None)
         probes: list[PartitionProbe | None] = []
-        for rp in parts:
+        for pid, rp in enumerate(parts):
             probe_fn = getattr(rp.index, "probe", None)
             if probe_fn is None:
                 probes.append(None)
                 continue
-            probes.append(probe_fn(query, **probe_kwargs))
+            probe = (cache.get(pid, fingerprint)
+                     if fingerprint is not None else None)
+            if probe is None:
+                probe = probe_fn(query, **probe_kwargs)
+                if fingerprint is not None:
+                    cache.put(pid, fingerprint, probe)
+            probes.append(probe)
         return probes
+
+    @staticmethod
+    def task_weight(probe: PartitionProbe | None, dk: float) -> float:
+        """Estimated work of searching one partition under ``dk``.
+
+        The probe's first-level bounds say how many of the partition's
+        subtrees a search seeded with ``dk`` could still be forced to
+        descend into; scaling the partition's trajectory count by that
+        live fraction estimates the candidates the task will touch.
+        Probe-less partitions weigh 0 (no information — they sort after
+        every estimated task, keeping dispatch deterministic).  Weights
+        only order dispatch within a wave; they never affect results.
+        """
+        if probe is None or not probe.child_bounds:
+            return 0.0
+        live = probe.estimated_candidates(dk)
+        return probe.trajectories * live / len(probe.child_bounds)
 
     def plan_order(self, probes: Sequence[PartitionProbe | None],
                    ) -> list[int]:
@@ -236,8 +286,7 @@ class QueryPlanner:
                 dk = merge.dk
                 wave_report = WaveReport(index=index, dk_before=dk)
                 report.waves.append(wave_report)
-                tasks = []
-                broadcast = False
+                dispatch = []
                 for pid in wave:
                     probe = probes[pid]
                     if probe is not None and probe.bound > dk:
@@ -248,6 +297,17 @@ class QueryPlanner:
                         # merge's tid tie-breaking bit-for-bit.
                         wave_report.skipped.append(pid)
                         continue
+                    dispatch.append(pid)
+                # The probe also feeds the scheduler: submit the wave's
+                # heaviest-looking partitions first so FIFO placement
+                # packs light tasks around them (LPT) instead of letting
+                # a straggler stretch the wave barrier.
+                weights = [self.task_weight(probes[pid], dk)
+                           for pid in dispatch]
+                tasks = []
+                broadcast = False
+                for rank in lpt_order(weights):
+                    pid = dispatch[rank]
                     task_kwargs = kwargs
                     if (math.isfinite(dk)
                             and getattr(parts[pid].index,
@@ -306,12 +366,18 @@ class QueryPlanner:
                 wave_report = WaveReport(index=index, dk_before=radius,
                                          dk_after=radius)
                 report.waves.append(wave_report)
-                tasks = []
+                dispatch = []
                 for pid in wave:
                     probe = probes[pid]
                     if probe is not None and probe.bound > radius:
                         wave_report.skipped.append(pid)
                         continue
+                    dispatch.append(pid)
+                weights = [self.task_weight(probes[pid], radius)
+                           for pid in dispatch]
+                tasks = []
+                for rank in lpt_order(weights):
+                    pid = dispatch[rank]
                     wave_report.partitions.append(pid)
                     tasks.append(make_task(parts[pid], kwargs))
                 yield tasks

@@ -12,12 +12,73 @@ per-partition task durations used by the simulated scheduler.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, Iterable, Sequence
+
+import numpy as np
 
 from .engine import ExecutionEngine, TaskTiming, WorkloadHints
 from .partitioner import Partitioner
 
-__all__ = ["ClusterContext", "RDD"]
+__all__ = ["ProbeCache", "ClusterContext", "RDD"]
+
+
+class ProbeCache:
+    """Driver-side cache of planner partition probes, epoch-invalidated.
+
+    A probe (:class:`~repro.core.search.PartitionProbe`) is a pure
+    function of the query, the shared query-pivot distances and the
+    partition's index, and the query planners re-probe every partition
+    on every planned query.  A stream of repeated queries — the same
+    trajectory issued in consecutive scheduled batches — therefore
+    recomputes identical probes.  This cache memoizes them per
+    ``(partition id, query fingerprint)`` for the current *index epoch*:
+    any index rebuild or incremental insert bumps the epoch
+    (:meth:`bump_epoch`), dropping every cached probe, because a changed
+    partition's bounds are new.  Capacity-bounded, evicting oldest
+    entries first; :attr:`hits`/:attr:`misses` expose effectiveness.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+        self.epoch = 0
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[tuple, object] = {}
+
+    @staticmethod
+    def fingerprint(query, dqp=None) -> bytes | None:
+        """Content fingerprint of one probe input, or None when the
+        query exposes no point array (caching is then skipped)."""
+        points = getattr(query, "points", None)
+        if points is None:
+            return None
+        digest = hashlib.blake2b(
+            np.ascontiguousarray(points).tobytes(), digest_size=16)
+        if dqp is not None:
+            digest.update(np.ascontiguousarray(dqp).tobytes())
+        return digest.digest()
+
+    def bump_epoch(self) -> None:
+        """Invalidate every cached probe (the indexes changed)."""
+        self.epoch += 1
+        self._entries.clear()
+
+    def get(self, partition_id: int, fingerprint: bytes):
+        """The cached probe for this (partition, query), or None."""
+        probe = self._entries.get((partition_id, fingerprint))
+        if probe is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return probe
+
+    def put(self, partition_id: int, fingerprint: bytes, probe) -> None:
+        """Cache one computed probe, evicting the oldest entry at
+        capacity."""
+        if len(self._entries) >= self.capacity:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[(partition_id, fingerprint)] = probe
 
 
 class _MapTransform:
@@ -99,6 +160,10 @@ class ClusterContext:
         #: this before each build/query; plain RDD users may leave it
         #: None (the engine then stays on its deterministic default).
         self.hints: WorkloadHints | None = None
+        #: Planner probe memoization (see :class:`ProbeCache`).  The
+        #: driver bumps its epoch whenever indexes are (re)built or a
+        #: trajectory is inserted, so stale probes can never be served.
+        self.probe_cache = ProbeCache()
 
     @property
     def engine(self) -> ExecutionEngine:

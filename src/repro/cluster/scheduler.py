@@ -17,8 +17,25 @@ from typing import Sequence
 
 from .engine import TaskTiming
 
-__all__ = ["ClusterSpec", "ScheduleReport", "simulate_schedule",
-           "simulate_schedule_waves"]
+__all__ = ["ClusterSpec", "ScheduleReport", "lpt_order",
+           "simulate_schedule", "simulate_schedule_waves"]
+
+
+def lpt_order(weights: Sequence[float]) -> list[int]:
+    """Longest-processing-time-first dispatch order for one wave.
+
+    FIFO scheduling (:func:`simulate_schedule`) hands each task to the
+    earliest-free core in *submission* order, so a wave that submits its
+    heaviest tasks last leaves them straggling alone at the end of the
+    wave and stretches the barrier.  Submitting heaviest-first — the
+    classic LPT heuristic — lets light tasks pack around the heavy ones
+    instead.  The query planners feed probe-derived work estimates
+    through this before dispatching each wave; ties keep index order, so
+    plans stay deterministic.  Returns indexes into ``weights``,
+    heaviest first.
+    """
+    return sorted(range(len(weights)),
+                  key=lambda index: (-float(weights[index]), index))
 
 
 @dataclass(frozen=True)

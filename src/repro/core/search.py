@@ -50,7 +50,8 @@ from ..types import Trajectory
 from .bounds import make_bound_computer
 
 __all__ = ["TopKResult", "SearchStats", "ResultHeap", "PartitionProbe",
-           "probe_search", "local_search", "local_range_search"]
+           "probe_search", "local_search", "local_search_multi",
+           "local_range_search"]
 
 
 @dataclass
@@ -218,14 +219,45 @@ def probe_search(trie, query: Trajectory,
     )
 
 
+class _SharedGatherStore:
+    """Read-through store view memoizing :meth:`gather` across queries.
+
+    :func:`local_search_multi` runs several queries against one
+    partition; every query that reaches the same leaf gathers the same
+    candidate rows into the same padded tensor.  This view caches
+    ``gather()`` results keyed by ``(tids, max_len)`` so the tensor is
+    built once per leaf per query *group* instead of once per
+    (query, leaf).  Every other attribute delegates to the wrapped
+    store; the batch kernels treat gathered tensors as read-only, so
+    sharing them is invisible in results.
+    """
+
+    def __init__(self, store):
+        self._store = store
+        self._gathers: dict = {}
+
+    def gather(self, tids, max_len=None):
+        """Memoized :meth:`~repro.core.store.TrajectoryStore.gather`."""
+        key = (tuple(tids), max_len)
+        hit = self._gathers.get(key)
+        if hit is None:
+            hit = self._store.gather(tids, max_len=max_len)
+            self._gathers[key] = hit
+        return hit
+
+    def __getattr__(self, name):
+        return getattr(self._store, name)
+
+
 def _refine_leaf_top_k(trie, measure, query: Trajectory, tids: list[int],
                        results: ResultHeap, stats: SearchStats,
-                       batch_refine: bool) -> None:
+                       batch_refine: bool, store=None) -> None:
     """Refine one leaf's candidates into ``results`` (both paths)."""
     stats.leaf_refinements += 1
     stats.distance_computations += len(tids)
     if batch_refine:
-        refine_top_k(measure, query.points, tids, trie.store, results,
+        refine_top_k(measure, query.points, tids,
+                     store if store is not None else trie.store, results,
                      stats=stats)
         return
     for tid in tids:
@@ -241,7 +273,8 @@ def local_search(trie, query: Trajectory, k: int,
                  use_lbo: bool = True,
                  dqp: np.ndarray | None = None,
                  batch_refine: bool = True,
-                 dk: float = float("inf")) -> TopKResult:
+                 dk: float = float("inf"),
+                 store=None) -> TopKResult:
     """Top-k search on one RP-Trie (Algorithm 2).
 
     Parameters
@@ -273,6 +306,12 @@ def local_search(trie, query: Trajectory, k: int,
         node pruning, the banded screens and the batch refinement
         threshold, turning cross-partition knowledge into local
         pruning.  Default infinity: plain single-partition semantics.
+    store:
+        Alternate trajectory store for leaf refinement (default: the
+        trie's own).  :func:`local_search_multi` passes a shared
+        gather-memoizing view so a group of queries builds each leaf's
+        padded tensor once; any substitute must return bit-identical
+        arrays for the same ids, so results never depend on it.
     """
     trie._require_built()
     measure = trie.measure
@@ -305,7 +344,7 @@ def local_search(trie, query: Trajectory, k: int,
 
         if node.is_leaf:
             _refine_leaf_top_k(trie, measure, query, list(node.tids),
-                               results, stats, batch_refine)
+                               results, stats, batch_refine, store=store)
             continue
 
         for child in node.iter_children():
@@ -327,6 +366,44 @@ def local_search(trie, query: Trajectory, k: int,
                 stats.nodes_pruned += 1
 
     return TopKResult(items=results.sorted_items(), stats=stats)
+
+
+def local_search_multi(trie, queries: list[Trajectory], k: int,
+                       dqps: list[np.ndarray | None] | None = None,
+                       dks: list[float] | None = None,
+                       use_pivots: bool = True, use_lbt: bool = True,
+                       use_lbo: bool = True,
+                       batch_refine: bool = True) -> list[TopKResult]:
+    """Top-k for several queries against one RP-Trie, sharing work.
+
+    The multi-query entry point behind the batch query planner
+    (:mod:`repro.cluster.batch`): one dispatched partition task runs a
+    whole *group* of queries, so the per-task overhead — and, through a
+    shared :class:`_SharedGatherStore` view, each leaf's columnar
+    gather — is paid once per group instead of once per query.  The
+    store's per-measure derived caches (ERP masses, cumulative masses)
+    are shared the same way.  Each query still runs its own best-first
+    traversal and its own batch refinement (the broadcast tensors are
+    query-dependent), seeded with its own entry of the ``dks`` vector.
+
+    Parameters mirror :func:`local_search`; ``dqps`` and ``dks`` are
+    per-query vectors aligned with ``queries`` (None entries and a None
+    vector both mean "not supplied").  Returns one
+    :class:`TopKResult` per query, in input order, each **bit-identical**
+    to ``local_search(trie, query, k, dqp=..., dk=...)`` run alone —
+    only shared read-only tensors and caches differ.
+    """
+    shared = _SharedGatherStore(trie.store) if batch_refine else None
+    results: list[TopKResult] = []
+    for index, query in enumerate(queries):
+        results.append(local_search(
+            trie, query, k,
+            use_pivots=use_pivots, use_lbt=use_lbt, use_lbo=use_lbo,
+            dqp=dqps[index] if dqps is not None else None,
+            batch_refine=batch_refine,
+            dk=dks[index] if dks is not None else float("inf"),
+            store=shared))
+    return results
 
 
 def local_range_search(trie, query: Trajectory, radius: float,

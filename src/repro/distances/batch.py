@@ -22,23 +22,30 @@ analogue of the per-pair prefilters in
 * EDR — the length difference;
 * LCSS — no cheap bound (zeros).
 
-**Stage 2 — banded upper bounds (DTW/Frechet).**  While each chunk's
-distance tensor is hot, a Sakoe-Chiba-banded DP sweeps all surviving
+For EDR/LCSS the broadcast tensor is the boolean eps-*match* tensor
+(:func:`batch_match_tensor`) instead of a distance tensor; the
+integer edit DPs run over it.
+
+**Stage 2 — banded upper bounds (DTW/Frechet/EDR/LCSS).**  While each
+chunk's tensor is hot, a Sakoe-Chiba-banded DP sweeps all surviving
 candidates at once (:func:`batch_dtw_banded`,
-:func:`batch_frechet_banded`).  Restricting warping paths to the band
-can only over-estimate, so the banded values are upper bounds; the
-k-th smallest of them caps the k-th-best distance the search can end
-with, which prunes exact-DP work before any DP runs.  When the band
-covers the whole matrix the banded sweep *is* the exact DP and its
-results are consumed directly.
+:func:`batch_frechet_banded`, :func:`batch_edr_banded`,
+:func:`batch_lcss_banded`).  Restricting alignment paths to the band
+can only over-estimate a distance (for LCSS: only drop matches), so
+the banded values are upper bounds; the k-th smallest of them caps the
+k-th-best distance the search can end with, which prunes exact-DP work
+before any DP runs.  When the band covers the whole matrix the banded
+sweep *is* the exact DP and its results are consumed directly.
 
 **Stage 3 — staged exact DPs.**  Candidates are probed in
 ascending-bound order against a probe heap, and the exact values for
 each stage come from one batched DP over the retained tensor
-(:func:`batch_dtw_distances`, :func:`batch_frechet_distances`) — a
-row sweep (DTW) or anti-diagonal sweep (Frechet) that performs, for
-every candidate simultaneously, the same floating-point operations the
-sequential per-pair DP performs, and is therefore bit-identical to it.
+(:func:`batch_dtw_distances`, :func:`batch_frechet_distances`,
+:func:`batch_edr_distances`, :func:`batch_lcss_distances`) — a row
+sweep (DTW, and the integer edit DPs) or anti-diagonal sweep (Frechet)
+that performs, for every candidate simultaneously, the same operations
+the sequential per-pair DP performs, and is therefore bit-identical to
+it.
 A final replay pass offers the refined values in the original candidate
 order, which makes the outcome **bit-identical** to the per-trajectory
 early-abandoning loop, including how equal distances at the k-th
@@ -54,18 +61,25 @@ import numpy as np
 
 from .base import Measure
 from .dtw import dtw_distance
+from .edr import DEFAULT_EPS as _EDR_DEFAULT_EPS
 from .erp import DEFAULT_PREFIX_DEPTH
 from .frechet import frechet_distance
+from .lcss import DEFAULT_EPS as _LCSS_DEFAULT_EPS
 from .threshold import distance_with_threshold
 
 __all__ = [
     "batch_point_distance_tensor",
+    "batch_match_tensor",
     "batch_lower_bounds",
     "candidate_lower_bounds",
     "batch_dtw_distances",
     "batch_dtw_banded",
     "batch_frechet_distances",
     "batch_frechet_banded",
+    "batch_edr_distances",
+    "batch_edr_banded",
+    "batch_lcss_distances",
+    "batch_lcss_banded",
     "BatchRefiner",
     "refine_top_k",
     "refine_range",
@@ -94,6 +108,25 @@ def batch_point_distance_tensor(query: np.ndarray,
     dy *= dy
     dx += dy
     return np.sqrt(dx, out=dx)
+
+
+def batch_match_tensor(query: np.ndarray, padded: np.ndarray,
+                       eps: float) -> np.ndarray:
+    """Boolean eps-match tensor ``M[c, i, j]`` for the edit measures.
+
+    ``M[c, i, j]`` is True when ``query[i]`` and ``padded[c, j]`` match
+    within ``eps`` in *both* coordinates — exactly the per-pair
+    ``_match_matrix`` of :mod:`repro.distances.lcss` evaluated for the
+    whole candidate stack at once.  ``padded`` rows carry ``+inf`` past
+    each candidate's length (as
+    :meth:`~repro.core.store.TrajectoryStore.gather` produces), and
+    ``|x - inf| <= eps`` is False, so padding never matches.
+    """
+    dx = np.abs(query[np.newaxis, :, np.newaxis, 0]
+                - padded[:, np.newaxis, :, 0])
+    dy = np.abs(query[np.newaxis, :, np.newaxis, 1]
+                - padded[:, np.newaxis, :, 1])
+    return (dx <= eps) & (dy <= eps)
 
 
 # -- batched exact DP kernels -------------------------------------------------
@@ -274,6 +307,176 @@ def batch_frechet_banded(dm: np.ndarray, lengths: np.ndarray,
     if r >= max(m, width) - 1:
         return _frechet_sweep(dm, lengths, None), True
     return _frechet_sweep(dm, lengths, r), False
+
+
+# -- batched integer edit DPs (EDR / LCSS) ------------------------------------
+
+def batch_edr_distances(match: np.ndarray,
+                        lengths: np.ndarray) -> np.ndarray:
+    """Exact EDR for a whole candidate stack in one row sweep.
+
+    ``match`` is a ``(c, m, L)`` boolean eps-match tensor
+    (:func:`batch_match_tensor`) with False past each candidate's
+    length; ``lengths`` holds the true lengths.  The sweep runs
+    :func:`repro.distances.edr.edr_distance`'s min-plus prefix scan over
+    all candidates simultaneously — per candidate row the elementwise
+    operations (and their order) are exactly the per-pair DP's, and the
+    values are small integers held in float64, so each returned value is
+    **bit-identical** to ``edr_distance(query, candidate)``.
+
+    Padding is benign: False matches cost 1 only at columns at or past
+    each candidate's length, and the recurrence never feeds a later
+    column into an earlier one, so the value read at column ``lengths``
+    is untouched by padding.
+    """
+    cc, m, width = match.shape
+    positions = np.arange(width + 1, dtype=np.float64)
+    prev = np.broadcast_to(positions, (cc, width + 1)).copy()  # f[0, j] = j
+    for i in range(m):
+        sub_cost = np.where(match[:, i, :], 0.0, 1.0)
+        cand = np.empty((cc, width + 1), dtype=np.float64)
+        cand[:, 0] = prev[:, 0] + 1.0
+        np.minimum(prev[:, :-1] + sub_cost, prev[:, 1:] + 1.0,
+                   out=cand[:, 1:])
+        cand -= positions
+        np.minimum.accumulate(cand, axis=1, out=cand)
+        cand += positions
+        prev = cand
+    return prev[np.arange(cc), lengths]
+
+
+def batch_edr_banded(match: np.ndarray, lengths: np.ndarray,
+                     band: int) -> tuple[np.ndarray, bool]:
+    """Sakoe-Chiba-banded EDR over a candidate stack: upper bounds.
+
+    Row ``i`` of the ``(m + 1) x (L + 1)`` edit table evaluates the
+    fixed-width window of ``2 * r + 1`` columns starting at
+    ``max(0, i - r)``, where ``r`` widens ``band`` to the largest
+    query/candidate length difference in the stack so every candidate's
+    end cell stays reachable.  Out-of-window cells count as ``+inf``, so
+    the result can only over-estimate the exact EDR — matching
+    :func:`repro.distances.edr.edr_banded_distance` called with the
+    resolved radius.
+
+    Returns ``(values, is_exact)``.  When the window covers the whole
+    table the exact kernel runs instead and ``is_exact`` is True.
+    """
+    cc, m, width = match.shape
+    r = int(max(int(band), np.abs(m - lengths).max()))
+    if r >= max(m, width):
+        return batch_edr_distances(match, lengths), True
+    w = 2 * r + 1
+    lo_last = max(0, m - r)
+    # Substitution costs indexed by *table* column: col 0 and columns
+    # past the match width have no substitution move (inf).
+    total = max(lo_last + w, width + 1)
+    costs = np.full((cc, m, total), np.inf)
+    costs[:, :, 1:width + 1] = np.where(match, 0.0, 1.0)
+    with np.errstate(invalid="ignore"):
+        window = np.full((cc, w), np.inf)
+        first = min(w, width + 1)
+        window[:, :first] = np.arange(first, dtype=np.float64)  # f[0, j] = j
+        lo_prev = 0
+        for i in range(1, m + 1):
+            lo = max(0, i - r)
+            sub_cost = costs[:, i - 1, lo:lo + w]
+            # Fold the diagonal (substitution) and vertical (deletion)
+            # moves from the previous window, aligned by how far the
+            # window slid (0 or 1).
+            diag = np.empty_like(window)
+            vert = np.empty_like(window)
+            if lo == lo_prev:
+                vert[:] = window
+                diag[:, 0] = np.inf
+                diag[:, 1:] = window[:, :-1]
+            else:
+                diag[:] = window
+                vert[:, :-1] = window[:, 1:]
+                vert[:, -1] = np.inf
+            cand = np.minimum(diag + sub_cost, vert + 1.0)
+            # Horizontal (insertion) moves cost 1 per column: the same
+            # min-plus prefix scan the exact kernel uses, anchored at
+            # the window's true column positions.
+            positions = np.arange(lo, lo + w, dtype=np.float64)
+            cand -= positions
+            np.minimum.accumulate(cand, axis=1, out=cand)
+            cand += positions
+            window = cand
+            lo_prev = lo
+    return window[np.arange(cc), lengths - lo_last], False
+
+
+def batch_lcss_distances(match: np.ndarray,
+                         lengths: np.ndarray) -> np.ndarray:
+    """Exact LCSS distances for a whole candidate stack in one sweep.
+
+    One integer row sweep over the shared ``(c, m, L)`` match tensor
+    computes every candidate's longest-common-subsequence length at
+    once, replicating :func:`repro.distances.lcss.lcss_similarity`'s
+    running-maximum recurrence; the normalized distance
+    ``1 - LCSS / min(m, n)`` then divides the same integers the
+    per-pair code divides, so each value is **bit-identical** to
+    ``lcss_distance(query, candidate)``.  Padding never matches, so
+    columns past each candidate's length cannot contribute.
+    """
+    cc, m, width = match.shape
+    prev = np.zeros((cc, width + 1), dtype=np.int64)
+    for i in range(m):
+        cand = np.empty((cc, width + 1), dtype=np.int64)
+        cand[:, 0] = 0
+        np.maximum(prev[:, 1:], prev[:, :-1] + match[:, i, :],
+                   out=cand[:, 1:])
+        np.maximum.accumulate(cand, axis=1, out=cand)
+        prev = cand
+    sims = prev[np.arange(cc), lengths]
+    return 1.0 - sims / np.minimum(m, lengths)
+
+
+def batch_lcss_banded(match: np.ndarray, lengths: np.ndarray,
+                      band: int) -> tuple[np.ndarray, bool]:
+    """Banded LCSS over a candidate stack: distance upper bounds.
+
+    The alignment window is the same sliding ``2 * r + 1``-column band
+    the other banded kernels use; cells outside it contribute 0
+    matches.  Every windowed value counts only genuine matches, so the
+    banded similarity lower-bounds the exact LCSS and the returned
+    distances upper-bound the exact distances — matching
+    :func:`repro.distances.lcss.lcss_banded_distance` called with the
+    resolved radius, exactly (integer DP).
+
+    Returns ``(values, is_exact)``; when the window covers the whole
+    table the exact kernel runs instead and ``is_exact`` is True.
+    """
+    cc, m, width = match.shape
+    r = int(max(int(band), np.abs(m - lengths).max()))
+    if r >= max(m, width):
+        return batch_lcss_distances(match, lengths), True
+    w = 2 * r + 1
+    lo_last = max(0, m - r)
+    total = max(lo_last + w, width + 1)
+    matches = np.zeros((cc, m, total), dtype=np.int64)
+    matches[:, :, 1:width + 1] = match
+    window = np.zeros((cc, w), dtype=np.int64)
+    lo_prev = 0
+    for i in range(1, m + 1):
+        lo = max(0, i - r)
+        gain = matches[:, i - 1, lo:lo + w]
+        diag = np.empty_like(window)
+        vert = np.empty_like(window)
+        if lo == lo_prev:
+            vert[:] = window
+            diag[:, 0] = 0
+            diag[:, 1:] = window[:, :-1]
+        else:
+            diag[:] = window
+            vert[:, :-1] = window[:, 1:]
+            vert[:, -1] = 0
+        cand = np.maximum(diag + gain, vert)
+        np.maximum.accumulate(cand, axis=1, out=cand)
+        window = cand
+        lo_prev = lo
+    sims = window[np.arange(cc), lengths - lo_last]
+    return 1.0 - sims / np.minimum(m, lengths), False
 
 
 #: Tolerated padding overwork per chunk (padded elements may exceed the
@@ -507,6 +710,18 @@ _MIN_BATCH = {"hausdorff": 2}
 _MIN_BATCH_DEFAULT = 4
 
 
+def _edit_eps(measure: Measure) -> float:
+    """The eps an edit measure's per-pair DP will actually run with.
+
+    Falls back to the measure module's own default — never a bare 0 —
+    so a :class:`Measure` constructed without ``params`` still gets
+    batch results bit-identical to ``measure.distance``.
+    """
+    default = (_EDR_DEFAULT_EPS if measure.name == "edr"
+               else _LCSS_DEFAULT_EPS)
+    return float(measure.params.get("eps", default))
+
+
 class BatchRefiner:
     """Bounds, banded upper bounds and exact evaluation for one batch.
 
@@ -518,11 +733,13 @@ class BatchRefiner:
     bit-for-bit, so its branch can be replicated without recomputing
     the prefilter.
 
-    For Frechet/DTW three further accelerations apply:
+    For the DP measures (Frechet/DTW, and the integer edit measures
+    EDR/LCSS) three further accelerations apply:
 
-    * the broadcast distance tensor is retained (when it fits the chunk
-      budget) and sliced per survivor, so exact DPs skip the per-pair
-      matrix rebuild;
+    * the broadcast tensor — pairwise distances for Frechet/DTW, the
+      boolean eps-match tensor for EDR/LCSS — is retained (when it fits
+      the chunk budget) and sliced per survivor, so exact DPs skip the
+      per-pair matrix rebuild;
     * while each chunk's tensor is hot, a banded DP computes upper
       bounds (:attr:`uppers`) for every candidate whose lower bound
       beats ``dk`` — when the band covers the whole matrix these are
@@ -562,6 +779,11 @@ class BatchRefiner:
             # batch is too large to hold resident.
             keep = int(lengths.sum()) * len(query) <= _CHUNK_ELEMS
             self._screen_tensor_measures(padded, lengths, dk, keep)
+        elif self.name in ("edr", "lcss") and tids:
+            padded, lengths = store.gather(tids)
+            self._lengths = lengths
+            keep = int(lengths.sum()) * len(query) <= _CHUNK_ELEMS
+            self._screen_edit_measures(padded, lengths, dk, keep)
         elif self.name == "erp" and tids:
             self._lengths = store.lengths(tids)
             self.bounds, _ = candidate_lower_bounds(measure, query,
@@ -586,10 +808,55 @@ class BatchRefiner:
                                 keep: bool) -> None:
         """Chunked screen for DTW/Frechet: lower bounds, banded upper
         bounds for survivors, and (optionally) retained tensors."""
-        count = len(lengths)
-        m = len(self.query)
         banded = (batch_dtw_banded if self.name == "dtw"
                   else batch_frechet_banded)
+        self._screen_dp_measures(
+            padded, lengths, dk, keep, banded,
+            build_tensor=lambda chunk: batch_point_distance_tensor(
+                self.query, chunk),
+            chunk_bounds=lambda tensor, chunk_lengths: _reduce_tensor(
+                self.name, tensor, chunk_lengths))
+
+    def _screen_edit_measures(self, padded: np.ndarray,
+                              lengths: np.ndarray, dk: float,
+                              keep: bool) -> None:
+        """Chunked screen for EDR/LCSS: cheap bounds, banded integer-DP
+        upper bounds for survivors, and (optionally) retained match
+        tensors for the staged exact DPs."""
+        eps = _edit_eps(self.measure)
+        banded = (batch_edr_banded if self.name == "edr"
+                  else batch_lcss_banded)
+        if self.name == "edr":
+            # The per-pair prefilter's length-difference bound, computed
+            # on the same integers (bit-identical as floats).
+            def chunk_bounds(tensor, chunk_lengths):
+                return np.abs(float(len(self.query))
+                              - chunk_lengths.astype(np.float64))
+        else:
+            def chunk_bounds(tensor, chunk_lengths):
+                return np.zeros(len(chunk_lengths), dtype=np.float64)
+        self._screen_dp_measures(
+            padded, lengths, dk, keep, banded,
+            build_tensor=lambda chunk: batch_match_tensor(
+                self.query, chunk, eps),
+            chunk_bounds=chunk_bounds)
+
+    def _screen_dp_measures(self, padded: np.ndarray, lengths: np.ndarray,
+                            dk: float, keep: bool, banded,
+                            build_tensor, chunk_bounds) -> None:
+        """Shared chunked screen for every DP measure.
+
+        Walks the length-sorted chunks once: ``build_tensor`` broadcasts
+        one chunk's candidate tensor (pairwise distances or eps
+        matches), ``chunk_bounds`` reduces it to refinement lower
+        bounds, retained chunks feed the staged exact DPs, and
+        survivors under ``dk`` go through the adaptive ``banded``
+        upper-bound sweep.  Keeping one loop keeps the chunk/retention/
+        survivor bookkeeping of the tensor and edit families from
+        drifting apart.
+        """
+        count = len(lengths)
+        m = len(self.query)
         self.bounds = np.empty(count, dtype=np.float64)
         self.uppers = np.full(count, np.inf)
         self.exact_mask = np.zeros(count, dtype=bool)
@@ -599,21 +866,20 @@ class BatchRefiner:
         for rows in _length_sorted_chunks(lengths, m):
             chunk_lengths = lengths[rows]
             width = int(chunk_lengths.max())
-            dist = batch_point_distance_tensor(self.query,
-                                               padded[rows, :width])
-            chunk_bounds = _reduce_tensor(self.name, dist, chunk_lengths)
-            self.bounds[rows] = chunk_bounds
+            tensor = build_tensor(padded[rows, :width])
+            bounds = chunk_bounds(tensor, chunk_lengths)
+            self.bounds[rows] = bounds
             if keep:
                 ci = len(self._chunks)
-                self._chunks.append((rows, dist))
+                self._chunks.append((rows, tensor))
                 for ri, i in enumerate(rows.tolist()):
                     self._row_of[i] = (ci, ri)
-            survivors = np.flatnonzero(chunk_bounds < dk)
+            survivors = np.flatnonzero(bounds < dk)
             if survivors.size >= _BAND_SCREEN_MIN:
                 if survivors.size == len(rows):
-                    sub, sub_lengths = dist, chunk_lengths
+                    sub, sub_lengths = tensor, chunk_lengths
                 else:
-                    sub = dist[survivors]
+                    sub = tensor[survivors]
                     sub_lengths = chunk_lengths[survivors]
                 self._adaptive_band_sweep(banded, sub, sub_lengths, dk,
                                           m, width, rows[survivors])
@@ -665,7 +931,7 @@ class BatchRefiner:
     @property
     def supports_batch_dp(self) -> bool:
         """True when :meth:`exact_batch` runs a real batched DP."""
-        return self.name in ("frechet", "dtw")
+        return self.name in ("frechet", "dtw", "edr", "lcss")
 
     def exact_batch(self, idxs: list[int]) -> np.ndarray:
         """Exact distances for candidates ``idxs`` via one batched DP.
@@ -676,27 +942,46 @@ class BatchRefiner:
         """
         if len(idxs) == 1:
             return np.array([self._exact_pair(idxs[0])])
+        edit = self.name in ("edr", "lcss")
         lengths = self._lengths[idxs]
         if self._chunks is not None:
             width = int(lengths.max())
-            dm = np.full((len(idxs), len(self.query), width), np.inf)
+            if edit:
+                dm = np.zeros((len(idxs), len(self.query), width),
+                              dtype=bool)
+            else:
+                dm = np.full((len(idxs), len(self.query), width), np.inf)
             for k, i in enumerate(idxs):
                 piece = self._slice(i)
                 dm[k, :, :piece.shape[1]] = piece
         else:
             padded, lengths = self.store.gather(
                 [self.tids[i] for i in idxs])
-            dm = batch_point_distance_tensor(self.query, padded)
+            if edit:
+                dm = batch_match_tensor(self.query, padded,
+                                        _edit_eps(self.measure))
+            else:
+                dm = batch_point_distance_tensor(self.query, padded)
         if self.name == "dtw":
             return batch_dtw_distances(dm, lengths)
-        return batch_frechet_distances(dm, lengths)
+        if self.name == "frechet":
+            return batch_frechet_distances(dm, lengths)
+        if self.name == "edr":
+            return batch_edr_distances(dm, lengths)
+        return batch_lcss_distances(dm, lengths)
 
     def _exact_pair(self, i: int) -> float:
-        """Per-pair exact DP for candidate ``i`` (tensor-measure only)."""
+        """Per-pair exact evaluation for candidate ``i`` (DP measures).
+
+        Frechet/DTW reuse the retained distance-matrix slice; the edit
+        measures run the per-pair integer DP itself (the reference the
+        batched kernels are bit-identical to)."""
         points = self.store.points_of(self.tids[i])
         if self.name == "frechet":
             return frechet_distance(self.query, points, dm=self._slice(i))
-        return dtw_distance(self.query, points, dm=self._slice(i))
+        if self.name == "dtw":
+            return dtw_distance(self.query, points, dm=self._slice(i))
+        return self.measure.distance(self.query, points)
 
     def exact_or_bound(self, i: int, threshold: float) -> float:
         """``distance_with_threshold`` for candidate ``i``, reusing the

@@ -4,6 +4,12 @@ Edit distance where substituting two points costs 0 when they match
 within ``eps`` (both coordinates) and 1 otherwise; insert/delete cost 1.
 EDR is not a metric (it violates the triangle inequality) and is order
 sensitive, so only the basic RP-Trie applies (paper, Section VI).
+
+:func:`edr_banded_distance` is the Sakoe-Chiba-banded variant the batch
+refinement engine uses as a cheap upper-bound screen: confining the
+edit path to a sliding window restricts the set of admissible
+alignments, so the banded value can only over-estimate the exact EDR,
+and it equals it whenever the window covers the whole table.
 """
 
 from __future__ import annotations
@@ -13,7 +19,7 @@ import numpy as np
 from .base import Measure, register_measure
 from .lcss import _match_matrix
 
-__all__ = ["edr_distance"]
+__all__ = ["edr_distance", "edr_banded_distance"]
 
 DEFAULT_EPS = 0.001
 
@@ -33,6 +39,51 @@ def edr_distance(a: np.ndarray, b: np.ndarray, eps: float = DEFAULT_EPS) -> floa
         np.minimum(prev[:-1] + sub_cost, prev[1:] + 1.0,
                    out=candidates[1:])
         prev = positions + np.minimum.accumulate(candidates - positions)
+    return float(prev[n])
+
+
+def edr_banded_distance(a: np.ndarray, b: np.ndarray, band: int,
+                        eps: float = DEFAULT_EPS) -> float:
+    """Sakoe-Chiba-banded EDR: an upper bound on :func:`edr_distance`.
+
+    Row ``i`` of the ``(m + 1) x (n + 1)`` edit table only evaluates the
+    window of ``2 * r + 1`` columns starting at ``max(0, i - r)``, where
+    ``r = max(band, |m - n|)`` (widening to the length difference keeps
+    the end cell reachable); cells outside the window count as ``+inf``.
+    Restricting the edit paths this way can only *raise* the optimum, so
+    the result upper-bounds the exact EDR — and, the DP being
+    integer-valued, equals it exactly whenever the window covers the
+    whole table.
+
+    This reference implementation defines the window semantics the
+    vectorized batch kernel
+    (:func:`repro.distances.batch.batch_edr_banded`) reproduces; the
+    batch property tests compare the two.
+    """
+    match = _match_matrix(a, b, eps)
+    m, n = match.shape
+    r = max(int(band), abs(m - n))
+    w = 2 * r + 1
+    inf = np.inf
+    prev = np.full(n + 1, inf)
+    hi = min(n + 1, w)
+    prev[:hi] = np.arange(hi, dtype=np.float64)
+    for i in range(1, m + 1):
+        lo = max(0, i - r)
+        hi = min(n, lo + w - 1)
+        cur = np.full(n + 1, inf)
+        for j in range(lo, hi + 1):
+            if j == 0:
+                cur[0] = prev[0] + 1.0
+                continue
+            sub = 0.0 if match[i - 1, j - 1] else 1.0
+            best = prev[j - 1] + sub
+            if prev[j] + 1.0 < best:
+                best = prev[j] + 1.0
+            if j > lo and cur[j - 1] + 1.0 < best:
+                best = cur[j - 1] + 1.0
+            cur[j] = best
+        prev = cur
     return float(prev[n])
 
 

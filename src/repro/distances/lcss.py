@@ -4,6 +4,13 @@ Two points match when both coordinate differences are below ``eps``.
 ``lcss_similarity`` is the matched-subsequence length; the normalized
 distance is ``1 - LCSS / min(m, n)``.  LCSS is not a metric and is order
 sensitive: the index uses the basic RP-Trie for it (paper, Section VI).
+
+:func:`lcss_banded_distance` is the Sakoe-Chiba-banded variant the
+batch refinement engine uses as a cheap upper-bound screen: confining
+the alignment to a sliding window can only *drop* matches, so the
+banded similarity lower-bounds the exact one and the banded distance
+upper-bounds the exact distance — equalling it whenever the window
+covers the whole table.
 """
 
 from __future__ import annotations
@@ -12,7 +19,8 @@ import numpy as np
 
 from .base import Measure, register_measure
 
-__all__ = ["lcss_similarity", "lcss_distance"]
+__all__ = ["lcss_similarity", "lcss_distance", "lcss_banded_similarity",
+           "lcss_banded_distance"]
 
 DEFAULT_EPS = 0.001
 
@@ -43,6 +51,49 @@ def lcss_similarity(a: np.ndarray, b: np.ndarray, eps: float = DEFAULT_EPS) -> i
 def lcss_distance(a: np.ndarray, b: np.ndarray, eps: float = DEFAULT_EPS) -> float:
     """Normalized LCSS distance ``1 - LCSS / min(m, n)`` in [0, 1]."""
     sim = lcss_similarity(a, b, eps=eps)
+    return 1.0 - sim / min(a.shape[0], b.shape[0])
+
+
+def lcss_banded_similarity(a: np.ndarray, b: np.ndarray, band: int,
+                           eps: float = DEFAULT_EPS) -> int:
+    """Sakoe-Chiba-banded LCSS: a lower bound on :func:`lcss_similarity`.
+
+    Row ``i`` of the ``(m + 1) x (n + 1)`` table only evaluates the
+    window of ``2 * r + 1`` columns starting at ``max(0, i - r)``, with
+    ``r = max(band, |m - n|)``; cells outside the window contribute 0.
+    Every windowed value counts only genuine matches, so the result can
+    never exceed the unconstrained LCSS — and equals it exactly (the DP
+    is integer-valued) whenever the window covers the whole table.
+
+    This reference implementation defines the window semantics the
+    vectorized batch kernel
+    (:func:`repro.distances.batch.batch_lcss_banded`) reproduces.
+    """
+    match = _match_matrix(a, b, eps)
+    m, n = match.shape
+    r = max(int(band), abs(m - n))
+    w = 2 * r + 1
+    prev = np.zeros(n + 1, dtype=np.int64)
+    for i in range(1, m + 1):
+        lo = max(0, i - r)
+        hi = min(n, lo + w - 1)
+        cur = np.zeros(n + 1, dtype=np.int64)
+        for j in range(max(1, lo), hi + 1):
+            best = prev[j]
+            diag = prev[j - 1] + int(match[i - 1, j - 1])
+            if diag > best:
+                best = diag
+            if j > lo and cur[j - 1] > best:
+                best = cur[j - 1]
+            cur[j] = best
+        prev = cur
+    return int(prev[n])
+
+
+def lcss_banded_distance(a: np.ndarray, b: np.ndarray, band: int,
+                         eps: float = DEFAULT_EPS) -> float:
+    """Banded LCSS distance: an upper bound on :func:`lcss_distance`."""
+    sim = lcss_banded_similarity(a, b, band, eps=eps)
     return 1.0 - sim / min(a.shape[0], b.shape[0])
 
 

@@ -27,6 +27,7 @@ from typing import Callable
 
 import numpy as np
 
+from .cluster.batch import BatchPlanReport, BatchQueryPlanner
 from .cluster.driver import merge_range, merge_top_k
 from .cluster.engine import ExecutionEngine, WorkloadHints
 from .cluster.planner import PlanReport, QueryPlanner
@@ -45,6 +46,7 @@ from .core.search import (
     TopKResult,
     local_range_search,
     local_search,
+    local_search_multi,
     probe_search,
 )
 from .core.succinct import SuccinctRPTrie
@@ -139,6 +141,31 @@ class _LocalTopKTask:
         return self.rp.index.top_k(self.query, self.k, **self.kwargs)
 
 
+class _LocalMultiTopKTask:
+    """One (partition, query group) task of a batched wave plan.
+
+    Picklable for the process backend.  Prefers the index's
+    ``top_k_multi`` (REPOSE's shares one columnar gather per leaf
+    across the group); indexes without it — the baselines — fall back
+    to a per-query loop *inside* the task, so grouping still amortizes
+    the dispatch itself.
+    """
+
+    def __init__(self, rp: RpTraj, queries: list[Trajectory], k: int,
+                 kwargs_list: list[dict]):
+        self.rp = rp
+        self.queries = queries
+        self.k = k
+        self.kwargs_list = kwargs_list
+
+    def __call__(self) -> list:
+        multi = getattr(self.rp.index, "top_k_multi", None)
+        if multi is not None:
+            return multi(self.queries, self.k, self.kwargs_list)
+        return [self.rp.index.top_k(query, self.k, **kwargs)
+                for query, kwargs in zip(self.queries, self.kwargs_list)]
+
+
 class _LocalRangeTask:
     """One (query, partition) range-search task of a wave (picklable)."""
 
@@ -186,20 +213,26 @@ class QueryOutcome:
 
 @dataclass
 class BatchOutcome:
-    """A batch of queries scheduled together on the virtual cluster.
+    """A batch of queries executed under one coordinated plan.
 
     This is the paper's Section V-A scenario: a batch of analysis
-    queries (possibly skewed towards hot regions) issued at once.  All
-    ``len(queries) * num_partitions`` local-search tasks are scheduled
-    FIFO onto the cluster; the makespan and utilization expose the
-    resource waste that homogeneous partitioning causes when query
-    load concentrates on a few partitions.
+    queries (possibly skewed towards hot regions) issued at once.
+    ``results`` holds one merged global top-k per query, in input
+    order.  Under the batched wave plan (:meth:`DistributedTopK
+    .top_k_batch` with ``plan="waves"``) ``plan`` carries the
+    :class:`~repro.cluster.batch.BatchPlanReport` — dispatched
+    multi-query tasks, per-query wave accounting, probe and cross-query
+    threshold savings; it is None for per-query and FIFO-scheduled
+    batches.  The makespan and utilization expose the resource waste
+    that homogeneous partitioning causes when query load concentrates
+    on a few partitions.
     """
 
     results: list[TopKResult]
     wall_seconds: float
     simulated_seconds: float
     schedule: ScheduleReport | None = None
+    plan: BatchPlanReport | None = None
 
     @property
     def utilization(self) -> float:
@@ -253,6 +286,26 @@ class RPTrieLocalIndex:
             raise IndexNotBuiltError("call build() before top_k()")
         return local_search(self._trie, query, k, dqp=dqp, dk=dk,
                             **self.search_options)
+
+    def top_k_multi(self, queries: list[Trajectory], k: int,
+                    kwargs_list: list[dict]) -> list[TopKResult]:
+        """Local top-k for a whole query group, sharing leaf gathers.
+
+        The batch planner's multi-query entry point
+        (:func:`repro.core.search.local_search_multi`): one call runs
+        every query of a partition-affine group, building each touched
+        leaf's padded candidate tensor once for the group.  Per-query
+        ``kwargs_list`` entries carry the same keys :meth:`top_k`
+        accepts (``dqp``, ``dk``); results are bit-identical to calling
+        :meth:`top_k` per query.
+        """
+        if self._trie is None:
+            raise IndexNotBuiltError("call build() before top_k_multi()")
+        return local_search_multi(
+            self._trie, queries, k,
+            dqps=[kwargs.get("dqp") for kwargs in kwargs_list],
+            dks=[kwargs.get("dk", float("inf")) for kwargs in kwargs_list],
+            **self.search_options)
 
     def probe(self, query: Trajectory,
               dqp: np.ndarray | None = None) -> PartitionProbe:
@@ -381,13 +434,15 @@ class DistributedTopK:
                 f"unknown plan {mode!r} (use one of {self._PLANS})")
         return mode
 
-    def _workload_hints(self, num_tasks: int,
-                        batch_width: int = 1) -> WorkloadHints:
+    def _workload_hints(self, num_tasks: int, batch_width: int = 1,
+                        queries_per_task: float = 1.0) -> WorkloadHints:
         """Hints for the ``"auto"`` engine: what one dispatch looks like.
 
         The average partition size is computed from the dataset once
         and cached; the measure comes from :attr:`measure_hint` (None
         for custom factories, which makes the cost model conservative).
+        ``queries_per_task`` describes multi-query partition tasks
+        (the batch planner's grouped dispatch).
         """
         if self._partition_points is None:
             total = sum(len(t) for t in self.dataset.trajectories)
@@ -395,7 +450,8 @@ class DistributedTopK:
         return WorkloadHints(measure=self.measure_hint,
                              partition_points=self._partition_points,
                              num_tasks=num_tasks,
-                             batch_width=batch_width)
+                             batch_width=batch_width,
+                             queries_per_task=queries_per_task)
 
     def build(self) -> BuildReport:
         """Partition the dataset and build one local index per partition."""
@@ -414,6 +470,8 @@ class DistributedTopK:
         # round-trip) just to re-materialize what the driver holds.
         self._rdd = self.context.from_partitions(packaged)
         self._parts = [rp for part in packaged for rp in part]
+        # Fresh indexes invalidate every memoized planner probe.
+        self.context.probe_cache.bump_epoch()
         schedule = simulate_schedule(timings, self.cluster_spec)
         index_bytes = sum(part[0].index.memory_bytes()
                           for part in packaged if part)
@@ -477,7 +535,16 @@ class DistributedTopK:
     def _planner(self) -> QueryPlanner:
         """The wave planner bound to this engine's execution pools."""
         return QueryPlanner(self.context.engine,
-                            wave_size=self.plan_options.get("wave_size"))
+                            wave_size=self.plan_options.get("wave_size"),
+                            probe_cache=self.context.probe_cache)
+
+    def _query_distance_fn(self) -> Callable | None:
+        """Driver-side query-to-query distance for the batch planner's
+        cross-query threshold reuse, or None when the measure's
+        triangle inequality cannot certify it.  The base driver knows
+        nothing about its index's measure, so it opts out;
+        :class:`Repose` supplies its metric measures' distance."""
+        return None
 
     def _top_k_waves(self, query: Trajectory, k: int,
                      query_kwargs: dict) -> QueryOutcome:
@@ -538,10 +605,68 @@ class DistributedTopK:
             self.context.engine.calibrated_cost_us)
         return rate
 
-    def top_k_batch(self, queries: list[Trajectory],
-                    k: int) -> list[QueryOutcome]:
-        """Run a batch of queries sequentially (one outcome each)."""
-        return [self.top_k(q, k) for q in queries]
+    def top_k_batch(self, queries: list[Trajectory], k: int,
+                    plan: str | None = None,
+                    plan_options: dict | None = None) -> BatchOutcome:
+        """Run a batch of queries under one coordinated plan.
+
+        ``plan="waves"`` (the engine default) routes the whole batch
+        through the multi-query
+        :class:`~repro.cluster.batch.BatchQueryPlanner`: every
+        (query, partition) pair is probed once (served from the
+        context's epoch-invalidated probe cache on repeats), queries
+        are grouped by partition affinity so one dispatched task
+        searches one partition for a whole group, and a per-query
+        running ``dk`` vector — cross-tightened by the triangle
+        inequality for metric measures — is broadcast between waves.
+        ``plan="single"`` runs the queries sequentially, each as the
+        paper's one-shot fan-out.  Both return one merged result per
+        query, bit-identical to running that query alone.
+        ``plan_options`` overrides the engine-level planner knobs
+        (``{"wave_size": n}``) for this call.
+        """
+        if self._rdd is None:
+            raise IndexNotBuiltError("call build() before batch queries")
+        if self._resolve_plan(plan) == "waves":
+            return self._top_k_batch_waves(queries, k, plan_options)
+        start = time.perf_counter()
+        outcomes = [self.top_k(query, k, plan="single")
+                    for query in queries]
+        wall = time.perf_counter() - start
+        return BatchOutcome(
+            results=[outcome.result for outcome in outcomes],
+            wall_seconds=wall,
+            # Sequential per-query execution: the batch's simulated
+            # time chains the per-query makespans.
+            simulated_seconds=sum(outcome.simulated_seconds
+                                  for outcome in outcomes),
+            schedule=None)
+
+    def _top_k_batch_waves(self, queries: list[Trajectory], k: int,
+                           plan_options: dict | None = None,
+                           ) -> BatchOutcome:
+        """Batched wave execution (see :mod:`repro.cluster.batch`)."""
+        start = time.perf_counter()
+        options = {**self.plan_options, **(plan_options or {})}
+        kwargs_list = [self._query_kwargs_for(query) for query in queries]
+        planner = BatchQueryPlanner(
+            self.context.engine,
+            wave_size=options.get("wave_size"),
+            probe_cache=self.context.probe_cache,
+            query_distance=self._query_distance_fn())
+        results, wave_timings, report = planner.execute_batch(
+            self._parts, queries, k, kwargs_list,
+            make_task=lambda rp, group, kws: _LocalMultiTopKTask(
+                rp, group, k, kws),
+            hints=self._workload_hints(
+                self.num_partitions,
+                queries_per_task=max(len(queries), 1)))
+        self.context.record_timings(wave_timings)
+        wall = time.perf_counter() - start
+        schedule = simulate_schedule_waves(wave_timings, self.cluster_spec)
+        return BatchOutcome(results=results, wall_seconds=wall,
+                            simulated_seconds=schedule.makespan,
+                            schedule=schedule, plan=report)
 
     def top_k_batch_scheduled(self, queries: list[Trajectory],
                               k: int) -> BatchOutcome:
@@ -669,6 +794,9 @@ class DistributedTopK:
         rp.index.insert(traj)
         rp.trajectories.append(traj)
         sizes[target] += 1
+        # The mutated partition's bounds changed: memoized probes for
+        # every in-flight fingerprint are stale.
+        self.context.probe_cache.bump_epoch()
 
 
 class Repose(DistributedTopK):
@@ -721,6 +849,16 @@ class Repose(DistributedTopK):
             return {"dqp": np.array(
                 [self.measure.distance(query, p) for p in self.pivots])}
         return {}
+
+    def _query_distance_fn(self) -> Callable | None:
+        """Metric measures certify cross-query threshold reuse: the k
+        results query ``i`` holds lie within ``dk_i + d(q_i, q_j)`` of
+        query ``j`` by the triangle inequality, so that sum soundly
+        upper-bounds ``j``'s final k-th best.  Non-metric measures
+        (DTW/EDR/LCSS) return None — no cross-query coupling."""
+        if self.measure.is_metric:
+            return self.measure.distance
+        return None
 
     @classmethod
     def build(cls, dataset: TrajectoryDataset,  # type: ignore[override]

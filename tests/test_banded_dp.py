@@ -1,11 +1,12 @@
 """Exactness of the batched (banded) DP kernels and the tighter bounds.
 
-The batched exact DTW/Frechet DPs must be *bit-identical* to the
-sequential per-pair DPs for every candidate — including length-1 and
-degenerate trajectories, ties, and the band-fallback path where the
-banded screen fails to certify a candidate and the exact DP decides.
-The banded kernels must match their per-pair reference implementations
-and never under-estimate; the per-prefix ERP bound must stay a sound
+The batched exact DTW/Frechet DPs — and the batched integer edit DPs
+for EDR/LCSS — must be *bit-identical* to the sequential per-pair DPs
+for every candidate, including length-1 and degenerate trajectories,
+ties, and the band-fallback path where the banded screen fails to
+certify a candidate and the exact DP decides.  The banded kernels must
+match their per-pair reference implementations and never
+under-estimate a distance; the per-prefix ERP bound must stay a sound
 lower bound that dominates the classic gap-mass difference.
 """
 
@@ -22,17 +23,28 @@ from repro.distances.batch import (
     BatchRefiner,
     batch_dtw_banded,
     batch_dtw_distances,
+    batch_edr_banded,
+    batch_edr_distances,
     batch_frechet_banded,
     batch_frechet_distances,
+    batch_lcss_banded,
+    batch_lcss_distances,
+    batch_match_tensor,
     batch_point_distance_tensor,
     refine_range,
     refine_top_k,
 )
 from repro.distances.dtw import dtw_banded_distance, dtw_distance
+from repro.distances.edr import edr_banded_distance, edr_distance
 from repro.distances.erp import erp_distance, erp_prefix_bound
 from repro.distances.frechet import frechet_banded_distance, frechet_distance
+from repro.distances.lcss import lcss_banded_distance, lcss_distance
 from repro.distances.threshold import distance_with_threshold
 from repro.types import Trajectory
+
+#: eps wide enough that random walks actually produce matches, so the
+#: edit DPs exercise non-trivial alignments.
+EDIT_EPS = 0.3
 
 
 def _walks(rng, count, min_len, max_len):
@@ -96,6 +108,104 @@ class TestBatchedExactKernels:
         dm, lengths = _stack(query, trajs)
         assert batch_dtw_distances(dm, lengths)[0] == 0.0
         assert batch_frechet_distances(dm, lengths)[0] == 0.0
+
+
+def _match_stack(query, trajs, eps=EDIT_EPS):
+    lengths = np.array([len(t) for t in trajs], dtype=np.int64)
+    padded = np.full((len(trajs), int(lengths.max()), 2), np.inf)
+    for i, t in enumerate(trajs):
+        padded[i, :len(t)] = t
+    return batch_match_tensor(query, padded, eps), lengths
+
+
+class TestBatchedEditKernels:
+    """The integer EDR/LCSS row sweeps vs the per-pair DPs."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_edr_bit_identical_to_sequential(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(1, 35))
+        query = rng.normal(0, EDIT_EPS, (m, 2)).cumsum(axis=0)
+        trajs = _walks(rng, 17, 1, 45) + [query.copy()]
+        match, lengths = _match_stack(query, trajs)
+        values = batch_edr_distances(match, lengths)
+        for i, traj in enumerate(trajs):
+            assert values[i] == edr_distance(query, traj, eps=EDIT_EPS)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_lcss_bit_identical_to_sequential(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(1, 35))
+        query = rng.normal(0, EDIT_EPS, (m, 2)).cumsum(axis=0)
+        trajs = _walks(rng, 17, 1, 45) + [query.copy()]
+        match, lengths = _match_stack(query, trajs)
+        values = batch_lcss_distances(match, lengths)
+        for i, traj in enumerate(trajs):
+            assert values[i] == lcss_distance(query, traj, eps=EDIT_EPS)
+
+    def test_edit_degenerate_candidates(self):
+        query = np.array([[1.0, 1.0]])
+        trajs = [np.array([[1.0, 1.0]]),
+                 np.array([[2.0, 2.0]]),
+                 np.array([[1.0, 1.0]] * 6),
+                 np.array([[1.0, 1.0]] * 6),
+                 np.array([[0.0, 0.0], [1.05, 1.05]])]
+        match, lengths = _match_stack(query, trajs, eps=0.1)
+        edr_values = batch_edr_distances(match, lengths)
+        lcss_values = batch_lcss_distances(match, lengths)
+        for i, traj in enumerate(trajs):
+            assert edr_values[i] == edr_distance(query, traj, eps=0.1)
+            assert lcss_values[i] == lcss_distance(query, traj, eps=0.1)
+        assert edr_values[2] == edr_values[3]  # ties preserved
+
+    @pytest.mark.parametrize("seed,band", [(0, 0), (0, 2), (1, 3),
+                                           (2, 8), (3, 100)])
+    def test_edr_banded_matches_reference_and_dominates(self, seed, band):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(1, 30))
+        query = rng.normal(0, EDIT_EPS, (m, 2)).cumsum(axis=0)
+        trajs = _walks(rng, 11, 1, 40) + [query.copy()]
+        match, lengths = _match_stack(query, trajs)
+        resolved = max(band, int(np.abs(m - lengths).max()))
+        values, is_exact = batch_edr_banded(match, lengths, band)
+        for i, traj in enumerate(trajs):
+            exact = edr_distance(query, traj, eps=EDIT_EPS)
+            # Integer DPs: reference and batch agree bit for bit.
+            assert values[i] == edr_banded_distance(query, traj, resolved,
+                                                    eps=EDIT_EPS)
+            assert values[i] >= exact
+            if is_exact:
+                assert values[i] == exact
+
+    @pytest.mark.parametrize("seed,band", [(0, 0), (0, 2), (1, 3),
+                                           (2, 8), (3, 100)])
+    def test_lcss_banded_matches_reference_and_dominates(self, seed, band):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(1, 30))
+        query = rng.normal(0, EDIT_EPS, (m, 2)).cumsum(axis=0)
+        trajs = _walks(rng, 11, 1, 40) + [query.copy()]
+        match, lengths = _match_stack(query, trajs)
+        resolved = max(band, int(np.abs(m - lengths).max()))
+        values, is_exact = batch_lcss_banded(match, lengths, band)
+        for i, traj in enumerate(trajs):
+            exact = lcss_distance(query, traj, eps=EDIT_EPS)
+            assert values[i] == lcss_banded_distance(query, traj, resolved,
+                                                     eps=EDIT_EPS)
+            assert values[i] >= exact
+            if is_exact:
+                assert values[i] == exact
+
+    def test_edit_full_coverage_band_is_flagged_exact(self):
+        rng = np.random.default_rng(9)
+        query = rng.normal(0, EDIT_EPS, (6, 2))
+        trajs = _walks(rng, 8, 2, 7) + [query.copy()]
+        match, lengths = _match_stack(query, trajs)
+        for kernel, seq in ((batch_edr_banded, edr_distance),
+                            (batch_lcss_banded, lcss_distance)):
+            values, is_exact = kernel(match, lengths, 1000)
+            assert is_exact
+            for i, traj in enumerate(trajs):
+                assert values[i] == seq(query, traj, eps=EDIT_EPS)
 
 
 class TestBandedKernels:
@@ -249,13 +359,88 @@ class TestRefinementBitIdentity:
                 expected.append((dist, tid))
         assert got == expected
 
-    @pytest.mark.parametrize("name", ["dtw", "frechet"])
+    @pytest.mark.parametrize("name", ["edr", "lcss"])
+    @pytest.mark.parametrize("k", [1, 5, 60])
+    def test_refine_top_k_edit_measures_match_sequential(self, name, k):
+        rng = np.random.default_rng(19)
+        measure = get_measure(name).with_params(eps=EDIT_EPS)
+        store, tids = _make_store(rng, 48, 20, 60)
+        query = store.points_of(3)
+        batch_heap = ResultHeap(k)
+        refine_top_k(measure, query, tids, store, batch_heap)
+        seq_heap = ResultHeap(k)
+        for tid in tids:
+            seq_heap.offer(distance_with_threshold(
+                measure, query, store.points_of(tid), seq_heap.dk), tid)
+        assert batch_heap.sorted_items() == seq_heap.sorted_items()
+
+    @pytest.mark.parametrize("name", ["edr", "lcss"])
+    def test_edit_band_fallback_cases(self, name, monkeypatch):
+        monkeypatch.setattr(batch_mod, "_BAND_SCREEN_MIN", 1)
+        monkeypatch.setattr(batch_mod, "_BAND_MIN", 1)
+        monkeypatch.setattr(batch_mod, "_BAND_FRAC", 0.0)
+        rng = np.random.default_rng(23)
+        measure = get_measure(name).with_params(eps=EDIT_EPS)
+        store, tids = _make_store(rng, 40, 1, 70)
+        query = store.points_of(5)
+        for k in (1, 7):
+            batch_heap = ResultHeap(k)
+            refine_top_k(measure, query, tids, store, batch_heap)
+            seq_heap = ResultHeap(k)
+            for tid in tids:
+                seq_heap.offer(distance_with_threshold(
+                    measure, query, store.points_of(tid), seq_heap.dk), tid)
+            assert batch_heap.sorted_items() == seq_heap.sorted_items()
+
+    @pytest.mark.parametrize("name", ["edr", "lcss"])
+    def test_edit_measure_without_eps_param_stays_bit_identical(self, name):
+        """A Measure built without params must refine with the per-pair
+        DP's own eps default, not a silent 0."""
+        from repro.distances.base import Measure
+        from repro.distances.edr import edr_distance
+        from repro.distances.lcss import lcss_distance
+        fn = edr_distance if name == "edr" else lcss_distance
+        measure = Measure(name=name, fn=fn, is_metric=False,
+                          order_sensitive=True)
+        rng = np.random.default_rng(31)
+        store, tids = _make_store(rng, 24, 5, 30)
+        query = store.points_of(0)
+        batch_heap = ResultHeap(5)
+        refine_top_k(measure, query, tids, store, batch_heap)
+        seq_heap = ResultHeap(5)
+        for tid in tids:
+            seq_heap.offer(distance_with_threshold(
+                measure, query, store.points_of(tid), seq_heap.dk), tid)
+        assert batch_heap.sorted_items() == seq_heap.sorted_items()
+
+    @pytest.mark.parametrize("name", ["edr", "lcss"])
+    def test_refine_range_edit_measures_match_sequential(self, name):
+        rng = np.random.default_rng(29)
+        measure = get_measure(name).with_params(eps=EDIT_EPS)
+        store, tids = _make_store(rng, 40, 5, 50)
+        query = store.points_of(2)
+        sample = sorted(measure.distance(query, store.points_of(t))
+                        for t in tids[:12])
+        radius = sample[len(sample) // 2]
+        got = refine_range(measure, query, tids, store, radius)
+        cutoff = float(np.nextafter(radius, np.inf))
+        expected = []
+        for tid in tids:
+            dist = distance_with_threshold(measure, query,
+                                           store.points_of(tid), cutoff)
+            if dist <= radius:
+                expected.append((dist, tid))
+        assert got == expected
+
+    @pytest.mark.parametrize("name", ["dtw", "frechet", "edr", "lcss"])
     def test_unretained_tensor_path(self, name, monkeypatch):
         # Shrink the chunk budget so tensors are never retained and
         # exact_batch regathers; results must not change.
         monkeypatch.setattr(batch_mod, "_CHUNK_ELEMS", 512)
         rng = np.random.default_rng(17)
         measure = get_measure(name)
+        if name in ("edr", "lcss"):
+            measure = measure.with_params(eps=EDIT_EPS)
         store, tids = _make_store(rng, 32, 10, 40)
         query = store.points_of(1)
         batch_heap = ResultHeap(6)

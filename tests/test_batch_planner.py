@@ -1,0 +1,508 @@
+"""The multi-query batch planner and its supporting machinery.
+
+The load-bearing property: ``top_k_batch(plan="waves")`` — shared
+(cached) probes, partition-affinity task grouping, per-query threshold
+vectors with cross-query triangle-inequality reuse — must return
+**bit-identical** per-query results to running each query alone under
+``plan="single"``, for every measure.  Alongside that property live
+unit tests for the pieces: the multi-query local search and its shared
+gather view, the per-query running-merge vector and its cross-query
+broadcast, the probe cache and its epoch invalidation, LPT wave
+ordering, the multi-query workload hints, and the per-query
+``SearchStats``/``PlanReport`` accounting (satellite: ``merge_stats``
+field-generic folding under multi-query tasks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.batch import BatchQueryPlanner
+from repro.cluster.driver import RunningTopKVector, merge_stats
+from repro.cluster.engine import ExecutionEngine, WorkloadHints, choose_backend
+from repro.cluster.planner import QueryPlanner
+from repro.cluster.rdd import ProbeCache
+from repro.cluster.scheduler import lpt_order
+from repro.core.grid import Grid
+from repro.core.rptrie import RPTrie
+from repro.core.search import (
+    PartitionProbe,
+    SearchStats,
+    TopKResult,
+    local_search,
+    local_search_multi,
+)
+from repro.repose import Repose, make_baseline
+from repro.types import Trajectory, TrajectoryDataset
+
+MEASURES = ["hausdorff", "frechet", "dtw", "erp", "edr", "lcss"]
+SPAN = 10.0
+
+
+def _clustered_trajectories(count: int, seed: int) -> list[Trajectory]:
+    """Skewed data: most trajectories huddle in one hot corner."""
+    rng = np.random.default_rng(seed)
+    trajectories = []
+    for i in range(count):
+        n = int(rng.integers(3, 18))
+        if i % 4 == 0:
+            start = rng.uniform(0.05 * SPAN, 0.95 * SPAN, 2)
+        else:
+            start = rng.uniform(0.05 * SPAN, 0.25 * SPAN, 2)
+        steps = rng.normal(0, 0.02 * SPAN, (n - 1, 2))
+        points = np.vstack([start, start + np.cumsum(steps, axis=0)])
+        np.clip(points, 0.001, SPAN - 0.001, out=points)
+        trajectories.append(Trajectory(points, traj_id=i))
+    return trajectories
+
+
+@pytest.fixture(scope="module")
+def skewed_dataset() -> TrajectoryDataset:
+    return TrajectoryDataset(
+        name="skewed", trajectories=_clustered_trajectories(100, seed=5))
+
+
+def _build(dataset, measure, **kwargs):
+    kwargs.setdefault("delta", 0.4)
+    kwargs.setdefault("num_partitions", 12)
+    kwargs.setdefault("plan_options", {"wave_size": 3})
+    return Repose.build(dataset, measure=measure, **kwargs)
+
+
+class TestBatchBitIdentity:
+    @pytest.mark.parametrize("name", MEASURES)
+    def test_batch_equals_per_query_single_shot(self, skewed_dataset, name):
+        """The acceptance property: top_k_batch(plan="waves") returns,
+        per query, exactly what plan="single" returns alone — same
+        items, same distances, same tie-breaks — for every measure."""
+        engine = _build(skewed_dataset, name)
+        queries = [skewed_dataset.trajectories[i] for i in (0, 1, 2, 17)]
+        for k in (1, 7, 25):
+            batch = engine.top_k_batch(queries, k, plan="waves")
+            for query, result in zip(queries, batch.results):
+                single = engine.top_k(query, k, plan="single")
+                assert result.items == single.result.items
+
+    def test_ties_at_global_kth_survive_cross_query_reuse(self):
+        """Duplicate trajectories across partitions plus duplicate
+        queries: cross-query thresholds must not drop the smaller-tid
+        twin the single-shot merge keeps at the k-th boundary."""
+        base = _clustered_trajectories(40, seed=9)
+        twin_points = [(1.0, 1.0), (1.5, 1.2), (2.0, 1.1)]
+        trajs = base + [Trajectory(twin_points, traj_id=200 + i)
+                        for i in range(6)]
+        dataset = TrajectoryDataset(name="twins", trajectories=trajs)
+        engine = _build(dataset, "hausdorff", strategy="random",
+                        num_partitions=8, plan_options={"wave_size": 2})
+        queries = [Trajectory(twin_points, traj_id=999),
+                   Trajectory(twin_points, traj_id=998),
+                   dataset.trajectories[0]]
+        for k in (2, 4, 6):
+            batch = engine.top_k_batch(queries, k)
+            for query, result in zip(queries, batch.results):
+                single = engine.top_k(query, k, plan="single")
+                assert result.items == single.result.items
+
+    def test_batch_never_does_more_partition_work(self, skewed_dataset):
+        """Grouping and cross-query reuse may only remove work: the
+        batch dispatches at most as many (query, partition) searches —
+        and strictly fewer tasks — than per-query waved execution."""
+        engine = _build(skewed_dataset, "dtw")
+        queries = [skewed_dataset.trajectories[i] for i in (1, 2, 5, 6)]
+        per_query_tasks = 0
+        per_query_exact = 0
+        for query in queries:
+            outcome = engine.top_k(query, 10, plan="waves")
+            per_query_tasks += sum(len(w.partitions)
+                                   for w in outcome.plan.waves)
+            per_query_exact += outcome.result.stats.exact_refinements
+        batch = engine.top_k_batch(queries, 10)
+        assert batch.plan.tasks_dispatched < per_query_tasks
+        assert batch.plan.partition_queries_dispatched <= per_query_tasks
+        assert sum(r.stats.exact_refinements
+                   for r in batch.results) <= per_query_exact
+        # Affinity grouping found real sharing on the skewed batch.
+        assert batch.plan.grouped_queries > batch.plan.tasks_dispatched
+
+    def test_baselines_run_under_batch_plan(self, skewed_dataset):
+        """Indexes without top_k_multi/probe/threshold capabilities
+        still execute correctly (per-query loop inside the task)."""
+        engine = make_baseline("ls", skewed_dataset, "hausdorff",
+                               num_partitions=6)
+        engine.build()
+        queries = skewed_dataset.trajectories[:3]
+        batch = engine.top_k_batch(queries, 5, plan="waves")
+        for query, result in zip(queries, batch.results):
+            single = engine.top_k(query, 5, plan="single")
+            assert result.items == single.result.items
+
+    def test_sequential_plan_returns_batch_outcome(self, skewed_dataset):
+        engine = _build(skewed_dataset, "hausdorff")
+        queries = skewed_dataset.trajectories[:2]
+        batch = engine.top_k_batch(queries, 4, plan="single")
+        assert batch.plan is None
+        assert len(batch.results) == 2
+        assert batch.simulated_seconds > 0
+
+    def test_unknown_plan_rejected(self, skewed_dataset):
+        engine = _build(skewed_dataset, "hausdorff")
+        with pytest.raises(ValueError):
+            engine.top_k_batch(skewed_dataset.trajectories[:2], 3,
+                               plan="spiral")
+
+
+class TestMultiQueryLocalSearch:
+    @pytest.mark.parametrize("name", MEASURES)
+    def test_multi_matches_individual_searches(self, skewed_dataset, name):
+        grid = Grid.fit(skewed_dataset.bounding_box(), 0.4)
+        trajs = skewed_dataset.trajectories[:50]
+        trie = RPTrie(grid, name).build(trajs)
+        queries = [trajs[0], trajs[7], trajs[13]]
+        solo = [local_search(trie, query, 8) for query in queries]
+        dks = [float("inf"), solo[1].items[3][0], solo[2].items[0][0]]
+        multi = local_search_multi(trie, queries, 8, dks=dks)
+        seeded = [local_search(trie, query, 8, dk=dk)
+                  for query, dk in zip(queries, dks)]
+        for got, expected in zip(multi, seeded):
+            assert got.items == expected.items
+        assert multi[0].items == solo[0].items
+
+    def test_shared_gather_view_is_transparent(self, skewed_dataset):
+        from repro.core.search import _SharedGatherStore
+        grid = Grid.fit(skewed_dataset.bounding_box(), 0.4)
+        trajs = skewed_dataset.trajectories[:30]
+        trie = RPTrie(grid, "hausdorff").build(trajs)
+        shared = _SharedGatherStore(trie.store)
+        tids = [t.traj_id for t in trajs[:8]]
+        first = shared.gather(tids)
+        again = shared.gather(tids)
+        assert first[0] is again[0]  # memoized, not rebuilt
+        direct = trie.store.gather(tids)
+        np.testing.assert_array_equal(first[0], direct[0])
+        np.testing.assert_array_equal(first[1], direct[1])
+        # Delegation: non-gather attributes reach the wrapped store.
+        assert shared.points_of(tids[0]) is trie.store.points_of(tids[0])
+
+
+class TestRunningTopKVector:
+    def _result(self, items, **stats):
+        return TopKResult(items=items, stats=SearchStats(**stats))
+
+    def test_per_query_folds_are_independent(self):
+        vector = RunningTopKVector(2, k=2)
+        vector.fold(0, [self._result([(1.0, 1), (2.0, 2)])])
+        vector.fold(1, [self._result([(5.0, 5)])])
+        assert vector.dk(0) == 2.0
+        assert vector.dk(1) == float("inf")
+        results = vector.results()
+        assert results[0].items == [(1.0, 1), (2.0, 2)]
+        assert results[1].items == [(5.0, 5)]
+
+    def test_broadcast_vector_cross_tightens(self):
+        vector = RunningTopKVector(3, k=1)
+        vector.fold(0, [self._result([(1.0, 1)])])
+        vector.fold(1, [self._result([(10.0, 2)])])
+        # query 2 holds nothing yet: dk = inf.
+        pairwise = np.array([[0.0, 2.0, 0.5],
+                             [2.0, 0.0, 9.0],
+                             [0.5, 9.0, 0.0]])
+        thresholds, tightened = vector.broadcast_vector(pairwise)
+        # q1: min(10, 1 + 2) = 3; q2: min(inf, 1 + 0.5) = 1.5.
+        assert thresholds.tolist() == [1.0, 3.0, 1.5]
+        assert tightened == 2
+        # The merges themselves are untouched.
+        assert vector.dk(1) == 10.0
+        assert vector.dk(2) == float("inf")
+
+    def test_broadcast_without_pairwise_is_identity(self):
+        vector = RunningTopKVector(2, k=1)
+        vector.fold(0, [self._result([(1.0, 1)])])
+        thresholds, tightened = vector.broadcast_vector(None)
+        assert thresholds.tolist() == [1.0, float("inf")]
+        assert tightened == 0
+
+    def test_stats_fold_field_generically_per_query(self):
+        """merge_stats folding stays field-generic under multi-query
+        tasks: every SearchStats field sums per query, independently."""
+        vector = RunningTopKVector(2, k=3)
+        vector.fold(0, [self._result([(1.0, 1)], nodes_visited=3,
+                                     exact_refinements=2, nodes_pruned=1)])
+        vector.fold(0, [self._result([(2.0, 2)], nodes_visited=4,
+                                     exact_refinements=5)])
+        vector.fold(1, [self._result([(3.0, 3)], distance_computations=7,
+                                     leaf_refinements=2)])
+        first, second = vector.results()
+        assert first.stats == merge_stats(
+            [SearchStats(nodes_visited=3, exact_refinements=2,
+                         nodes_pruned=1),
+             SearchStats(nodes_visited=4, exact_refinements=5)])
+        assert second.stats.distance_computations == 7
+        assert second.stats.leaf_refinements == 2
+        assert second.stats.nodes_visited == 0
+
+
+class _ScriptedIndex:
+    """Planner-facing fake: scripted probe bounds and top-k items,
+    recording every received dk."""
+
+    supports_threshold = True
+
+    def __init__(self, bound, items):
+        self.bound = bound
+        self.items = items
+        self.seen_dks: list[float] = []
+
+    def probe(self, query, dqp=None):
+        return PartitionProbe(bound=self.bound,
+                              child_bounds=(self.bound,), trajectories=1)
+
+    def top_k(self, query, k, dk=float("inf"), **kwargs):
+        self.seen_dks.append(dk)
+        return TopKResult(items=[item for item in self.items
+                                 if item[0] <= dk][:k])
+
+
+class _ScriptedPart:
+    def __init__(self, index):
+        self.index = index
+
+
+class TestBatchPlannerMechanics:
+    def _make_task(self, rp, queries, kwargs_list):
+        return lambda: [rp.index.top_k(query, 1, **kwargs)
+                        for query, kwargs in zip(queries, kwargs_list)]
+
+    def test_cross_query_threshold_reaches_later_waves(self):
+        """A query that has found nothing still receives a finite
+        threshold derived from its neighbour's results."""
+        parts = [_ScriptedPart(_ScriptedIndex(0.0, [(1.0, 7)])),
+                 _ScriptedPart(_ScriptedIndex(0.5, [(9.0, 8)]))]
+        planner = BatchQueryPlanner(
+            ExecutionEngine(), wave_size=1,
+            query_distance=lambda a, b: 0.25)
+        queries = ["qa", "qb"]
+        results, _, report = planner.execute_batch(
+            parts, queries, 1, [{}, {}], make_task=self._make_task)
+        # Wave 2 broadcast: both queries hold dk=1.0 from partition 0,
+        # and the cross bound 1.0 + 0.25 cannot beat it — but partition
+        # 1's searches must have received the finite own-dk threshold.
+        finite = [dk for dk in parts[1].index.seen_dks
+                  if np.isfinite(dk)]
+        assert len(finite) == 2
+        # Both queries share each wave's partition: 2 grouped tasks
+        # where per-query dispatch would have used 4.
+        assert report.tasks_dispatched == 2
+        assert report.grouped_queries == 4
+        assert results[0].items == [(1.0, 7)]
+
+    def test_cross_query_tightening_counted_and_used(self):
+        # Partition 0 serves only query a (b's probe bound exceeds any
+        # threshold it could derive... so give b an empty first hit):
+        # a finds dk=1 in wave 1; b finds nothing (its partition-0
+        # items all filtered by nothing — empty list).  Wave 2: b's own
+        # dk is inf, the cross bound 1 + 0.5 = 1.5 must be broadcast.
+        parts = [_ScriptedPart(_ScriptedIndex(0.0, [(1.0, 7)])),
+                 _ScriptedPart(_ScriptedIndex(0.2, [(9.0, 8)]))]
+        parts[0].index.items = [(1.0, 7)]
+
+        class _EmptyFirst(_ScriptedIndex):
+            def top_k(self, query, k, dk=float("inf"), **kwargs):
+                self.seen_dks.append(dk)
+                if query == "qb":
+                    return TopKResult(items=[])
+                return super().top_k(query, k, dk=dk, **kwargs)
+
+        parts[0] = _ScriptedPart(_EmptyFirst(0.0, [(1.0, 7)]))
+        planner = BatchQueryPlanner(
+            ExecutionEngine(), wave_size=1,
+            query_distance=lambda a, b: 0.5)
+        results, _, report = planner.execute_batch(
+            parts, ["qa", "qb"], 1, [{}, {}],
+            make_task=self._make_task)
+        assert report.cross_query_tightenings >= 1
+        # qb's wave-2 search saw the cross-derived 1.5 threshold.
+        assert any(dk == pytest.approx(1.5)
+                   for dk in parts[1].index.seen_dks)
+
+    def test_pairwise_skips_duplicates_and_respects_limit(self,
+                                                          monkeypatch):
+        """Query-to-query distances are only computed between distinct
+        representatives, and not at all past CROSS_QUERY_LIMIT."""
+        import repro.cluster.batch as batch_mod
+        calls = []
+
+        def distance(a, b):
+            calls.append((a, b))
+            return 0.5
+
+        parts = [_ScriptedPart(_ScriptedIndex(0.0, [(1.0, 7)])),
+                 _ScriptedPart(_ScriptedIndex(0.2, [(2.0, 8)]))]
+        planner = BatchQueryPlanner(ExecutionEngine(), wave_size=1,
+                                    query_distance=distance)
+        queries = [Trajectory([(0.0, 0.0)], traj_id=1),
+                   Trajectory([(0.0, 0.0)], traj_id=2),   # duplicate
+                   Trajectory([(3.0, 3.0)], traj_id=3)]
+        _, _, report = planner.execute_batch(
+            parts, queries, 1, [{}, {}, {}], make_task=self._make_task)
+        assert report.queries_deduplicated == 1
+        # Only the 2 representatives pair up: one distance, not three.
+        assert len(calls) == 1
+        calls.clear()
+        monkeypatch.setattr(batch_mod, "CROSS_QUERY_LIMIT", 1)
+        planner.execute_batch(parts, queries, 1, [{}, {}, {}],
+                              make_task=self._make_task)
+        assert calls == []  # over the limit: cross reuse disabled
+
+    def test_per_query_wave_accounting(self, skewed_dataset):
+        """Satellite: waves / threshold_broadcasts / partitions_skipped
+        sum correctly per query onto each result's SearchStats."""
+        engine = _build(skewed_dataset, "hausdorff")
+        queries = [skewed_dataset.trajectories[i] for i in (0, 3)]
+        batch = engine.top_k_batch(queries, 6)
+        assert batch.plan is not None
+        assert batch.plan.num_queries == 2
+        for result, plan in zip(batch.results, batch.plan.per_query):
+            stats = result.stats
+            assert stats.waves == len(plan.waves)
+            assert stats.threshold_broadcasts == plan.threshold_broadcasts
+            assert stats.partitions_skipped == plan.partitions_skipped
+            dispatched = [pid for w in plan.waves for pid in w.partitions]
+            skipped = [pid for w in plan.waves for pid in w.skipped]
+            # Every partition is dispatched or provably skipped, once.
+            assert sorted(dispatched + skipped) == list(range(12))
+        total_partitions = sum(len(w.partitions)
+                               for plan in batch.plan.per_query
+                               for w in plan.waves)
+        assert batch.plan.partition_queries_dispatched == total_partitions
+        assert batch.plan.grouped_queries == total_partitions
+
+
+class TestProbeCache:
+    def test_repeated_queries_hit_the_cache(self, skewed_dataset):
+        engine = _build(skewed_dataset, "hausdorff")
+        cache = engine.context.probe_cache
+        query = skewed_dataset.trajectories[0]
+        engine.top_k(query, 4)
+        misses = cache.misses
+        assert cache.hits == 0
+        engine.top_k(query, 4)
+        assert cache.hits == misses  # every partition served cached
+        assert cache.misses == misses
+
+    def test_batch_reuses_single_query_probes(self, skewed_dataset):
+        engine = _build(skewed_dataset, "hausdorff")
+        cache = engine.context.probe_cache
+        queries = skewed_dataset.trajectories[:3]
+        for query in queries:
+            engine.top_k(query, 4)
+        misses = cache.misses
+        batch = engine.top_k_batch(queries, 4)
+        assert cache.misses == misses  # no probe recomputed
+        assert cache.hits >= misses
+        for query, result in zip(queries, batch.results):
+            assert result.items == engine.top_k(
+                query, 4, plan="single").result.items
+
+    def test_insert_invalidates_probes(self, skewed_dataset):
+        engine = _build(skewed_dataset, "hausdorff",
+                        num_partitions=4)
+        cache = engine.context.probe_cache
+        query = skewed_dataset.trajectories[0]
+        engine.top_k(query, 4)
+        epoch = cache.epoch
+        engine.insert(Trajectory([(1.0, 1.0), (1.2, 1.1)], traj_id=5000))
+        assert cache.epoch == epoch + 1
+        hits = cache.hits
+        engine.top_k(query, 4)
+        assert cache.hits == hits  # stale probes were dropped
+        # And the inserted trajectory is visible to batch queries.
+        ids = set()
+        batch = engine.top_k_batch([Trajectory([(1.0, 1.0), (1.2, 1.1)],
+                                               traj_id=6000)], 1)
+        ids.update(batch.results[0].ids())
+        assert 5000 in ids
+
+    def test_capacity_bounds_entries(self):
+        cache = ProbeCache(capacity=2)
+        cache.put(0, b"a", "p0")
+        cache.put(1, b"a", "p1")
+        cache.put(2, b"a", "p2")
+        assert cache.get(0, b"a") is None  # evicted oldest
+        assert cache.get(2, b"a") == "p2"
+
+    def test_fingerprint_depends_on_query_and_dqp(self):
+        query = Trajectory([(0.0, 0.0), (1.0, 1.0)], traj_id=1)
+        other = Trajectory([(0.0, 0.0), (1.0, 2.0)], traj_id=1)
+        fp1 = ProbeCache.fingerprint(query)
+        fp2 = ProbeCache.fingerprint(other)
+        fp3 = ProbeCache.fingerprint(query, np.array([1.0]))
+        assert fp1 != fp2 and fp1 != fp3
+        assert ProbeCache.fingerprint(query) == fp1
+        assert ProbeCache.fingerprint("not a trajectory") is None
+
+
+class TestSchedulerFeedback:
+    def test_lpt_order_sorts_heaviest_first(self):
+        assert lpt_order([1.0, 5.0, 3.0]) == [1, 2, 0]
+        assert lpt_order([2.0, 2.0, 7.0]) == [2, 0, 1]  # ties: index order
+        assert lpt_order([]) == []
+
+    def test_single_query_waves_dispatch_heaviest_first(self, skewed_dataset):
+        engine = _build(skewed_dataset, "hausdorff")
+        query = skewed_dataset.trajectories[1]
+        outcome = engine.top_k(query, 6, plan="waves")
+        plan = outcome.plan
+        # Wave membership is still promise-cut: each wave's partitions
+        # (dispatched + skipped) form a contiguous slice of the order.
+        flat = []
+        for wave in plan.waves:
+            members = sorted(wave.partitions + wave.skipped,
+                             key=plan.order.index)
+            flat.extend(members)
+        assert flat == plan.order
+
+    def test_task_weight_estimates(self):
+        probe = PartitionProbe(bound=0.5, child_bounds=(0.5, 1.0, 3.0),
+                               trajectories=30)
+        full = QueryPlanner.task_weight(probe, float("inf"))
+        assert full == pytest.approx(30.0)
+        partial = QueryPlanner.task_weight(probe, 1.5)
+        assert partial == pytest.approx(30 * 2 / 3)
+        assert QueryPlanner.task_weight(None, 1.0) == 0.0
+
+
+class TestMultiQueryHints:
+    def test_run_waves_accepts_per_wave_hint_overrides(self):
+        engine = ExecutionEngine("auto")
+        base = WorkloadHints(measure="hausdorff", partition_points=800,
+                             queries_per_task=64.0)
+        narrow = WorkloadHints(measure="hausdorff", partition_points=800,
+                               queries_per_task=1.0)
+
+        def waves():
+            yield [lambda: 1, lambda: 2], narrow
+
+        engine.run_waves(waves(), hints=base)
+        # The per-wave override (width 1) keeps the dispatch serial
+        # where the whole-batch estimate (width 64) would go threaded.
+        assert engine.last_backend == "serial"
+        engine.close()
+
+    def test_queries_per_task_scales_cost_model(self):
+        base = WorkloadHints(measure="hausdorff", partition_points=800,
+                             num_tasks=8)
+        assert choose_backend(base) == "serial"
+        grouped = WorkloadHints(measure="hausdorff", partition_points=800,
+                                num_tasks=8, queries_per_task=16)
+        assert choose_backend(grouped) == "thread"
+
+    def test_auto_engine_handles_batched_plan(self, skewed_dataset):
+        engine = _build(skewed_dataset, "hausdorff", engine="auto")
+        queries = skewed_dataset.trajectories[:3]
+        batch = engine.top_k_batch(queries, 5)
+        serial = _build(skewed_dataset, "hausdorff")
+        expected = serial.top_k_batch(queries, 5)
+        assert [r.items for r in batch.results] == \
+            [r.items for r in expected.results]
+        engine.context.engine.close()

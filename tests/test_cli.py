@@ -83,3 +83,51 @@ class TestQuery:
                      "--partitions", "4", "--delta", "0.15",
                      "--measure", "frechet"]) == 0
         assert "frechet" in capsys.readouterr().out
+
+    def test_plan_and_wave_size_flags(self, csv_dataset, capsys):
+        assert main(["query", str(csv_dataset), "--k", "3",
+                     "--partitions", "4", "--delta", "0.15",
+                     "--plan", "waves", "--wave-size", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out and "waves" in out
+        assert main(["query", str(csv_dataset), "--k", "3",
+                     "--partitions", "4", "--delta", "0.15",
+                     "--plan", "single"]) == 0
+        assert "plan:" not in capsys.readouterr().out
+
+    def test_unknown_plan_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "d.csv",
+                                       "--plan", "spiral"])
+
+    def test_calibrate_flag(self, csv_dataset, capsys):
+        assert main(["query", str(csv_dataset), "--k", "2",
+                     "--partitions", "4", "--delta", "0.15",
+                     "--calibrate"]) == 0
+        assert "us/point" in capsys.readouterr().out
+
+    def test_batch_flag_runs_batch_planner(self, csv_dataset, capsys):
+        assert main(["query", str(csv_dataset), "--k", "3",
+                     "--partitions", "4", "--delta", "0.15",
+                     "--batch", "3", "--wave-size", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "batch of 3 top-3 queries" in out
+        assert "batch plan:" in out
+        assert "multi-query tasks" in out
+
+    def test_batch_conflicts_with_radius_and_query_id(self, csv_dataset,
+                                                      capsys):
+        assert main(["query", str(csv_dataset), "--batch", "2",
+                     "--radius", "0.2"]) == 2
+        assert "cannot be combined" in capsys.readouterr().err
+        assert main(["query", str(csv_dataset), "--batch", "2",
+                     "--query-id", "3"]) == 2
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_batch_single_plan_has_no_report(self, csv_dataset, capsys):
+        assert main(["query", str(csv_dataset), "--k", "2",
+                     "--partitions", "4", "--delta", "0.15",
+                     "--batch", "2", "--plan", "single"]) == 0
+        out = capsys.readouterr().out
+        assert "batch of 2 top-2 queries" in out
+        assert "batch plan:" not in out

@@ -109,9 +109,15 @@ class TestQueryOutcome:
     def test_batch_queries(self, small_dataset):
         engine = Repose.build(small_dataset, measure="hausdorff", delta=0.5,
                               num_partitions=2)
-        outcomes = engine.top_k_batch(small_dataset.trajectories[:3], 4)
-        assert len(outcomes) == 3
-        assert all(len(o.result) == 4 for o in outcomes)
+        batch = engine.top_k_batch(small_dataset.trajectories[:3], 4)
+        assert len(batch.results) == 3
+        assert all(len(result) == 4 for result in batch.results)
+        # The default plan is the batched wave planner; per-query
+        # sequential execution returns the same results.
+        sequential = engine.top_k_batch(small_dataset.trajectories[:3], 4,
+                                        plan="single")
+        assert [r.items for r in sequential.results] == \
+            [r.items for r in batch.results]
 
 
 class TestBaselineFactory:

@@ -33,6 +33,7 @@ DOC_MODULES = [
     "src/repro/cluster/engine.py",
     "src/repro/cluster/planner.py",
     "src/repro/cluster/driver.py",
+    "src/repro/cluster/batch.py",
 ]
 
 #: Minimum fraction of public objects (module included) with docstrings.
