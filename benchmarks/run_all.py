@@ -36,6 +36,7 @@ EXPERIMENTS = {
     "refinement": ("bench_refinement_batch", "test_report_refinement"),
     "planner": ("bench_planner", "test_report_planner"),
     "batch_planner": ("bench_batch_planner", "test_report_batch_planner"),
+    "near_dup": ("bench_near_dup", "test_report_near_dup"),
 }
 
 

@@ -58,13 +58,22 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--radius", type=float, default=None,
                        help="run a range query instead of top-k")
     query.add_argument("--plan", default=None,
-                       choices=["waves", "single"],
+                       choices=["waves", "single", "fifo"],
                        help="query execution plan: 'waves' (two-phase "
                             "planner, the default) or 'single' "
-                            "(one-shot fan-out); results are identical")
+                            "(one-shot fan-out); results are identical. "
+                            "'fifo' (batch only) schedules every "
+                            "(query, partition) task at once, the "
+                            "Section V-A comparison path")
     query.add_argument("--wave-size", type=int, default=None,
                        help="partitions per planner wave "
                             "(plan_options={'wave_size': N})")
+    query.add_argument("--share-eps", type=float, default=None,
+                       help="near-duplicate sharing threshold for "
+                            "--batch: queries within this distance of "
+                            "a share-group representative reuse its "
+                            "probe and wave plan "
+                            "(plan_options={'share_eps': EPS})")
     query.add_argument("--calibrate", action="store_true",
                        help="calibrate the 'auto' cost model on one "
                             "real partition task before querying")
@@ -115,15 +124,29 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print("error: --batch samples its own top-k queries and cannot "
               "be combined with --radius or --query-id", file=sys.stderr)
         return 2
+    if args.batch is None and (args.plan == "fifo"
+                               or args.share_eps is not None):
+        print("error: --plan fifo and --share-eps apply to batches; "
+              "combine them with --batch N", file=sys.stderr)
+        return 2
+    if args.share_eps is not None and args.plan in ("fifo", "single"):
+        print("error: --share-eps requires the waved batch plan "
+              "(--plan waves, the default); the fifo and single paths "
+              "do not share work between queries", file=sys.stderr)
+        return 2
     data = load_csv(args.data)
     measure = get_measure(args.measure)
-    plan_options = ({"wave_size": args.wave_size}
-                    if args.wave_size is not None else None)
+    plan_options = {}
+    if args.wave_size is not None:
+        plan_options["wave_size"] = args.wave_size
+    if args.share_eps is not None:
+        plan_options["share_eps"] = args.share_eps
     engine = Repose.build(data, measure=measure, delta=args.delta,
                           num_partitions=args.partitions,
                           strategy=args.strategy,
-                          plan=args.plan or "waves",
-                          plan_options=plan_options)
+                          plan=("waves" if args.plan in (None, "fifo")
+                                else args.plan),
+                          plan_options=plan_options or None)
     if args.calibrate:
         rate = engine.calibrate(k=args.k)
         print(f"calibrated {measure.name}: {rate:.3f} us/point")
@@ -168,12 +191,19 @@ def _run_batch(engine: Repose, data, args: argparse.Namespace) -> int:
         report = batch.plan
         grouped = (report.grouped_queries / report.tasks_dispatched
                    if report.tasks_dispatched else 0.0)
-        print(f"batch plan: {report.tasks_dispatched} multi-query tasks "
-              f"for {report.partition_queries_dispatched} partition-"
+        print(f"batch plan ({report.mode}): {report.tasks_dispatched} "
+              f"multi-query tasks for "
+              f"{report.partition_queries_dispatched} partition-"
               f"queries ({grouped:.2f} queries/task), "
               f"{report.partitions_skipped} skipped, "
-              f"{report.cross_query_tightenings} cross-query "
-              f"tightenings")
+              f"{report.cross_query_tightenings} cross-query + "
+              f"{report.sampled_tightenings} sampled tightenings")
+        if report.share_eps is not None:
+            print(f"near-duplicate sharing (eps={report.share_eps:g}): "
+                  f"{report.share_groups} share groups, "
+                  f"{report.queries_shared} queries adopted a "
+                  f"representative's plan, "
+                  f"{report.queries_deduplicated} deduplicated")
     print(f"simulated batch time: {batch.simulated_seconds * 1e3:.2f} ms "
           f"(wall {batch.wall_seconds * 1e3:.2f} ms)")
     return 0

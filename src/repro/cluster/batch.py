@@ -40,13 +40,45 @@ issued twice in one stream, a common production pattern — are
 reuse the merged result, which is trivially bit-identical (a search's
 answer is a pure function of the query's points and shared kwargs).
 
+**Near-duplicate sharing** (``share_eps``) extends dedup to queries
+that are *almost* repeated — jittered re-issues of a hot query, GPS
+noise on the same route.  Active queries are greedily clustered into
+*share groups* whose pairwise distance to the group representative
+stays within ``share_eps``; members skip their own probe pass and
+adopt the representative's promise order and wave cut, so the whole
+group marches through the same (wave, partition) tasks and its leaf
+tensors hit one shared gather store
+(:class:`~repro.core.search._SharedGatherStore`, keyed per group so
+finished groups can release memory).  Each member is still *searched
+and refined exactly* with its own query points, ``dqp`` and
+thresholds — sharing reuses plans and read-only tensors, never
+answers.  For metric measures the adopted probe bounds are shifted
+down by the member-to-representative distance (``d(member, t) >=
+d(rep, t) - d(rep, member)``), keeping probe-based partition skipping
+sound; for non-metric measures the adopted bounds carry no skipping
+power (never wrong, just conservative).
+
+**Sampled cross-query bounds** close the non-metric gap in step 3:
+DTW/EDR/LCSS admit no triangle inequality, so instead the driver
+takes a small *shared sample* of the best candidates any query has
+found so far (:meth:`~repro.cluster.driver.RunningTopKVector
+.sample_items`) and evaluates a cheap banded — warp-window for DTW,
+eps-shifted edit window for EDR/LCSS — upper bound from each query to
+each sample member (:func:`repro.distances.batch.banded_upper_bound`).
+The k-th smallest of those values certifies k distinct trajectories
+at or under it, so it upper-bounds the query's *final* k-th best with
+no metric assumption and is min-folded into the broadcast vector
+(:meth:`~repro.cluster.driver.RunningTopKVector.broadcast_vector`).
+
 Every threshold is applied strictly and upper-bounds the query's final
 k-th-best distance, and each query's merge is the single-query merge,
 so every per-query answer is **bit-identical** to running that query
 alone under ``plan="single"`` — property-tested for all six measures
-in ``tests/test_batch_planner.py``.  The batch only removes work:
-fewer dispatched tasks (grouping, dedup), fewer probes (caching),
-fewer exact refinements (dedup, and earlier tighter thresholds).
+in ``tests/test_batch_planner.py`` and fuzzed across random batch
+mixes in ``tests/test_fuzz_equivalence.py``.  The batch only removes
+work: fewer probes (caching, share-group adoption), fewer dispatched
+tasks (grouping, dedup), fewer exact refinements (dedup, and earlier
+tighter thresholds).
 """
 
 from __future__ import annotations
@@ -58,7 +90,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..core.search import SearchStats, TopKResult
+from ..core.search import PartitionProbe, SearchStats, TopKResult
 from .driver import RunningTopKVector
 from .engine import TaskTiming, WorkloadHints
 from .planner import PlanReport, QueryPlanner, WaveReport
@@ -75,26 +107,34 @@ __all__ = ["BatchPlanReport", "BatchQueryPlanner"]
 #: cross-query reuse (thresholds stay per-query — always sound).
 CROSS_QUERY_LIMIT = 64
 
+#: Floor on the automatic sampled-bound sample size (the default is
+#: ``max(2 * k, SAMPLE_MIN)`` distinct candidates): below this many
+#: the k-th smallest upper bound is too loose to prune anything.
+SAMPLE_MIN = 8
+
 
 @dataclass
 class BatchPlanReport:
     """One executed multi-query batch plan.
 
     Aggregates the batch-level counters (task grouping, probe-cache
-    effectiveness, cross-query tightenings) and keeps one full
-    single-query-style :class:`~repro.cluster.planner.PlanReport` per
-    query, so per-query wave accounting (dispatched/skipped partitions,
-    per-wave thresholds, pruned-node and exact-refinement counts) stays
-    as inspectable as it is for single queries.
+    effectiveness, share groups, cross-query tightenings) and keeps one
+    full single-query-style :class:`~repro.cluster.planner.PlanReport`
+    per query, so per-query wave accounting (dispatched/skipped
+    partitions, per-wave thresholds, pruned-node and exact-refinement
+    counts) stays as inspectable as it is for single queries.
     """
 
-    #: Always ``"batch-waves"`` (distinguishes the report from the
-    #: single-query planner's ``"waves"``).
+    #: ``"batch-waves"`` for planned batches, ``"batch-fifo"`` for the
+    #: FIFO one-shot comparison path
+    #: (:meth:`repro.repose.DistributedTopK.top_k_batch_scheduled`).
     mode: str = "batch-waves"
     #: Queries in the batch.
     num_queries: int = 0
     #: Partitions per wave each query's plan was cut into.
     wave_size: int = 0
+    #: Near-duplicate sharing threshold in force (None: disabled).
+    share_eps: float | None = None
     #: Driver-side seconds spent probing (all queries).
     probe_seconds: float = 0.0
     #: Multi-query partition tasks actually dispatched — the number a
@@ -105,11 +145,26 @@ class BatchPlanReport:
     #: grouping achieved (1.0 means no affinity was found).
     grouped_queries: int = 0
     #: Queries whose broadcast threshold was tightened below their own
-    #: running ``dk`` by a neighbour's results (summed over waves).
+    #: running ``dk`` by a neighbour's results through the triangle
+    #: inequality (summed over waves; metric measures only).
     cross_query_tightenings: int = 0
+    #: Queries whose broadcast threshold was tightened below their own
+    #: running ``dk`` by the sampled banded bound (summed over waves;
+    #: the non-metric counterpart of cross-query tightening).
+    sampled_tightenings: int = 0
     #: Queries that were fingerprint-identical to an earlier batch
     #: member and reused its merged result without executing.
     queries_deduplicated: int = 0
+    #: Near-duplicate share groups with at least two members.
+    share_groups: int = 0
+    #: Queries that adopted a share-group representative's probe and
+    #: wave plan instead of probing themselves (excludes the
+    #: representatives, which plan normally).
+    queries_shared: int = 0
+    #: Probe-cache lookups served / computed during the batch's probe
+    #: pass (share-group members perform no lookups at all).
+    probe_cache_hits: int = 0
+    probe_cache_misses: int = 0
     #: Per-query plan reports, aligned with the input queries.
     per_query: list[PlanReport] = field(default_factory=list)
 
@@ -131,12 +186,13 @@ class BatchQueryPlanner(QueryPlanner):
 
     Extends :class:`~repro.cluster.planner.QueryPlanner` (whose probe /
     promise-order / wave-cut primitives are reused per query) with
-    partition-affinity task grouping and the per-query threshold
-    vector.  Like its parent it is index-agnostic: grouping requires
-    nothing of the index (the driver's task factory decides how a group
-    is executed — REPOSE's uses ``top_k_multi``, baselines fall back to
-    a per-query loop inside the task), probing and threshold seeding
-    remain duck-typed capabilities.
+    partition-affinity task grouping, near-duplicate share groups and
+    the per-query threshold vector.  Like its parent it is
+    index-agnostic: grouping requires nothing of the index (the
+    driver's task factory decides how a group is executed — REPOSE's
+    uses ``top_k_multi``, baselines fall back to a per-query loop
+    inside the task), probing and threshold seeding remain duck-typed
+    capabilities.
 
     Parameters
     ----------
@@ -144,20 +200,69 @@ class BatchQueryPlanner(QueryPlanner):
         As for :class:`~repro.cluster.planner.QueryPlanner`.
     query_distance:
         Optional metric ``distance(query_a, query_b)`` used for
-        cross-query threshold reuse.  Pass None (the default) for
-        non-metric measures — reuse is then disabled and thresholds
-        stay per-query.
+        cross-query threshold reuse and for shifting share-group
+        members' adopted probe bounds.  Pass None (the default) for
+        non-metric measures — triangle reuse is then disabled and
+        adopted probe bounds never skip.
+    share_eps:
+        Near-duplicate sharing threshold: active queries within this
+        distance of a share-group representative adopt its probe and
+        wave plan.  None (the default) disables sharing.
+    share_distance:
+        ``distance(query_a, query_b)`` used to *cluster* near
+        duplicates.  Unlike ``query_distance`` it needs no metric
+        property (clustering only shares plans, whose soundness is
+        restored separately), so drivers pass the measure's own
+        distance for every measure.  Required for ``share_eps`` to
+        take effect.
+    sampled_bound:
+        Optional ``upper_bound(query_points, candidate_points)``
+        returning a sound upper bound on the measure's distance (the
+        driver passes :func:`repro.distances.batch.banded_upper_bound`
+        for the non-metric measures).  Enables sampled cross-query
+        tightening of the broadcast vector.
+    sample_size:
+        Distinct shared-sample candidates the sampled bound evaluates
+        per query and wave.  None (the default) auto-sizes to
+        ``max(2 * k, SAMPLE_MIN)``; 0 disables the sampled bound;
+        positive values below ``k`` are raised to ``k`` (fewer than k
+        samples can never certify a k-th-best bound).
     """
 
     def __init__(self, engine, wave_size: int | None = None,
                  probe_cache=None,
-                 query_distance: Callable | None = None):
+                 query_distance: Callable | None = None,
+                 share_eps: float | None = None,
+                 share_distance: Callable | None = None,
+                 sampled_bound: Callable | None = None,
+                 sample_size: int | None = None):
         super().__init__(engine, wave_size=wave_size,
                          probe_cache=probe_cache)
         self.query_distance = query_distance
+        self.share_eps = share_eps
+        self.share_distance = share_distance
+        self.sampled_bound = sampled_bound
+        self.sample_size = sample_size
 
-    def _pairwise(self, queries: Sequence,
-                  active: Sequence[int]) -> np.ndarray:
+    @property
+    def _share_distance_is_metric(self) -> bool:
+        """True when clustering distances are also metric distances.
+
+        Share-group clustering may run under *any* distance, but two
+        reuses require the clustered value to be the same metric
+        distance :attr:`query_distance` certifies with: seeding the
+        triangle pairwise matrix, and shifting a member's adopted
+        probe bounds.  Equality (not identity) so drivers returning a
+        fresh bound method per call — ``measure.distance`` — still
+        qualify; any mismatch simply forfeits the two reuses, never
+        soundness.
+        """
+        return (self.query_distance is not None
+                and self.share_distance == self.query_distance)
+
+    def _pairwise(self, queries: Sequence, active: Sequence[int],
+                  known: dict[tuple[int, int], float] | None = None,
+                  ) -> np.ndarray:
         """Symmetric query-to-query distance matrix (zero diagonal).
 
         Computed driver-side, once per batch, and only on demand: the
@@ -166,37 +271,207 @@ class BatchQueryPlanner(QueryPlanner):
         (representative, non-deduplicated) queries get real distances —
         every other entry stays ``+inf``, which
         :meth:`~repro.cluster.driver.RunningTopKVector.broadcast_vector`
-        treats as "no coupling".
+        treats as "no coupling".  ``known`` carries pair distances the
+        share-group clustering already computed, so those pairs are
+        never evaluated twice; the caller must only pass it when the
+        clustering distance *is* the metric distance
+        (:attr:`_share_distance_is_metric`).
         """
         count = len(queries)
         pairwise = np.full((count, count), np.inf)
         np.fill_diagonal(pairwise, 0.0)
         for ai, i in enumerate(active):
             for j in active[ai + 1:]:
-                distance = float(self.query_distance(queries[i],
-                                                     queries[j]))
+                distance = (known or {}).get((min(i, j), max(i, j)))
+                if distance is None:
+                    distance = float(self.query_distance(queries[i],
+                                                         queries[j]))
                 pairwise[i, j] = pairwise[j, i] = distance
         return pairwise
 
+    def _share_clusters(self, queries: Sequence, active: Sequence[int],
+                        report: BatchPlanReport,
+                        ) -> tuple[dict[int, int], dict[int, float],
+                                   dict[tuple[int, int], float]]:
+        """Greedily cluster active queries into near-duplicate groups.
+
+        Walks the active queries in input order; each joins the first
+        existing representative within :attr:`share_eps` under
+        :attr:`share_distance`, else becomes a representative itself —
+        deterministic, O(batch x representatives) distance calls, and
+        every representative precedes its members.  Returns
+        ``(rep_of, dist_to_rep, known)``: each active query's
+        representative (itself for reps), each member's distance to
+        its representative, and every pair distance computed along the
+        way (keyed ``(min, max)``; :meth:`execute_batch` reuses them
+        for the pairwise matrix only under
+        :attr:`_share_distance_is_metric`).  Queries without a point
+        array never cluster (nothing to compare).
+
+        Cost is bounded: each query compares against at most
+        :data:`CROSS_QUERY_LIMIT` representatives, so the driver pays
+        O(batch x 64) distance calls worst case — a hot-query storm
+        (few representatives, many members) still clusters fully,
+        while a batch of mutually dissimilar queries stops growing
+        the comparison set instead of going O(batch^2).
+        """
+        rep_of = {qi: qi for qi in active}
+        dist_to_rep: dict[int, float] = {}
+        known: dict[tuple[int, int], float] = {}
+        if self.share_eps is None or self.share_distance is None:
+            return rep_of, dist_to_rep, known
+        reps: list[int] = []
+        for qi in active:
+            if getattr(queries[qi], "points", None) is None:
+                continue
+            for rep in reps[:CROSS_QUERY_LIMIT]:
+                distance = float(self.share_distance(queries[rep],
+                                                     queries[qi]))
+                known[(min(rep, qi), max(rep, qi))] = distance
+                if distance <= self.share_eps:
+                    rep_of[qi] = rep
+                    dist_to_rep[qi] = distance
+                    report.queries_shared += 1
+                    break
+            else:
+                reps.append(qi)
+        report.share_groups = len(
+            {rep for qi, rep in rep_of.items() if rep != qi})
+        return rep_of, dist_to_rep, known
+
+    def _adopted_probes(self, probes: Sequence[PartitionProbe | None],
+                        shift: float) -> list[PartitionProbe | None]:
+        """A share-group member's view of its representative's probes.
+
+        For metric measures every trajectory ``t`` satisfies
+        ``d(member, t) >= d(rep, t) - d(rep, member)``, so shifting the
+        representative's (lower-bound) probe values down by the
+        member-to-representative distance yields *sound* lower bounds
+        for the member — partition skipping and task weighting keep
+        working, just ``shift`` looser.  This requires ``shift`` to be
+        a *metric* distance, i.e. the clustering distance must be the
+        metric distance (:attr:`_share_distance_is_metric`); otherwise
+        — no metric at all, or a planner configured with a looser
+        clustering distance — no shifted value is a bound, so the
+        member adopts probe-less entries: never skipped, weight 0 —
+        conservative, and exactly how indexes without ``probe`` are
+        already treated.
+        """
+        if not self._share_distance_is_metric:
+            return [None] * len(probes)
+        adopted: list[PartitionProbe | None] = []
+        for probe in probes:
+            if probe is None:
+                adopted.append(None)
+                continue
+            adopted.append(PartitionProbe(
+                bound=max(0.0, probe.bound - shift),
+                child_bounds=tuple(max(0.0, b - shift)
+                                   for b in probe.child_bounds),
+                trajectories=probe.trajectories))
+        return adopted
+
+    def _sampled_bounds(self, queries: Sequence, active: Sequence[int],
+                        k: int, merges: RunningTopKVector,
+                        traj_points: dict[int, np.ndarray],
+                        cache: dict | None = None,
+                        ) -> np.ndarray | None:
+        """Per-query sampled upper bounds on each final k-th best.
+
+        Takes the batch's shared candidate sample (the globally best
+        distinct trajectories any query holds so far) and evaluates
+        :attr:`sampled_bound` from every active query to every sample
+        member.  The k-th smallest value certifies k distinct indexed
+        trajectories at or under it, so it upper-bounds that query's
+        *final* k-th-best distance — sound for any measure, metric or
+        not.  Returns None when disabled, when fewer than k distinct
+        candidates exist yet, or when the sample trajectories cannot
+        be resolved driver-side.  ``cache`` memoizes evaluated
+        ``(query index, tid)`` pairs across waves — both point arrays
+        are immutable, so as the sample stabilizes each wave only pays
+        for candidates it has not bounded before.
+        """
+        if self.sampled_bound is None or self.sample_size == 0:
+            return None
+        size = (self.sample_size if self.sample_size is not None
+                else max(2 * k, SAMPLE_MIN))
+        # Fewer than k samples can never produce a bound, so a small
+        # configured size is raised to k rather than silently turning
+        # the whole mechanism off (only 0 disables, as documented).
+        size = max(size, k)
+        sample = merges.sample_items(size)
+        resolved = [(tid, traj_points.get(tid)) for _, tid in sample]
+        resolved = [(tid, pts) for tid, pts in resolved
+                    if pts is not None]
+        if len(resolved) < k:
+            return None
+        if cache is None:
+            cache = {}
+        bounds = np.full(len(queries), np.inf)
+        for qi in active:
+            query_points = getattr(queries[qi], "points", None)
+            if query_points is None:
+                continue
+            values = []
+            for tid, pts in resolved:
+                value = cache.get((qi, tid))
+                if value is None:
+                    value = float(self.sampled_bound(query_points, pts))
+                    cache[(qi, tid)] = value
+                values.append(value)
+            values.sort()
+            bounds[qi] = values[k - 1]
+        return bounds
+
+    @staticmethod
+    def _trajectory_points(parts: Sequence) -> dict[int, np.ndarray]:
+        """Driver-side ``tid -> points`` lookup over every partition.
+
+        The sampled bound evaluates distances to trajectories the
+        searches have already *found*, all of which live in some
+        partition's driver-held record — including incrementally
+        inserted ones, which the driver appends to the partition's
+        trajectory list.  Partitions without a trajectory list (test
+        fakes) simply contribute nothing.
+        """
+        lookup: dict[int, np.ndarray] = {}
+        for rp in parts:
+            for traj in getattr(rp, "trajectories", None) or ():
+                lookup[traj.traj_id] = traj.points
+        return lookup
+
     def execute_batch(self, parts: Sequence, queries: Sequence, k: int,
                       kwargs_list: Sequence[dict],
-                      make_task: Callable[[object, list, list], Callable],
+                      make_task: Callable[[object, list, list, list],
+                                          Callable],
                       hints: WorkloadHints | None = None,
                       ) -> tuple[list[TopKResult],
                                  list[list[TaskTiming]], BatchPlanReport]:
         """Run a batch of top-k queries as one grouped wave plan.
 
-        ``make_task(rp, group_queries, group_kwargs)`` builds one
-        engine task searching partition record ``rp`` for every query
-        in the group (kwargs aligned with the group); the task must
-        return one :class:`~repro.core.search.TopKResult` per group
-        query, in order.  Returns the per-query merged results (input
-        order, each bit-identical to single-shot execution), the
-        per-wave task timings, and the :class:`BatchPlanReport`.
+        ``make_task(rp, group_queries, group_kwargs, group_shares)``
+        builds one engine task searching partition record ``rp`` for
+        every query in the group (kwargs and share-group labels
+        aligned with the group; a label is the share group's
+        representative index, or None for unshared queries).  The task
+        must return one :class:`~repro.core.search.TopKResult` per
+        group query, in order.  Returns the per-query merged results
+        (input order, each bit-identical to single-shot execution),
+        the per-wave task timings, and the :class:`BatchPlanReport`.
         """
         start = time.perf_counter()
-        report = BatchPlanReport(num_queries=len(queries))
+        report = BatchPlanReport(num_queries=len(queries),
+                                 share_eps=self.share_eps)
         alias = self._dedup(queries, kwargs_list, report)
+        active = [qi for qi in range(len(queries)) if alias[qi] == qi]
+        rep_of, dist_to_rep, known = self._share_clusters(
+            queries, active, report)
+        # Share-group labels for task building: the whole group —
+        # representative included — shares one gather-store key.
+        in_group = {rep for qi, rep in rep_of.items() if rep != qi}
+        share_label = {qi: (rep_of[qi] if rep_of[qi] in in_group else None)
+                       for qi in active}
+        cache_before = self.cache_counters()
         plans = []  # per query: (probes, waves); empty for duplicates
         for qi, (query, kwargs) in enumerate(zip(queries, kwargs_list)):
             if alias[qi] != qi:
@@ -206,7 +481,37 @@ class BatchQueryPlanner(QueryPlanner):
                                                    wave_size=0))
                 plans.append(([], []))
                 continue
+            if rep_of[qi] != qi:
+                # Near-duplicate member: adopt the representative's
+                # promise order and wave cut (already planned — the
+                # greedy clustering guarantees rep index < member
+                # index), with probe bounds made sound for *this*
+                # query.  No probe pass, no cache lookups.  The
+                # member's plan is *staggered* one wave behind the
+                # representative's: by the time its first partitions
+                # dispatch, the representative's wave-1 results have
+                # been folded, so the broadcast vector hands the
+                # member a near-final threshold — through the triangle
+                # inequality (metric) or the sampled banded bound
+                # (non-metric) — and its entire search runs maximally
+                # pruned.  One barrier of extra latency buys a search
+                # that skips most of the work its twin already did.
+                rep = rep_of[qi]
+                probes = self._adopted_probes(plans[rep][0],
+                                              dist_to_rep[qi])
+                rep_plan = report.per_query[rep]
+                report.per_query.append(PlanReport(
+                    mode="batch-waves",
+                    wave_size=rep_plan.wave_size,
+                    order=list(rep_plan.order),
+                    probe_bounds=[p.bound if p is not None else 0.0
+                                  for p in probes],
+                ))
+                plans.append((probes, [[]] + list(plans[rep][1])))
+                continue
+            before = self.cache_counters()
             probes = self.probe(parts, query, kwargs)
+            hits, misses = self.cache_delta(before)
             order = self.plan_order(probes)
             waves = self.plan_waves(order)
             plan = PlanReport(
@@ -215,33 +520,61 @@ class BatchQueryPlanner(QueryPlanner):
                 order=order,
                 probe_bounds=[p.bound if p is not None else 0.0
                               for p in probes],
+                probe_cache_hits=hits,
+                probe_cache_misses=misses,
             )
             report.per_query.append(plan)
             plans.append((probes, waves))
+        report.probe_cache_hits, report.probe_cache_misses = (
+            self.cache_delta(cache_before))
         report.probe_seconds = time.perf_counter() - start
         report.wave_size = next(
             (plan.wave_size for plan in report.per_query if plan.order), 0)
         num_waves = max((len(waves) for _, waves in plans), default=0)
         merges = RunningTopKVector(len(queries), k)
         pairwise: np.ndarray | None = None
+        traj_points: dict[int, np.ndarray] | None = None
+        bound_cache: dict = {}
         # Per wave: the dispatched (pid, group) pairs, for the fold.
         wave_groups: list[list[tuple[int, list[int]]]] = []
 
-        active = [qi for qi in range(len(queries)) if alias[qi] == qi]
-
         def wave_tasks():
             """Lazily build each wave against the freshest dk vector."""
-            nonlocal pairwise
+            nonlocal pairwise, traj_points
             for index in range(num_waves):
                 if (pairwise is None and self.query_distance is not None
                         and 1 < len(active) <= CROSS_QUERY_LIMIT
                         and np.isfinite(merges.dk_vector()).any()):
-                    pairwise = self._pairwise(queries, active)
-                dks, tightened = merges.broadcast_vector(pairwise)
+                    pairwise = self._pairwise(
+                        queries, active,
+                        known if self._share_distance_is_metric else None)
+                bounds = None
+                if self.sampled_bound is not None and index > 0:
+                    # Only queries actually dispatching in this wave
+                    # can use a threshold — exhausted plans and
+                    # staggered members' empty leading waves would pay
+                    # for banded DPs nobody reads.
+                    live = [qi for qi in active
+                            if index < len(plans[qi][1])
+                            and plans[qi][1][index]]
+                    if live:
+                        if traj_points is None:
+                            traj_points = self._trajectory_points(parts)
+                        bounds = self._sampled_bounds(
+                            queries, live, k, merges, traj_points,
+                            cache=bound_cache)
+                raw = merges.dk_vector()
+                dks, tightened = merges.broadcast_vector(pairwise,
+                                                         bounds=bounds)
                 report.cross_query_tightenings += tightened
+                if bounds is not None:
+                    report.sampled_tightenings += int(
+                        np.count_nonzero(bounds < raw))
                 groups: dict[int, list[int]] = {}
                 for qi, (probes, waves) in enumerate(plans):
-                    if index >= len(waves):
+                    if index >= len(waves) or not waves[index]:
+                        # Plan exhausted, or a staggered member's empty
+                        # leading wave: nothing to dispatch or report.
                         continue
                     wave_report = WaveReport(index=index,
                                              dk_before=float(dks[qi]))
@@ -285,7 +618,8 @@ class BatchQueryPlanner(QueryPlanner):
                         group_kwargs.append(kwargs)
                     tasks.append(make_task(
                         parts[pid], [queries[qi] for qi in group],
-                        group_kwargs))
+                        group_kwargs,
+                        [share_label.get(qi) for qi in group]))
                     entries.append((pid, group))
                 # At most one broadcast per (query, wave), mirroring the
                 # single-query planner's per-wave accounting.

@@ -115,6 +115,16 @@ class RunningTopKVector:
     k-th best can never exceed that — making it a sound (strictly
     applied, hence answer-preserving) threshold for ``j`` even before
     ``j`` has found k results of its own.
+
+    For the non-metric measures (DTW/EDR/LCSS) no pairwise matrix can
+    certify anything, so :meth:`broadcast_vector` also accepts a
+    per-query ``bounds`` vector of *sampled* upper bounds: the batch
+    planner evaluates a cheap banded (warp-window / eps-shift) upper
+    bound from each query to a small shared sample of already-found
+    candidate trajectories (:meth:`sample_items`); the k-th smallest of
+    those values upper-bounds the query's final k-th best outright —
+    k distinct trajectories provably sit at or under it — so it is a
+    sound sibling-tightening threshold with no metric assumption.
     """
 
     def __init__(self, num_queries: int, k: int):
@@ -137,6 +147,7 @@ class RunningTopKVector:
         return np.array([merge.dk for merge in self._merges])
 
     def broadcast_vector(self, pairwise: np.ndarray | None = None,
+                         bounds: np.ndarray | None = None,
                          ) -> tuple[np.ndarray, int]:
         """Per-query thresholds for the next wave, cross-tightened.
 
@@ -146,17 +157,46 @@ class RunningTopKVector:
         ``min_i(dk_i + pairwise[i, j])`` — which includes its own
         ``dk_j`` via the zero diagonal, and single-hop tightening is
         enough because the triangle inequality makes multi-hop chains
-        no tighter.  Returns ``(thresholds, tightened)`` where
-        ``tightened`` counts the queries whose threshold improved over
-        their own ``dk``.  The running merges are never modified: the
-        vector is a broadcast value, not a result.
+        no tighter.  ``bounds``, when given, is a per-query vector of
+        externally certified upper bounds on each query's *final* k-th
+        best (the batch planner's sampled non-metric bounds); it is
+        min-folded into the thresholds after the pairwise pass.
+        Returns ``(thresholds, tightened)`` where ``tightened`` counts
+        the queries whose threshold improved over their own ``dk``
+        through the *pairwise* matrix (sampled-bound tightenings are
+        counted by the caller, which knows both vectors).  The running
+        merges are never modified: the vector is a broadcast value,
+        not a result.
         """
         dks = self.dk_vector()
-        if pairwise is None or len(dks) < 2 or not np.isfinite(dks).any():
-            return dks, 0
-        cross = (dks[:, np.newaxis] + np.asarray(pairwise)).min(axis=0)
-        tightened = int(np.count_nonzero(cross < dks))
-        return np.minimum(dks, cross), tightened
+        tightened = 0
+        thresholds = dks
+        if (pairwise is not None and len(dks) >= 2
+                and np.isfinite(dks).any()):
+            cross = (dks[:, np.newaxis] + np.asarray(pairwise)).min(axis=0)
+            tightened = int(np.count_nonzero(cross < dks))
+            thresholds = np.minimum(dks, cross)
+        if bounds is not None:
+            thresholds = np.minimum(thresholds, np.asarray(bounds,
+                                                           dtype=float))
+        return thresholds, tightened
+
+    def sample_items(self, size: int) -> list[tuple[float, int]]:
+        """The ``size`` globally best distinct candidates found so far.
+
+        Union of every query's running items, deduplicated by
+        trajectory id (keeping each id's best distance) and sorted by
+        ``(distance, tid)`` — the shared candidate sample the batch
+        planner evaluates its sampled non-metric cross-query bounds
+        against.  Deterministic, and purely a read: no merge changes.
+        """
+        best: dict[int, float] = {}
+        for merge in self._merges:
+            for distance, tid in merge._items:
+                if distance < best.get(tid, float("inf")):
+                    best[tid] = distance
+        ranked = sorted((distance, tid) for tid, distance in best.items())
+        return ranked[:size]
 
     def results(self) -> list[TopKResult]:
         """The merged global result of every query, in input order."""

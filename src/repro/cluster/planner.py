@@ -118,6 +118,10 @@ class PlanReport:
     waves: list[WaveReport] = field(default_factory=list)
     #: Number of waves that received a finite broadcast threshold.
     threshold_broadcasts: int = 0
+    #: Probe-cache lookups served / computed during this plan's probe
+    #: phase (both zero when no cache is configured).
+    probe_cache_hits: int = 0
+    probe_cache_misses: int = 0
 
     @property
     def partitions_skipped(self) -> int:
@@ -250,18 +254,33 @@ class QueryPlanner:
                                  list[list[int]], PlanReport]:
         """Shared phase-1 setup: probe, order, cut waves, open report."""
         start = time.perf_counter()
+        before = self.cache_counters()
         probes = self.probe(parts, query, kwargs)
-        order = self.plan_order(probes)
-        waves = self.plan_waves(order)
+        hits, misses = self.cache_delta(before)
         report = PlanReport(
             mode="waves",
-            wave_size=len(waves[0]) if waves else 0,
-            order=order,
+            wave_size=0,
+            order=self.plan_order(probes),
             probe_bounds=[p.bound if p is not None else 0.0
                           for p in probes],
             probe_seconds=time.perf_counter() - start,
+            probe_cache_hits=hits,
+            probe_cache_misses=misses,
         )
+        waves = self.plan_waves(report.order)
+        report.wave_size = len(waves[0]) if waves else 0
         return probes, waves, report
+
+    def cache_counters(self) -> tuple[int, int]:
+        """Probe-cache ``(hits, misses)`` snapshot ((0, 0) uncached)."""
+        if self.probe_cache is None:
+            return (0, 0)
+        return self.probe_cache.counters()
+
+    def cache_delta(self, before: tuple[int, int]) -> tuple[int, int]:
+        """Cache activity since a :meth:`cache_counters` snapshot."""
+        hits, misses = self.cache_counters()
+        return hits - before[0], misses - before[1]
 
     def execute_top_k(self, parts: Sequence, query, k: int, kwargs: dict,
                       make_task: Callable[[object, dict], Callable],

@@ -64,6 +64,17 @@ class ProbeCache:
         self.epoch += 1
         self._entries.clear()
 
+    def counters(self) -> tuple[int, int]:
+        """Current ``(hits, misses)`` snapshot.
+
+        The planners diff two snapshots around one plan's probe phase
+        to attribute cache effectiveness to that plan's report —
+        share-group members never probe at all, so their fingerprints
+        appear in neither counter (the saving shows up as the *absence*
+        of lookups, reported separately as ``queries_shared``).
+        """
+        return self.hits, self.misses
+
     def get(self, partition_id: int, fingerprint: bytes):
         """The cached probe for this (partition, query), or None."""
         probe = self._entries.get((partition_id, fingerprint))
@@ -242,12 +253,14 @@ class RDD:
                    transform=_MapPartitionsTransform(fn))
 
     def flat_map(self, fn: Callable) -> "RDD":
+        """Map each element to an iterable and flatten the results."""
         return RDD(self.context, parent=self, transform=_FlatMapTransform(fn))
 
     # -- actions (eager) -----------------------------------------------------
 
     @property
     def num_partitions(self) -> int:
+        """Partition count of the source RDD this chain derives from."""
         rdd: RDD = self
         while rdd._source is None:
             rdd = rdd._parent  # type: ignore[assignment]
@@ -282,9 +295,11 @@ class RDD:
         return results
 
     def count(self) -> int:
+        """Number of elements across every materialized partition."""
         return sum(len(part) for part in self.collect_partitions())
 
     def reduce(self, fn: Callable) -> object:
+        """Left-fold the collected elements with ``fn`` (non-empty)."""
         items = self.collect()
         if not items:
             raise ValueError("reduce of empty RDD")

@@ -86,12 +86,15 @@ class TopKResult:
     stats: SearchStats = field(default_factory=SearchStats)
 
     def ids(self) -> list[int]:
+        """Result trajectory ids, ascending by (distance, tid)."""
         return [tid for _, tid in self.items]
 
     def distances(self) -> list[float]:
+        """Result distances, ascending."""
         return [d for d, _ in self.items]
 
     def kth_distance(self) -> float:
+        """The worst kept distance (inf when no results are held)."""
         return self.items[-1][0] if self.items else float("inf")
 
     def __len__(self) -> int:
@@ -139,6 +142,7 @@ class ResultHeap:
         return other
 
     def sorted_items(self) -> list[tuple[float, int]]:
+        """Held items as an ascending (distance, tid) list."""
         return sorted(((-nd, tid) for nd, tid in self._heap),
                       key=lambda item: (item[0], item[1]))
 
@@ -219,6 +223,15 @@ def probe_search(trie, query: Trajectory,
     )
 
 
+#: Padded-tensor float64 elements a :class:`_SharedGatherStore` retains
+#: before ending a share group starts evicting that group's entries.
+#: Generous on purpose — under it nothing is ever evicted, so sharing
+#: within a task is exactly the pre-share-group behaviour; it only
+#: bounds peak memory when very large near-duplicate batches funnel
+#: many share groups through one task.
+_SHARED_GATHER_BUDGET = 1 << 24
+
+
 class _SharedGatherStore:
     """Read-through store view memoizing :meth:`gather` across queries.
 
@@ -230,19 +243,65 @@ class _SharedGatherStore:
     (query, leaf).  Every other attribute delegates to the wrapped
     store; the batch kernels treat gathered tensors as read-only, so
     sharing them is invisible in results.
+
+    Entries are additionally tagged with the *share group* of the
+    query that created them (:meth:`begin_group`): near-duplicate
+    share groups walk almost identical leaf sets, so their tensors are
+    the hottest entries while the group runs and dead weight after it.
+    :meth:`release_group` drops a finished group's entries — but only
+    once retained tensors exceed :data:`_SHARED_GATHER_BUDGET`, so
+    small batches keep every tensor and lose no cross-group sharing.
+    :attr:`hits`/:attr:`misses` count served vs built tensors.
     """
 
-    def __init__(self, store):
+    def __init__(self, store, budget_elems: int = _SHARED_GATHER_BUDGET):
         self._store = store
         self._gathers: dict = {}
+        self._group_keys: dict = {}
+        self._released: list = []
+        self._group = None
+        self._elems = 0
+        self.budget_elems = budget_elems
+        self.hits = 0
+        self.misses = 0
+
+    def begin_group(self, label) -> None:
+        """Tag subsequent gathers with share group ``label``."""
+        self._group = label
+
+    def release_group(self, label) -> None:
+        """A share group finished: evict finished groups' tensors while
+        over budget.
+
+        Purely a memory policy — a released tensor is rebuilt on the
+        next request, bit-identically, so eviction can never change
+        results.  Finished groups queue up (oldest first) and stay
+        eviction-eligible: while retained tensors exceed the budget,
+        whole finished groups are dropped oldest-first until back
+        under it, so groups released while still under budget are not
+        exempt later.  Under the budget nothing is evicted and
+        cross-group sharing stays complete.
+        """
+        self._released.append(label)
+        while self._elems > self.budget_elems and self._released:
+            victim = self._released.pop(0)
+            for key in self._group_keys.pop(victim, ()):
+                entry = self._gathers.pop(key, None)
+                if entry is not None:
+                    self._elems -= entry[0].size
 
     def gather(self, tids, max_len=None):
         """Memoized :meth:`~repro.core.store.TrajectoryStore.gather`."""
         key = (tuple(tids), max_len)
         hit = self._gathers.get(key)
         if hit is None:
+            self.misses += 1
             hit = self._store.gather(tids, max_len=max_len)
             self._gathers[key] = hit
+            self._group_keys.setdefault(self._group, []).append(key)
+            self._elems += hit[0].size
+        else:
+            self.hits += 1
         return hit
 
     def __getattr__(self, name):
@@ -373,7 +432,9 @@ def local_search_multi(trie, queries: list[Trajectory], k: int,
                        dks: list[float] | None = None,
                        use_pivots: bool = True, use_lbt: bool = True,
                        use_lbo: bool = True,
-                       batch_refine: bool = True) -> list[TopKResult]:
+                       batch_refine: bool = True,
+                       share_groups: list | None = None,
+                       ) -> list[TopKResult]:
     """Top-k for several queries against one RP-Trie, sharing work.
 
     The multi-query entry point behind the batch query planner
@@ -388,21 +449,43 @@ def local_search_multi(trie, queries: list[Trajectory], k: int,
 
     Parameters mirror :func:`local_search`; ``dqps`` and ``dks`` are
     per-query vectors aligned with ``queries`` (None entries and a None
-    vector both mean "not supplied").  Returns one
+    vector both mean "not supplied").  ``share_groups``, when given, is
+    a per-query vector of *share-group* labels (None for ungrouped):
+    queries carrying the same label are near-duplicates, so they are
+    run consecutively — their gathered leaf tensors hit the shared
+    store back to back — and the store may release a finished group's
+    tensors to bound peak memory (see
+    :meth:`_SharedGatherStore.release_group`; execution order and
+    eviction can never change any query's answer, because every search
+    is an independent pure function of its own arguments).  Returns one
     :class:`TopKResult` per query, in input order, each **bit-identical**
     to ``local_search(trie, query, k, dqp=..., dk=...)`` run alone —
     only shared read-only tensors and caches differ.
     """
     shared = _SharedGatherStore(trie.store) if batch_refine else None
-    results: list[TopKResult] = []
-    for index, query in enumerate(queries):
-        results.append(local_search(
-            trie, query, k,
+    order = list(range(len(queries)))
+    if share_groups is not None:
+        # Group members run consecutively (stable: grouped queries
+        # first, by label, then ungrouped in input order).
+        order.sort(key=lambda i: ((1, i) if share_groups[i] is None
+                                  else (0, share_groups[i])))
+    results: list[TopKResult | None] = [None] * len(queries)
+    previous = None
+    for index in order:
+        label = (share_groups[index]
+                 if share_groups is not None else None)
+        if shared is not None:
+            if previous is not None and label != previous:
+                shared.release_group(previous)
+            shared.begin_group(label)
+        previous = label
+        results[index] = local_search(
+            trie, queries[index], k,
             use_pivots=use_pivots, use_lbt=use_lbt, use_lbo=use_lbo,
             dqp=dqps[index] if dqps is not None else None,
             batch_refine=batch_refine,
             dk=dks[index] if dks is not None else float("inf"),
-            store=shared))
+            store=shared)
     return results
 
 

@@ -56,6 +56,11 @@ class TrajectoryStore:
         self._pending: list[Trajectory] = []
         self._mass_cache: dict[tuple[float, float], np.ndarray] = {}
         self._cum_mass_cache: dict[tuple[float, float], np.ndarray] = {}
+        #: Number of :meth:`gather` tensor builds this store has
+        #: performed.  Pure observability (benchmarks compare it across
+        #: sharing configurations); memoizing views that serve a cached
+        #: tensor do not call through, so do not count here.
+        self.gather_calls = 0
         self._lock = threading.Lock()
         for traj in trajectories:
             self.append(traj)
@@ -201,6 +206,7 @@ class TrajectoryStore:
             is.
         """
         self._consolidate()
+        self.gather_calls += 1
         tids = list(tids)
         if not tids:
             return (np.empty((0, 0, 2), dtype=np.float64),

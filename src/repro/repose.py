@@ -21,6 +21,7 @@ Reported times:
 from __future__ import annotations
 
 import functools
+import inspect
 import time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -30,7 +31,7 @@ import numpy as np
 from .cluster.batch import BatchPlanReport, BatchQueryPlanner
 from .cluster.driver import merge_range, merge_top_k
 from .cluster.engine import ExecutionEngine, WorkloadHints
-from .cluster.planner import PlanReport, QueryPlanner
+from .cluster.planner import PlanReport, QueryPlanner, WaveReport
 from .cluster.rdd import ClusterContext
 from .cluster.scheduler import (
     ClusterSpec,
@@ -51,6 +52,7 @@ from .core.search import (
 )
 from .core.succinct import SuccinctRPTrie
 from .distances.base import Measure, get_measure
+from .distances.batch import banded_upper_bound
 from .exceptions import IndexNotBuiltError
 from .partitioning.strategies import make_strategy
 from .types import Trajectory, TrajectoryDataset
@@ -141,6 +143,25 @@ class _LocalTopKTask:
         return self.rp.index.top_k(self.query, self.k, **self.kwargs)
 
 
+#: Per-index-type memo of "does ``top_k_multi`` accept
+#: ``share_groups``?" — the signature inspection costs tens of
+#: microseconds, which would otherwise be paid on every dispatched
+#: multi-query task (process-backend workers each warm their own copy).
+_MULTI_ACCEPTS_SHARES: dict[type, bool] = {}
+
+
+def _multi_accepts_share_groups(index) -> bool:
+    """Whether ``index.top_k_multi`` declares a ``share_groups``
+    parameter, memoized per index type."""
+    key = type(index)
+    accepts = _MULTI_ACCEPTS_SHARES.get(key)
+    if accepts is None:
+        accepts = "share_groups" in inspect.signature(
+            index.top_k_multi).parameters
+        _MULTI_ACCEPTS_SHARES[key] = accepts
+    return accepts
+
+
 class _LocalMultiTopKTask:
     """One (partition, query group) task of a batched wave plan.
 
@@ -148,19 +169,32 @@ class _LocalMultiTopKTask:
     ``top_k_multi`` (REPOSE's shares one columnar gather per leaf
     across the group); indexes without it — the baselines — fall back
     to a per-query loop *inside* the task, so grouping still amortizes
-    the dispatch itself.
+    the dispatch itself.  ``share_groups`` carries the batch planner's
+    near-duplicate labels (None entries for unshared queries); it is
+    forwarded only to a ``top_k_multi`` that declares the parameter
+    (:func:`_multi_accepts_share_groups`), so older or third-party
+    multi-query indexes keep working — labels are a sharing hint,
+    never required for correctness.
     """
 
     def __init__(self, rp: RpTraj, queries: list[Trajectory], k: int,
-                 kwargs_list: list[dict]):
+                 kwargs_list: list[dict],
+                 share_groups: list | None = None):
         self.rp = rp
         self.queries = queries
         self.k = k
         self.kwargs_list = kwargs_list
+        self.share_groups = share_groups
 
     def __call__(self) -> list:
         multi = getattr(self.rp.index, "top_k_multi", None)
         if multi is not None:
+            shares = self.share_groups
+            if (shares is not None
+                    and any(label is not None for label in shares)
+                    and _multi_accepts_share_groups(self.rp.index)):
+                return multi(self.queries, self.k, self.kwargs_list,
+                             share_groups=shares)
             return multi(self.queries, self.k, self.kwargs_list)
         return [self.rp.index.top_k(query, self.k, **kwargs)
                 for query, kwargs in zip(self.queries, self.kwargs_list)]
@@ -221,9 +255,12 @@ class BatchOutcome:
     order.  Under the batched wave plan (:meth:`DistributedTopK
     .top_k_batch` with ``plan="waves"``) ``plan`` carries the
     :class:`~repro.cluster.batch.BatchPlanReport` — dispatched
-    multi-query tasks, per-query wave accounting, probe and cross-query
-    threshold savings; it is None for per-query and FIFO-scheduled
-    batches.  The makespan and utilization expose the resource waste
+    multi-query tasks, per-query wave accounting, probe, share-group
+    and cross-query threshold savings; FIFO-scheduled batches
+    (:meth:`DistributedTopK.top_k_batch_scheduled`) carry the same
+    report with ``mode="batch-fifo"``, and only the sequential
+    ``plan="single"`` path leaves it None.  The makespan and
+    utilization expose the resource waste
     that homogeneous partitioning causes when query load concentrates
     on a few partitions.
     """
@@ -288,7 +325,8 @@ class RPTrieLocalIndex:
                             **self.search_options)
 
     def top_k_multi(self, queries: list[Trajectory], k: int,
-                    kwargs_list: list[dict]) -> list[TopKResult]:
+                    kwargs_list: list[dict],
+                    share_groups: list | None = None) -> list[TopKResult]:
         """Local top-k for a whole query group, sharing leaf gathers.
 
         The batch planner's multi-query entry point
@@ -296,8 +334,10 @@ class RPTrieLocalIndex:
         every query of a partition-affine group, building each touched
         leaf's padded candidate tensor once for the group.  Per-query
         ``kwargs_list`` entries carry the same keys :meth:`top_k`
-        accepts (``dqp``, ``dk``); results are bit-identical to calling
-        :meth:`top_k` per query.
+        accepts (``dqp``, ``dk``); ``share_groups`` forwards the batch
+        planner's near-duplicate labels so group members run
+        back-to-back against the shared gather store.  Results are
+        bit-identical to calling :meth:`top_k` per query.
         """
         if self._trie is None:
             raise IndexNotBuiltError("call build() before top_k_multi()")
@@ -305,6 +345,7 @@ class RPTrieLocalIndex:
             self._trie, queries, k,
             dqps=[kwargs.get("dqp") for kwargs in kwargs_list],
             dks=[kwargs.get("dk", float("inf")) for kwargs in kwargs_list],
+            share_groups=share_groups,
             **self.search_options)
 
     def probe(self, query: Trajectory,
@@ -394,8 +435,14 @@ class DistributedTopK:
         work.  Individual calls may override via ``top_k(...,
         plan=...)``.
     plan_options:
-        Planner knobs; currently ``{"wave_size": int}`` (partitions
-        per wave, default: the partition count cut into 4 waves).
+        Planner knobs: ``{"wave_size": int}`` (partitions per wave,
+        default: the partition count cut into 4 waves);
+        ``{"share_eps": float}`` (batch queries within this distance
+        of a share-group representative adopt its probe/wave plan —
+        near-duplicate sharing, default off); ``{"sample_size": int}``
+        (shared-sample candidates behind the batch planner's sampled
+        non-metric cross-query bounds; default auto-sizes to
+        ``max(2k, 8)``, 0 disables).
     """
 
     _PLANS = ("waves", "single")
@@ -546,6 +593,24 @@ class DistributedTopK:
         :class:`Repose` supplies its metric measures' distance."""
         return None
 
+    def _share_distance_fn(self) -> Callable | None:
+        """Driver-side query-to-query distance for near-duplicate
+        share-group *clustering* (``plan_options={"share_eps": ...}``).
+        Unlike :meth:`_query_distance_fn` it needs no metric property
+        — clustering only decides which queries adopt a shared plan,
+        whose soundness the planner restores per measure — but the
+        base driver still knows no measure, so it opts out and
+        ``share_eps`` is inert; :class:`Repose` supplies its measure's
+        distance unconditionally."""
+        return None
+
+    def _sampled_bound_fn(self) -> Callable | None:
+        """Driver-side pairwise *upper* bound backing the batch
+        planner's sampled cross-query bounds for non-metric measures,
+        or None to disable (the base driver, and metric measures —
+        which already get the stronger triangle coupling)."""
+        return None
+
     def _top_k_waves(self, query: Trajectory, k: int,
                      query_kwargs: dict) -> QueryOutcome:
         """Two-phase waved top-k (see :mod:`repro.cluster.planner`).
@@ -619,14 +684,34 @@ class DistributedTopK:
         searches one partition for a whole group, and a per-query
         running ``dk`` vector — cross-tightened by the triangle
         inequality for metric measures — is broadcast between waves.
-        ``plan="single"`` runs the queries sequentially, each as the
-        paper's one-shot fan-out.  Both return one merged result per
-        query, bit-identical to running that query alone.
-        ``plan_options`` overrides the engine-level planner knobs
-        (``{"wave_size": n}``) for this call.
+        With ``plan_options={"share_eps": eps}`` *near-duplicate*
+        queries (within ``eps`` of a share-group representative) skip
+        their own probe pass and adopt the representative's wave plan,
+        marching through shared partition tasks and leaf tensors while
+        still being refined exactly; for the non-metric measures
+        (DTW/EDR/LCSS) a sampled banded bound over a small shared
+        candidate sample tightens sibling thresholds where the
+        triangle inequality cannot (``{"sample_size": n}`` sizes it, 0
+        disables).  ``plan="single"`` runs the queries sequentially,
+        each as the paper's one-shot fan-out; ``plan="fifo"`` runs the
+        Section V-A one-shot comparison path
+        (:meth:`top_k_batch_scheduled`).  All plans return one merged
+        result per query, bit-identical to running that query alone.
+        ``plan_options`` overrides the engine-level planner knobs for
+        this call.
         """
         if self._rdd is None:
             raise IndexNotBuiltError("call build() before batch queries")
+        if plan == "fifo":
+            if plan_options:
+                # Mirrors the CLI's rejection of --plan fifo with
+                # --share-eps: the FIFO comparison path shares no work
+                # between queries, so silently dropping the options
+                # would misreport what actually ran.
+                raise ValueError(
+                    "plan='fifo' does not accept plan_options; the "
+                    "FIFO one-shot path shares no work between queries")
+            return self.top_k_batch_scheduled(queries, k)
         if self._resolve_plan(plan) == "waves":
             return self._top_k_batch_waves(queries, k, plan_options)
         start = time.perf_counter()
@@ -653,11 +738,15 @@ class DistributedTopK:
             self.context.engine,
             wave_size=options.get("wave_size"),
             probe_cache=self.context.probe_cache,
-            query_distance=self._query_distance_fn())
+            query_distance=self._query_distance_fn(),
+            share_eps=options.get("share_eps"),
+            share_distance=self._share_distance_fn(),
+            sampled_bound=self._sampled_bound_fn(),
+            sample_size=options.get("sample_size"))
         results, wave_timings, report = planner.execute_batch(
             self._parts, queries, k, kwargs_list,
-            make_task=lambda rp, group, kws: _LocalMultiTopKTask(
-                rp, group, k, kws),
+            make_task=lambda rp, group, kws, shares: _LocalMultiTopKTask(
+                rp, group, k, kws, share_groups=shares),
             hints=self._workload_hints(
                 self.num_partitions,
                 queries_per_task=max(len(queries), 1)))
@@ -676,7 +765,13 @@ class DistributedTopK:
         are dispatched FIFO, query-major, mirroring how Spark runs
         concurrent jobs over the same executors.  Returns the batch
         makespan and cluster utilization (Section V-A's batch-search
-        discussion).
+        discussion).  The outcome carries a
+        :class:`~repro.cluster.batch.BatchPlanReport` with
+        ``mode="batch-fifo"`` — every (query, partition) pair
+        dispatched as its own single-query task in one unconditional
+        wave, nothing probed, grouped, deduplicated or tightened — so
+        the one-shot comparison path shares the planner's Section V-A
+        accounting instead of bypassing it.
         """
         if self._rdd is None:
             raise IndexNotBuiltError("call build() before batch queries")
@@ -698,15 +793,30 @@ class DistributedTopK:
                                               batch_width=len(queries)))
         wall = time.perf_counter() - start
 
+        report = BatchPlanReport(mode="batch-fifo",
+                                 num_queries=len(queries),
+                                 wave_size=len(parts),
+                                 tasks_dispatched=len(tasks),
+                                 grouped_queries=len(tasks))
         results = []
         per_query = len(parts)
         for qi in range(len(queries)):
             partials = outputs[qi * per_query:(qi + 1) * per_query]
-            results.append(merge_top_k(partials, k))
+            result = merge_top_k(partials, k)
+            wave = WaveReport(index=0, partitions=list(range(per_query)),
+                              dk_after=result.kth_distance())
+            wave.nodes_pruned = result.stats.nodes_pruned
+            wave.exact_refinements = result.stats.exact_refinements
+            plan = PlanReport(mode="batch-fifo", wave_size=per_query,
+                              order=list(range(per_query)),
+                              waves=[wave])
+            QueryPlanner._finalize_stats(result.stats, plan)
+            report.per_query.append(plan)
+            results.append(result)
         schedule = simulate_schedule(timings, self.cluster_spec)
         return BatchOutcome(results=results, wall_seconds=wall,
                             simulated_seconds=schedule.makespan,
-                            schedule=schedule)
+                            schedule=schedule, plan=report)
 
     def range_query(self, query: Trajectory, radius: float,
                     plan: str | None = None,
@@ -855,10 +965,29 @@ class Repose(DistributedTopK):
         results query ``i`` holds lie within ``dk_i + d(q_i, q_j)`` of
         query ``j`` by the triangle inequality, so that sum soundly
         upper-bounds ``j``'s final k-th best.  Non-metric measures
-        (DTW/EDR/LCSS) return None — no cross-query coupling."""
+        (DTW/EDR/LCSS) return None — they couple through the sampled
+        bound (:meth:`_sampled_bound_fn`) instead."""
         if self.measure.is_metric:
             return self.measure.distance
         return None
+
+    def _share_distance_fn(self) -> Callable:
+        """Near-duplicate clustering distance: always the measure's own
+        distance — clustering needs similarity under the *query*
+        measure, not a metric (the planner restores soundness of the
+        adopted plans per measure)."""
+        return self.measure.distance
+
+    def _sampled_bound_fn(self) -> Callable | None:
+        """Sampled cross-query bound for the non-metric measures: a
+        banded (warp-window / eps-shift) upper bound on the measure's
+        distance (:func:`repro.distances.batch.banded_upper_bound`),
+        evaluated driver-side against a small shared candidate sample.
+        Metric measures return None — the triangle coupling of
+        :meth:`_query_distance_fn` is stronger and cheaper there."""
+        if self.measure.is_metric:
+            return None
+        return functools.partial(banded_upper_bound, self.measure)
 
     @classmethod
     def build(cls, dataset: TrajectoryDataset,  # type: ignore[override]
@@ -887,7 +1016,12 @@ class Repose(DistributedTopK):
             global ``dk`` — or keep the paper's one-shot fan-out with
             ``"single"``.  Bit-identical results either way; waves
             only prune work.  ``plan_options={"wave_size": n}``
-            controls partitions per wave.
+            controls partitions per wave;
+            ``plan_options={"share_eps": eps}`` additionally lets
+            :meth:`top_k_batch` share probe/wave plans and leaf
+            tensors between near-duplicate batch queries, and
+            ``{"sample_size": n}`` sizes the sampled non-metric
+            cross-query bound (0 disables).
         engine:
             Execution backend for per-partition work.  Accepts an
             :class:`~repro.cluster.engine.ExecutionEngine` or a backend

@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.cluster.batch import BatchQueryPlanner
+from repro.cluster.batch import BatchPlanReport, BatchQueryPlanner
 from repro.cluster.driver import RunningTopKVector, merge_stats
 from repro.cluster.engine import ExecutionEngine, WorkloadHints, choose_backend
 from repro.cluster.planner import QueryPlanner
@@ -184,6 +184,37 @@ class TestMultiQueryLocalSearch:
         # Delegation: non-gather attributes reach the wrapped store.
         assert shared.points_of(tids[0]) is trie.store.points_of(tids[0])
 
+    def test_release_group_evicts_oldest_finished_group(self):
+        """Groups released while under budget stay eviction-eligible:
+        once a later group pushes past the budget, finished groups are
+        dropped oldest-first until back under it."""
+        from repro.core.search import _SharedGatherStore
+
+        class _FakeStore:
+            def __init__(self):
+                self.calls = 0
+
+            def gather(self, tids, max_len=None):
+                self.calls += 1
+                return (np.zeros((len(tids), 4, 2)),
+                        np.full(len(tids), 4))
+
+        store = _FakeStore()
+        shared = _SharedGatherStore(store, budget_elems=40)
+        shared.begin_group("a")
+        shared.gather([1, 2])              # 16 elems, under budget
+        shared.release_group("a")          # queued, nothing evicted
+        assert shared.hits == 0 and shared.misses == 1
+        shared.begin_group("b")
+        shared.gather([3, 4])
+        shared.gather([5, 6])              # 48 elems total: over budget
+        shared.release_group("b")          # evicts group a (oldest)
+        assert store.calls == 3
+        shared.gather([3, 4])              # b survived the eviction
+        assert store.calls == 3 and shared.hits == 1
+        shared.gather([1, 2])              # a was evicted: rebuilt
+        assert store.calls == 4
+
 
 class TestRunningTopKVector:
     def _result(self, items, **stats):
@@ -269,7 +300,7 @@ class _ScriptedPart:
 
 
 class TestBatchPlannerMechanics:
-    def _make_task(self, rp, queries, kwargs_list):
+    def _make_task(self, rp, queries, kwargs_list, shares=None):
         return lambda: [rp.index.top_k(query, 1, **kwargs)
                         for query, kwargs in zip(queries, kwargs_list)]
 
@@ -440,6 +471,370 @@ class TestProbeCache:
         assert fp1 != fp2 and fp1 != fp3
         assert ProbeCache.fingerprint(query) == fp1
         assert ProbeCache.fingerprint("not a trajectory") is None
+
+
+class TestNearDuplicateSharing:
+    def _jitter(self, rng, traj, scale, traj_id):
+        points = traj.points + rng.normal(0.0, scale, traj.points.shape)
+        return Trajectory(np.clip(points, 0.001, SPAN - 0.001),
+                          traj_id=traj_id)
+
+    @pytest.mark.parametrize("name", ["hausdorff", "dtw", "edr"])
+    def test_share_groups_stay_bit_identical(self, skewed_dataset, name):
+        """share_eps only shares plans and tensors — every member of a
+        share group still gets its exact single-shot answer."""
+        rng = np.random.default_rng(11)
+        engine = _build(skewed_dataset, name)
+        base = [skewed_dataset.trajectories[i] for i in (0, 5)]
+        jittered = [self._jitter(rng, t, 1e-4, 700 + i)
+                    for i, t in enumerate(base * 2)]
+        queries = base + jittered + [skewed_dataset.trajectories[40]]
+        batch = engine.top_k_batch(queries, 8, plan_options={
+            "share_eps": 1.0})
+        for query, result in zip(queries, batch.results):
+            single = engine.top_k(query, 8, plan="single")
+            assert result.items == single.result.items
+        assert batch.plan.share_eps == 1.0
+        assert batch.plan.share_groups >= 1
+        assert batch.plan.queries_shared >= 2
+
+    def test_members_adopt_rep_plan_without_probing(self, skewed_dataset):
+        """Share-group members never touch the probe cache and reuse
+        the representative's promise order and wave cut."""
+        rng = np.random.default_rng(13)
+        engine = _build(skewed_dataset, "hausdorff")
+        base = skewed_dataset.trajectories[2]
+        twin = self._jitter(rng, base, 1e-4, 801)
+        batch = engine.top_k_batch([base, twin], 5,
+                                   plan_options={"share_eps": 1.0})
+        report = batch.plan
+        assert report.queries_shared == 1
+        # Only the representative probed: 12 partitions, 12 misses.
+        assert report.probe_cache_misses == 12
+        assert report.probe_cache_hits == 0
+        rep_plan, member_plan = report.per_query
+        assert member_plan.order == rep_plan.order
+        assert member_plan.probe_cache_misses == 0
+        # Metric measure: adopted bounds are the rep's, shifted down.
+        assert all(mb <= rb for mb, rb in zip(member_plan.probe_bounds,
+                                              rep_plan.probe_bounds))
+
+    def test_adopted_probes_shift_metric_only(self):
+        probe = PartitionProbe(bound=1.0, child_bounds=(1.0, 2.5),
+                               trajectories=9)
+
+        def distance(a, b):
+            return 0.0
+
+        metric = BatchQueryPlanner(ExecutionEngine(),
+                                   query_distance=distance,
+                                   share_distance=distance)
+        adopted = metric._adopted_probes([probe, None], 0.4)
+        assert adopted[0].bound == pytest.approx(0.6)
+        assert adopted[0].child_bounds == (0.6, 2.1)
+        assert adopted[0].trajectories == 9
+        assert adopted[1] is None
+        # Shifts never go negative.
+        floor = metric._adopted_probes([probe], 3.0)[0]
+        assert floor.bound == 0.0 and floor.child_bounds == (0.0, 0.0)
+        # Without a metric the adopted probes carry no skipping power.
+        loose = BatchQueryPlanner(ExecutionEngine())
+        assert loose._adopted_probes([probe, None], 0.1) == [None, None]
+
+    def test_mismatched_share_distance_never_shifts_or_seeds(self):
+        """A clustering distance that is not the metric distance must
+        forfeit bound shifting and pairwise seeding — its values
+        certify nothing under the triangle inequality."""
+        probe = PartitionProbe(bound=1.0, child_bounds=(1.0,),
+                               trajectories=3)
+        planner = BatchQueryPlanner(ExecutionEngine(),
+                                    query_distance=lambda a, b: 9.0,
+                                    share_distance=lambda a, b: 0.0)
+        assert not planner._share_distance_is_metric
+        assert planner._adopted_probes([probe], 0.5) == [None]
+        # Bound-method equality still qualifies (drivers return a
+        # fresh bound method per call).
+        from repro.distances import get_measure
+        measure = get_measure("hausdorff")
+        same = BatchQueryPlanner(ExecutionEngine(),
+                                 query_distance=measure.distance,
+                                 share_distance=measure.distance)
+        assert same._share_distance_is_metric
+
+    def test_share_clustering_is_greedy_and_deterministic(self):
+        planner = BatchQueryPlanner(
+            ExecutionEngine(), share_eps=1.0,
+            share_distance=lambda a, b: abs(a.points[0, 0]
+                                            - b.points[0, 0]))
+        queries = [Trajectory([(x, 0.0)], traj_id=i)
+                   for i, x in enumerate([0.0, 0.5, 5.0, 0.9, 5.8])]
+        report = BatchPlanReport()
+        rep_of, dist, _ = planner._share_clusters(
+            queries, list(range(5)), report)
+        assert rep_of == {0: 0, 1: 0, 2: 2, 3: 0, 4: 2}
+        assert dist[1] == pytest.approx(0.5)
+        assert dist[4] == pytest.approx(0.8)
+        assert report.share_groups == 2
+        assert report.queries_shared == 3
+
+    def test_share_clustering_caps_representative_comparisons(
+            self, monkeypatch):
+        """Driver-side clustering cost is bounded: each query compares
+        against at most CROSS_QUERY_LIMIT representatives."""
+        import repro.cluster.batch as batch_mod
+        monkeypatch.setattr(batch_mod, "CROSS_QUERY_LIMIT", 2)
+        calls = []
+
+        def distance(a, b):
+            calls.append((a, b))
+            return 100.0  # nobody clusters: representative list grows
+
+        planner = BatchQueryPlanner(ExecutionEngine(), share_eps=0.1,
+                                    share_distance=distance)
+        queries = [Trajectory([(float(i), 0.0)], traj_id=i)
+                   for i in range(6)]
+        report = BatchPlanReport()
+        rep_of, _, _ = planner._share_clusters(queries, list(range(6)),
+                                               report)
+        assert all(rep_of[i] == i for i in range(6))
+        # Uncapped this would be 0+1+2+3+4+5 = 15 comparisons.
+        assert len(calls) == 0 + 1 + 2 + 2 + 2 + 2
+
+    def test_share_eps_inert_without_share_distance(self, skewed_dataset):
+        """A driver that supplies no clustering distance (the base
+        DistributedTopK) silently ignores share_eps."""
+        engine = make_baseline("ls", skewed_dataset, "hausdorff",
+                               num_partitions=4)
+        engine.build()
+        queries = skewed_dataset.trajectories[:3]
+        batch = engine.top_k_batch(queries, 4,
+                                   plan_options={"share_eps": 100.0})
+        assert batch.plan.share_groups == 0
+        assert batch.plan.queries_shared == 0
+        for query, result in zip(queries, batch.results):
+            assert result.items == engine.top_k(
+                query, 4, plan="single").result.items
+
+
+class TestSampledBounds:
+    def test_sampled_bound_tightens_non_metric_batches(self,
+                                                       skewed_dataset):
+        """DTW batches (no triangle inequality) still cross-tighten:
+        the sampled banded bound produces finite sibling thresholds."""
+        rng = np.random.default_rng(17)
+        engine = _build(skewed_dataset, "dtw")
+        base = [skewed_dataset.trajectories[i] for i in (0, 4, 8)]
+        jittered = [Trajectory(t.points + rng.normal(0, 1e-3,
+                                                     t.points.shape),
+                               traj_id=900 + i)
+                    for i, t in enumerate(base)]
+        queries = base + jittered
+        tightened = engine.top_k_batch(queries, 6, plan_options={
+            "share_eps": 1.0})
+        assert tightened.plan.sampled_tightenings > 0
+        assert tightened.plan.cross_query_tightenings == 0  # non-metric
+        for query, result in zip(queries, tightened.results):
+            assert result.items == engine.top_k(
+                query, 6, plan="single").result.items
+
+    def test_disabled_sampled_bound_is_a_noop_for_non_metric(
+            self, skewed_dataset):
+        """Boundary: with sample_size=0 a non-metric batch simply runs
+        with per-query thresholds — no error, no cross coupling."""
+        engine = _build(skewed_dataset, "dtw")
+        queries = [skewed_dataset.trajectories[i] for i in (0, 3, 7)]
+        batch = engine.top_k_batch(queries, 5,
+                                   plan_options={"sample_size": 0})
+        assert batch.plan.sampled_tightenings == 0
+        assert batch.plan.cross_query_tightenings == 0
+        for query, result in zip(queries, batch.results):
+            assert result.items == engine.top_k(
+                query, 5, plan="single").result.items
+
+    def test_small_sample_size_is_raised_to_k_not_disabled(self):
+        """A configured sample_size below k is clamped up to k (only 0
+        disables the bound, as documented)."""
+        planner = BatchQueryPlanner(ExecutionEngine(),
+                                    sampled_bound=lambda a, b: 1.0,
+                                    sample_size=3)
+        merges = RunningTopKVector(1, k=5)
+        merges.fold(0, [TopKResult(items=[(0.1, 1), (0.2, 2), (0.3, 3),
+                                          (0.4, 4), (0.5, 5)])])
+        lookup = {tid: np.zeros((1, 2)) for tid in (1, 2, 3, 4, 5)}
+        queries = [Trajectory([(0.0, 0.0)], traj_id=1)]
+        bounds = planner._sampled_bounds(queries, [0], 5, merges, lookup)
+        assert bounds is not None and bounds[0] == pytest.approx(1.0)
+        # With fewer than k distinct candidates found, no bound exists.
+        sparse = RunningTopKVector(1, k=5)
+        sparse.fold(0, [TopKResult(items=[(0.1, 1), (0.2, 2)])])
+        assert planner._sampled_bounds(queries, [0], 5, sparse,
+                                       lookup) is None
+        # sample_size=0 is the only off switch.
+        off = BatchQueryPlanner(ExecutionEngine(),
+                                sampled_bound=lambda a, b: 1.0,
+                                sample_size=0)
+        assert off._sampled_bounds(queries, [0], 5, merges,
+                                   lookup) is None
+
+    def test_sampled_bounds_take_kth_smallest_upper_bound(self):
+        queries = [Trajectory([(0.0, 0.0)], traj_id=1)]
+        planner = BatchQueryPlanner(
+            ExecutionEngine(),
+            sampled_bound=lambda a, b: float(b[0, 0]))
+        merges = RunningTopKVector(1, k=2)
+        merges.fold(0, [TopKResult(items=[(1.0, 10), (2.0, 11),
+                                          (3.0, 12)])])
+        lookup = {10: np.array([[7.0, 0.0]]),
+                  11: np.array([[5.0, 0.0]]),
+                  12: np.array([[9.0, 0.0]])}
+        bounds = planner._sampled_bounds(queries, [0], 2, merges, lookup)
+        # Upper bounds 7, 5, 9 -> 2nd smallest is 7.
+        assert bounds[0] == pytest.approx(7.0)
+
+    def test_broadcast_vector_folds_external_bounds(self):
+        vector = RunningTopKVector(2, k=1)
+        vector.fold(0, [TopKResult(items=[(4.0, 1)])])
+        bounds = np.array([2.0, 3.5])
+        thresholds, tightened = vector.broadcast_vector(None,
+                                                        bounds=bounds)
+        assert thresholds.tolist() == [2.0, 3.5]
+        assert tightened == 0  # pairwise tightenings only
+        # The merges themselves stay untouched.
+        assert vector.dk(0) == 4.0
+
+    def test_sample_items_dedupes_and_ranks(self):
+        vector = RunningTopKVector(2, k=3)
+        vector.fold(0, [TopKResult(items=[(1.0, 5), (2.0, 6)])])
+        vector.fold(1, [TopKResult(items=[(0.5, 6), (3.0, 7)])])
+        assert vector.sample_items(10) == [(0.5, 6), (1.0, 5), (3.0, 7)]
+        assert vector.sample_items(1) == [(0.5, 6)]
+
+
+class TestRunningTopKVectorBoundaries:
+    def _scripted_parts(self):
+        return [_ScriptedPart(_ScriptedIndex(0.0, [(1.0, 7)])),
+                _ScriptedPart(_ScriptedIndex(0.2, [(2.0, 8)]))]
+
+    def _make_task(self, rp, queries, kwargs_list, shares=None):
+        return lambda: [rp.index.top_k(query, 1, **kwargs)
+                        for query, kwargs in zip(queries, kwargs_list)]
+
+    def test_cross_query_cap_at_64_distinct_queries(self):
+        """Boundary: exactly CROSS_QUERY_LIMIT (64) distinct queries
+        still build the pairwise matrix; 65 disable cross reuse."""
+        calls = []
+
+        def distance(a, b):
+            calls.append((a, b))
+            return 0.25
+
+        for count, expect_pairs in ((64, 64 * 63 // 2), (65, 0)):
+            calls.clear()
+            planner = BatchQueryPlanner(ExecutionEngine(), wave_size=1,
+                                        query_distance=distance)
+            queries = [f"q{i}" for i in range(count)]
+            results, _, report = planner.execute_batch(
+                self._scripted_parts(), queries, 1,
+                [{} for _ in queries], make_task=self._make_task)
+            assert len(calls) == expect_pairs, count
+            assert all(r.items == [(1.0, 7)] for r in results)
+
+    def test_single_query_batch(self, skewed_dataset):
+        """Boundary: a batch of one runs the full machinery (no
+        pairwise, no sharing partner) and matches single-shot."""
+        engine = _build(skewed_dataset, "hausdorff")
+        query = skewed_dataset.trajectories[3]
+        batch = engine.top_k_batch([query], 5, plan_options={
+            "share_eps": 1.0})
+        assert batch.plan.num_queries == 1
+        assert batch.plan.cross_query_tightenings == 0
+        assert batch.plan.share_groups == 0
+        assert batch.results[0].items == engine.top_k(
+            query, 5, plan="single").result.items
+
+    def test_empty_vector_broadcast(self):
+        vector = RunningTopKVector(0, k=3)
+        thresholds, tightened = vector.broadcast_vector(None)
+        assert thresholds.tolist() == [] and tightened == 0
+        assert vector.results() == []
+
+
+class TestProbeCacheEpochRegression:
+    def test_insert_between_batches_invalidates_and_is_counted(
+            self, skewed_dataset):
+        """Regression: an insert() between two identical batches must
+        drop every cached probe — the second batch re-probes (misses
+        in its BatchPlanReport) instead of serving stale bounds, and
+        its results reflect the mutated index."""
+        engine = _build(skewed_dataset, "hausdorff", num_partitions=4)
+        queries = [skewed_dataset.trajectories[i] for i in (0, 2)]
+
+        first = engine.top_k_batch(queries, 4)
+        assert first.plan.probe_cache_misses == 8  # 2 queries x 4 parts
+        assert first.plan.probe_cache_hits == 0
+
+        warm = engine.top_k_batch(queries, 4)
+        assert warm.plan.probe_cache_hits == 8
+        assert warm.plan.probe_cache_misses == 0
+
+        epoch = engine.context.probe_cache.epoch
+        probe = Trajectory(queries[0].points + 1e-4, traj_id=7000)
+        engine.insert(probe)
+        assert engine.context.probe_cache.epoch == epoch + 1
+
+        cold = engine.top_k_batch(queries, 4)
+        assert cold.plan.probe_cache_misses == 8  # the insert's miss
+        assert cold.plan.probe_cache_hits == 0
+        # And the re-probed batch sees the inserted trajectory.
+        fresh = engine.top_k_batch([Trajectory(probe.points,
+                                               traj_id=7001)], 1)
+        assert fresh.results[0].ids() == [7000]
+        for query, result in zip(queries, cold.results):
+            assert result.items == engine.top_k(
+                query, 4, plan="single").result.items
+
+
+class TestScheduledBatchReport:
+    def test_fifo_path_reports_through_batch_plan_report(
+            self, skewed_dataset):
+        """Satellite: top_k_batch_scheduled no longer bypasses
+        BatchPlanReport — Section V-A accounting comes with it."""
+        engine = _build(skewed_dataset, "hausdorff")
+        queries = skewed_dataset.trajectories[:3]
+        batch = engine.top_k_batch_scheduled(queries, 5)
+        report = batch.plan
+        assert report is not None and report.mode == "batch-fifo"
+        assert report.num_queries == 3
+        assert report.tasks_dispatched == 3 * 12
+        assert report.grouped_queries == report.tasks_dispatched
+        assert report.partition_queries_dispatched == 3 * 12
+        assert report.partitions_skipped == 0
+        assert report.queries_deduplicated == 0
+        for plan, result in zip(report.per_query, batch.results):
+            assert plan.mode == "batch-fifo"
+            assert [w.partitions for w in plan.waves] == [list(range(12))]
+            assert result.stats.waves == 1
+            assert (plan.waves[0].exact_refinements
+                    == result.stats.exact_refinements)
+            assert plan.waves[0].dk_after == result.kth_distance()
+
+    def test_plan_fifo_routes_to_scheduled(self, skewed_dataset):
+        engine = _build(skewed_dataset, "hausdorff")
+        queries = skewed_dataset.trajectories[:2]
+        batch = engine.top_k_batch(queries, 4, plan="fifo")
+        assert batch.plan is not None and batch.plan.mode == "batch-fifo"
+        for query, result in zip(queries, batch.results):
+            assert result.items == engine.top_k(
+                query, 4, plan="single").result.items
+
+    def test_plan_fifo_rejects_plan_options(self, skewed_dataset):
+        """The FIFO path shares nothing, so options that would be
+        silently dropped are rejected (mirrors the CLI check)."""
+        engine = _build(skewed_dataset, "hausdorff")
+        with pytest.raises(ValueError, match="fifo"):
+            engine.top_k_batch(skewed_dataset.trajectories[:2], 3,
+                               plan="fifo",
+                               plan_options={"share_eps": 1.0})
 
 
 class TestSchedulerFeedback:

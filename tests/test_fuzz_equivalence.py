@@ -1,0 +1,166 @@
+"""Randomized batch/single equivalence fuzzing.
+
+The batch planner's contract is absolute: whatever combination of
+sharing machinery a batch engages — probe caching, fingerprint dedup,
+near-duplicate share groups, partition-affinity grouping, triangle or
+sampled cross-query thresholds — every per-query answer must be
+**bit-identical** to running that query alone under ``plan="single"``.
+The targeted property tests in ``tests/test_batch_planner.py`` pin the
+mechanisms; this harness hammers the *combinations*: for every measure
+it replays hundreds of randomized cases mixing duplicate, jittered and
+disjoint queries, random ``k``, wave sizes, ``share_eps`` and sampled
+bound sizes, with ``insert()`` calls interleaved between batches (so
+probe-cache epochs roll over mid-stream), and occasionally re-runs a
+batch against the now-warm probe cache or through the FIFO scheduled
+path.
+
+Every case is derived from one integer seed, so the run is fully
+deterministic; any violation fails with the case seed and its full
+parameter set in the message.  Knobs (environment):
+
+``REPRO_FUZZ_CASES``
+    Cases per measure (default 36 — 216 total across 6 measures).
+``REPRO_FUZZ_SEED``
+    Base seed (default 20260729).  Reproduce a CI failure by exporting
+    the seed printed in the failure message and re-running this file.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+
+import numpy as np
+import pytest
+
+from repro.types import Trajectory, TrajectoryDataset
+from repro.repose import Repose
+
+MEASURES = ["hausdorff", "frechet", "dtw", "erp", "edr", "lcss"]
+
+BASE_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20260729"))
+CASES_PER_MEASURE = int(os.environ.get("REPRO_FUZZ_CASES", "36"))
+
+SPAN = 10.0
+NUM_PARTITIONS = 6
+
+#: Jitter scales for near-duplicate queries: well under the edit
+#: measures' eps (so EDR/LCSS see the twin as identical), around it,
+#: and well over it (a "near duplicate" only spatially).
+JITTER_SCALES = (1e-5, 5e-4, 1e-2)
+
+#: share_eps values to fuzz: off, exact-only, tight, loose, and
+#: everything-is-one-group.
+SHARE_EPS_CHOICES = (None, 0.0, 0.05, 0.5, 5.0, float("inf"))
+
+_INSERT_IDS = itertools.count(100000)
+_QUERY_IDS = itertools.count(900000)
+
+
+def _random_trajectory(rng: np.random.Generator, traj_id: int,
+                       hot: bool = True) -> Trajectory:
+    """A short random walk, biased into the hot corner when ``hot``."""
+    n = int(rng.integers(3, 13))
+    if hot:
+        start = rng.uniform(0.05 * SPAN, 0.3 * SPAN, 2)
+    else:
+        start = rng.uniform(0.05 * SPAN, 0.95 * SPAN, 2)
+    steps = rng.normal(0.0, 0.02 * SPAN, (n - 1, 2))
+    points = np.vstack([start, start + np.cumsum(steps, axis=0)])
+    np.clip(points, 0.001, SPAN - 0.001, out=points)
+    return Trajectory(points, traj_id=traj_id)
+
+
+def _jittered(rng: np.random.Generator, base: Trajectory) -> Trajectory:
+    """A near-duplicate of ``base``: same shape, perturbed points."""
+    scale = float(rng.choice(JITTER_SCALES))
+    points = base.points + rng.normal(0.0, scale, base.points.shape)
+    np.clip(points, 0.001, SPAN - 0.001, out=points)
+    return Trajectory(points, traj_id=next(_QUERY_IDS))
+
+
+def _query_mix(rng: np.random.Generator, engine: Repose) -> list[Trajectory]:
+    """A randomized batch: dataset queries, their exact duplicates and
+    jittered near-duplicates, plus disjoint random queries, shuffled."""
+    trajectories = engine.dataset.trajectories
+    queries: list[Trajectory] = []
+    for _ in range(int(rng.integers(1, 4))):
+        base = trajectories[int(rng.integers(len(trajectories)))]
+        queries.append(base)
+        for _ in range(int(rng.integers(0, 3))):
+            queries.append(base if rng.random() < 0.4
+                           else _jittered(rng, base))
+    for _ in range(int(rng.integers(0, 3))):
+        queries.append(_random_trajectory(rng, next(_QUERY_IDS),
+                                          hot=bool(rng.random() < 0.5)))
+    order = rng.permutation(len(queries))
+    return [queries[i] for i in order]
+
+
+def _case_options(rng: np.random.Generator, k: int) -> dict:
+    """Random planner knobs for one case."""
+    options: dict = {"wave_size": int(rng.integers(1, 7))}
+    share_eps = SHARE_EPS_CHOICES[int(rng.integers(
+        len(SHARE_EPS_CHOICES)))]
+    if share_eps is not None:
+        options["share_eps"] = share_eps
+    sample_size = int(rng.choice([-1, 0, k, 3 * k]))
+    if sample_size >= 0:
+        options["sample_size"] = sample_size
+    return options
+
+
+@pytest.mark.parametrize("measure", MEASURES)
+def test_fuzz_batch_matches_single(measure):
+    """Batched execution with every sharing feature randomized stays
+    bit-identical, per query, to single-shot execution."""
+    build_rng = np.random.default_rng((BASE_SEED, MEASURES.index(measure)))
+    dataset = TrajectoryDataset(
+        name=f"fuzz-{measure}",
+        trajectories=[_random_trajectory(build_rng, i,
+                                         hot=bool(i % 3))
+                      for i in range(70)])
+    engine = Repose.build(dataset, measure=measure, delta=0.4,
+                          num_partitions=NUM_PARTITIONS)
+
+    for case in range(CASES_PER_MEASURE):
+        case_seed = (BASE_SEED, MEASURES.index(measure), case)
+        rng = np.random.default_rng(case_seed)
+        if rng.random() < 0.25:
+            # Interleaved growth: bumps the probe-cache epoch, so the
+            # next batch must re-probe instead of serving stale bounds.
+            engine.insert(_random_trajectory(rng, next(_INSERT_IDS),
+                                             hot=bool(rng.random() < 0.5)))
+        queries = _query_mix(rng, engine)
+        k = int(rng.integers(1, 13))
+        options = _case_options(rng, k)
+        context = (f"case_seed={case_seed} measure={measure} k={k} "
+                   f"options={options} queries={len(queries)} "
+                   f"(rerun: REPRO_FUZZ_SEED={BASE_SEED} "
+                   f"python -m pytest tests/test_fuzz_equivalence.py "
+                   f"-k {measure})")
+
+        batch = engine.top_k_batch(queries, k, plan="waves",
+                                   plan_options=options)
+        expected = [engine.top_k(query, k, plan="single").result.items
+                    for query in queries]
+        for qi, (result, items) in enumerate(zip(batch.results, expected)):
+            assert result.items == items, (
+                f"batch/single divergence on query {qi}: {context}")
+
+        if rng.random() < 0.3:
+            # Re-issue against the warm probe cache: served probes must
+            # reproduce the computed ones exactly.
+            again = engine.top_k_batch(queries, k, plan="waves",
+                                       plan_options=options)
+            for qi, (result, items) in enumerate(zip(again.results,
+                                                     expected)):
+                assert result.items == items, (
+                    f"warm-cache divergence on query {qi}: {context}")
+        if rng.random() < 0.15:
+            fifo = engine.top_k_batch(queries, k, plan="fifo")
+            assert fifo.plan is not None and fifo.plan.mode == "batch-fifo"
+            for qi, (result, items) in enumerate(zip(fifo.results,
+                                                     expected)):
+                assert result.items == items, (
+                    f"fifo divergence on query {qi}: {context}")

@@ -30,10 +30,12 @@ REPO = Path(__file__).resolve().parent.parent
 DOC_MODULES = [
     "src/repro/distances/batch.py",
     "src/repro/core/store.py",
+    "src/repro/core/search.py",
     "src/repro/cluster/engine.py",
     "src/repro/cluster/planner.py",
     "src/repro/cluster/driver.py",
     "src/repro/cluster/batch.py",
+    "src/repro/cluster/rdd.py",
 ]
 
 #: Minimum fraction of public objects (module included) with docstrings.
