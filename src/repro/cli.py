@@ -20,6 +20,7 @@ from .datasets.io import load_csv, save_csv
 from .datasets.preprocess import preprocess, sample_queries
 from .datasets.stats import DATASET_SPECS
 from .datasets.synthetic import generate_dataset
+from .cluster.engine import FaultPolicy
 from .distances import get_measure, list_measures
 from .repose import Repose
 
@@ -77,6 +78,22 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--calibrate", action="store_true",
                        help="calibrate the 'auto' cost model on one "
                             "real partition task before querying")
+    query.add_argument("--max-retries", type=int, default=None,
+                       metavar="N",
+                       help="enable fault-tolerant execution: retry each "
+                            "failed/timed-out partition task up to N "
+                            "times with backoff, then degrade to a "
+                            "flagged partial result instead of raising")
+    query.add_argument("--task-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-task deadline for fault-tolerant "
+                            "execution (default: derived from the "
+                            "calibrated cost model); implies "
+                            "--max-retries 2 when given alone")
+    query.add_argument("--speculate", action="store_true",
+                       help="launch a speculative duplicate of straggler "
+                            "tasks (first result wins); implies "
+                            "--max-retries 2 when given alone")
     query.add_argument("--batch", type=int, default=None, metavar="N",
                        help="run N sampled queries as one batch through "
                             "the multi-query batch planner (with "
@@ -118,6 +135,37 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fault_policy_from(args: argparse.Namespace) -> FaultPolicy | None:
+    """Build the engine's fault policy from the CLI flags, or None
+    when no fault-tolerance flag was given (fail-fast default)."""
+    if (args.max_retries is None and args.task_timeout is None
+            and not args.speculate):
+        return None
+    retries = args.max_retries if args.max_retries is not None else 2
+    return FaultPolicy(max_retries=retries,
+                       task_timeout=args.task_timeout,
+                       speculate=args.speculate)
+
+
+def _warn_incomplete(outcome) -> None:
+    """Print a degradation warning for a partial query outcome."""
+    if outcome.complete:
+        return
+    if isinstance(outcome.exact, list):  # BatchOutcome
+        bad = [qi for qi, failed in enumerate(outcome.failed_partitions)
+               if failed]
+        print(f"warning: batch queries {bad} lost partitions "
+              f"{[outcome.failed_partitions[qi] for qi in bad]} after "
+              f"exhausting retries; flagged results are best-effort",
+              file=sys.stderr)
+        return
+    verdict = ("still provably exact" if outcome.exact
+               else "best-effort")
+    print(f"warning: partitions {outcome.failed_partitions} failed "
+          f"after exhausting retries; the result is {verdict}",
+          file=sys.stderr)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     if args.batch is not None and (args.radius is not None
                                    or args.query_id is not None):
@@ -146,7 +194,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
                           strategy=args.strategy,
                           plan=("waves" if args.plan in (None, "fifo")
                                 else args.plan),
-                          plan_options=plan_options or None)
+                          plan_options=plan_options or None,
+                          fault_policy=_fault_policy_from(args))
     if args.calibrate:
         rate = engine.calibrate(k=args.k)
         print(f"calibrated {measure.name}: {rate:.3f} us/point")
@@ -170,6 +219,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"plan: {len(outcome.plan.waves)} waves, "
               f"{outcome.plan.partitions_skipped} partitions skipped, "
               f"{outcome.plan.threshold_broadcasts} threshold broadcasts")
+        if outcome.plan.retries or outcome.plan.timeouts:
+            print(f"faults: {outcome.plan.retries} retries, "
+                  f"{outcome.plan.timeouts} timeouts, "
+                  f"{outcome.plan.speculative_wins} speculative wins")
+    _warn_incomplete(outcome)
     print(f"simulated query time: {outcome.simulated_seconds * 1e3:.2f} ms "
           f"(wall {outcome.wall_seconds * 1e3:.2f} ms)")
     return 0
@@ -204,6 +258,11 @@ def _run_batch(engine: Repose, data, args: argparse.Namespace) -> int:
                   f"{report.queries_shared} queries adopted a "
                   f"representative's plan, "
                   f"{report.queries_deduplicated} deduplicated")
+        if report.retries or report.timeouts:
+            print(f"faults: {report.retries} retries, "
+                  f"{report.timeouts} timeouts, "
+                  f"{report.speculative_wins} speculative wins")
+    _warn_incomplete(batch)
     print(f"simulated batch time: {batch.simulated_seconds * 1e3:.2f} ms "
           f"(wall {batch.wall_seconds * 1e3:.2f} ms)")
     return 0

@@ -93,7 +93,8 @@ import numpy as np
 from ..core.search import PartitionProbe, SearchStats, TopKResult
 from .driver import RunningTopKVector
 from .engine import TaskTiming, WorkloadHints
-from .planner import PlanReport, QueryPlanner, WaveReport
+from .planner import (PLANNER_REDISPATCHES, PlanReport, QueryPlanner,
+                      WaveReport)
 from .rdd import ProbeCache
 from .scheduler import lpt_order
 
@@ -167,6 +168,19 @@ class BatchPlanReport:
     probe_cache_misses: int = 0
     #: Per-query plan reports, aligned with the input queries.
     per_query: list[PlanReport] = field(default_factory=list)
+    #: Engine-level task re-dispatches consumed across the batch.
+    #: Counted once per *task* (a grouped task serves several queries),
+    #: so these batch totals are not the sum of any per-query number.
+    retries: int = 0
+    #: Task attempts abandoned at the per-task deadline.
+    timeouts: int = 0
+    #: Tasks whose speculative duplicate beat the original straggler.
+    speculative_wins: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """True when no query lost a partition terminally."""
+        return all(plan.complete for plan in self.per_query)
 
     @property
     def partition_queries_dispatched(self) -> int:
@@ -456,8 +470,17 @@ class BatchQueryPlanner(QueryPlanner):
         representative index, or None for unshared queries).  The task
         must return one :class:`~repro.core.search.TopKResult` per
         group query, in order.  Returns the per-query merged results
-        (input order, each bit-identical to single-shot execution),
-        the per-wave task timings, and the :class:`BatchPlanReport`.
+        (input order, each bit-identical to single-shot execution
+        whenever its plan reports ``complete``), the per-wave task
+        timings, and the :class:`BatchPlanReport`.
+
+        Fault handling mirrors the single-query planner: a grouped
+        task that failed terminally re-enqueues its (partition, query)
+        pairs into re-dispatch waves appended after the planned ones —
+        where the by-then tighter per-query thresholds may skip them
+        soundly — and pairs that exhaust the planner budget too land on
+        that query's ``failed_partitions`` with a per-query exactness
+        verdict, instead of aborting the batch.
         """
         start = time.perf_counter()
         report = BatchPlanReport(num_queries=len(queries),
@@ -537,11 +560,25 @@ class BatchQueryPlanner(QueryPlanner):
         bound_cache: dict = {}
         # Per wave: the dispatched (pid, group) pairs, for the fold.
         wave_groups: list[list[tuple[int, list[int]]]] = []
+        # Failed (partition -> queries) pairs awaiting a re-dispatch
+        # wave, and how often each (pid, qi) pair was re-dispatched.
+        retry_map: dict[int, list[int]] = {}
+        redispatches: dict[tuple[int, int], int] = {}
 
         def wave_tasks():
-            """Lazily build each wave against the freshest dk vector."""
+            """Lazily build each wave against the freshest dk vector,
+            appending re-dispatch waves for failed (partition, query)
+            pairs after the planned ones."""
             nonlocal pairwise, traj_points
-            for index in range(num_waves):
+            index = 0
+            while True:
+                retry_wave: dict[int, list[int]] | None = None
+                if index >= num_waves:
+                    if not retry_map:
+                        return
+                    retry_wave = {pid: list(qis) for pid, qis
+                                  in sorted(retry_map.items())}
+                    retry_map.clear()
                 if (pairwise is None and self.query_distance is not None
                         and 1 < len(active) <= CROSS_QUERY_LIMIT
                         and np.isfinite(merges.dk_vector()).any()):
@@ -554,9 +591,13 @@ class BatchQueryPlanner(QueryPlanner):
                     # can use a threshold — exhausted plans and
                     # staggered members' empty leading waves would pay
                     # for banded DPs nobody reads.
-                    live = [qi for qi in active
-                            if index < len(plans[qi][1])
-                            and plans[qi][1][index]]
+                    if retry_wave is not None:
+                        live = sorted({qi for qis in retry_wave.values()
+                                       for qi in qis})
+                    else:
+                        live = [qi for qi in active
+                                if index < len(plans[qi][1])
+                                and plans[qi][1][index]]
                     if live:
                         if traj_points is None:
                             traj_points = self._trajectory_points(parts)
@@ -571,24 +612,44 @@ class BatchQueryPlanner(QueryPlanner):
                     report.sampled_tightenings += int(
                         np.count_nonzero(bounds < raw))
                 groups: dict[int, list[int]] = {}
-                for qi, (probes, waves) in enumerate(plans):
-                    if index >= len(waves) or not waves[index]:
-                        # Plan exhausted, or a staggered member's empty
-                        # leading wave: nothing to dispatch or report.
-                        continue
-                    wave_report = WaveReport(index=index,
-                                             dk_before=float(dks[qi]))
-                    report.per_query[qi].waves.append(wave_report)
-                    for pid in waves[index]:
-                        probe = probes[pid]
-                        if probe is not None and probe.bound > dks[qi]:
-                            # Same sound strict skip as the single-query
-                            # planner: the probe bound proves every
-                            # trajectory here sits outside this query's
-                            # final top-k.
-                            wave_report.skipped.append(pid)
-                        else:
-                            groups.setdefault(pid, []).append(qi)
+                if retry_wave is not None:
+                    for pid, qis in retry_wave.items():
+                        for qi in qis:
+                            plan = report.per_query[qi]
+                            if (not plan.waves
+                                    or plan.waves[-1].index != index):
+                                plan.waves.append(WaveReport(
+                                    index=index,
+                                    dk_before=float(dks[qi])))
+                            probe = plans[qi][0][pid]
+                            if probe is not None and probe.bound > dks[qi]:
+                                # The threshold tightened since the
+                                # failure: the partition is now provably
+                                # irrelevant for this query — a sound
+                                # resolution, not a failure.
+                                plan.waves[-1].skipped.append(pid)
+                            else:
+                                groups.setdefault(pid, []).append(qi)
+                else:
+                    for qi, (probes, waves) in enumerate(plans):
+                        if index >= len(waves) or not waves[index]:
+                            # Plan exhausted, or a staggered member's
+                            # empty leading wave: nothing to dispatch
+                            # or report.
+                            continue
+                        wave_report = WaveReport(index=index,
+                                                 dk_before=float(dks[qi]))
+                        report.per_query[qi].waves.append(wave_report)
+                        for pid in waves[index]:
+                            probe = probes[pid]
+                            if probe is not None and probe.bound > dks[qi]:
+                                # Same sound strict skip as the
+                                # single-query planner: the probe bound
+                                # proves every trajectory here sits
+                                # outside this query's final top-k.
+                                wave_report.skipped.append(pid)
+                            else:
+                                groups.setdefault(pid, []).append(qi)
                 # Heaviest group first: a group's weight is the sum of
                 # its members' probe-estimated work on this partition.
                 pids = sorted(groups)
@@ -637,12 +698,30 @@ class BatchQueryPlanner(QueryPlanner):
                         hints, queries_per_task=grouped / len(tasks))
                 else:
                     yield tasks
+                index += 1
 
-        def fold_wave(index: int, results: list,
+        def fold_wave(index: int, outcomes: list,
                       timings: list[TaskTiming]) -> None:
-            for (pid, group), task_result in zip(wave_groups[index],
-                                                 results):
-                for qi, partial in zip(group, task_result):
+            for (pid, group), outcome in zip(wave_groups[index],
+                                             outcomes):
+                report.retries += outcome.retries
+                report.timeouts += outcome.timeouts
+                report.speculative_wins += int(outcome.speculative_win)
+                if not outcome.ok:
+                    # The whole group lost this partition; re-enqueue
+                    # each (partition, query) pair or record it
+                    # terminally once the planner budget is spent too.
+                    for qi in group:
+                        report.per_query[qi].waves[-1].failed.append(pid)
+                        count = redispatches.get((pid, qi), 0) + 1
+                        redispatches[(pid, qi)] = count
+                        if count <= PLANNER_REDISPATCHES:
+                            retry_map.setdefault(pid, []).append(qi)
+                        else:
+                            report.per_query[qi].failed_partitions.append(
+                                pid)
+                    continue
+                for qi, partial in zip(group, outcome.result):
                     merges.fold(qi, [partial])
                     wave_report = report.per_query[qi].waves[-1]
                     wave_report.nodes_pruned += partial.stats.nodes_pruned
@@ -657,14 +736,24 @@ class BatchQueryPlanner(QueryPlanner):
             wave_tasks(), hints=hints, on_wave=fold_wave)
 
         results = merges.results()
+        for qi in active:
+            plan = report.per_query[qi]
+            plan.exact = self._exactness(plan.failed_partitions,
+                                         plans[qi][0], merges.dk(qi))
         for qi, rep in enumerate(alias):
             if rep != qi:
                 # Same points, same shared kwargs: the search's answer
                 # is a pure function of both, so the twin's result is
                 # the representative's.  Fresh zero stats keep the
                 # batch's work accounting truthful (nothing ran).
+                # Degradation state is inherited the same way: losing
+                # the representative's partitions lost the twin's too.
                 results[qi] = TopKResult(items=list(results[rep].items),
                                          stats=SearchStats())
+                plan = report.per_query[qi]
+                plan.failed_partitions = list(
+                    report.per_query[rep].failed_partitions)
+                plan.exact = report.per_query[rep].exact
         for result, plan in zip(results, report.per_query):
             self._finalize_stats(result.stats, plan)
         return results, wave_timings, report

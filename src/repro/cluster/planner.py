@@ -69,6 +69,13 @@ DEFAULT_WAVES = 4
 #: probe-ordered wave (explicit ``wave_size`` overrides the floor).
 MIN_WAVE_SIZE = 8
 
+#: Planner-level re-dispatches per failed partition.  The engine's
+#: :class:`~repro.cluster.engine.FaultPolicy` already retried each
+#: dispatch; the planner re-enqueues a failed partition into a later
+#: wave this many times (where a tightened ``dk`` may even skip it
+#: outright) before reporting it in ``failed_partitions``.
+PLANNER_REDISPATCHES = 1
+
 
 @dataclass
 class WaveReport:
@@ -92,6 +99,10 @@ class WaveReport:
     nodes_pruned: int = 0
     #: Exact evaluations paid inside this wave's local searches.
     exact_refinements: int = 0
+    #: Partition ids whose task failed terminally in this wave (they
+    #: are re-enqueued into a later wave, or reported on the plan's
+    #: ``failed_partitions`` once the planner budget runs out too).
+    failed: list[int] = field(default_factory=list)
 
 
 @dataclass
@@ -122,12 +133,32 @@ class PlanReport:
     #: phase (both zero when no cache is configured).
     probe_cache_hits: int = 0
     probe_cache_misses: int = 0
+    #: Engine-level task re-dispatches consumed across the plan.
+    retries: int = 0
+    #: Task attempts abandoned at the per-task deadline.
+    timeouts: int = 0
+    #: Tasks whose speculative duplicate beat the original straggler.
+    speculative_wins: int = 0
+    #: Partitions that exhausted every retry (engine and planner level)
+    #: and contributed nothing to the result.
+    failed_partitions: list[int] = field(default_factory=list)
+    #: Exactness verdict: True when the result provably equals the
+    #: fault-free answer — vacuously so with no failed partitions, and
+    #: otherwise because every failed partition's probe lower bound
+    #: strictly exceeds the final threshold (``dk`` for top-k, the
+    #: radius for range), so nothing it holds could have placed.
+    exact: bool = True
 
     @property
     def partitions_skipped(self) -> int:
         """Partitions never searched because their probe bound proved
         every trajectory they hold is outside the global top-k."""
         return sum(len(w.skipped) for w in self.waves)
+
+    @property
+    def complete(self) -> bool:
+        """True when every dispatched partition produced a result."""
+        return not self.failed_partitions
 
 
 class QueryPlanner:
@@ -292,16 +323,35 @@ class QueryPlanner:
         ``make_task(rp, task_kwargs)`` builds the engine task for one
         partition record; the planner owns which partitions run, in
         which wave, and with which extra ``dk`` kwarg.  Returns the
-        merged global result (bit-identical to single-shot execution),
-        the per-wave task timings for barrier-aware makespan
-        simulation, and the :class:`PlanReport`.
+        merged global result (bit-identical to single-shot execution
+        whenever ``report.complete``), the per-wave task timings for
+        barrier-aware makespan simulation, and the :class:`PlanReport`.
+
+        Failed tasks never raise here: a partition whose dispatch
+        failed terminally (its engine-level retries exhausted) is
+        re-enqueued into a later wave up to
+        :data:`PLANNER_REDISPATCHES` times — where the by-then tighter
+        ``dk`` may even skip it soundly — and only then lands on
+        ``report.failed_partitions``, flagging the result best-effort
+        unless the exactness verdict proves otherwise.
         """
         probes, waves, report = self._prepare_plan(parts, query, kwargs)
         merge = RunningTopK(k)
+        retry_queue: list[int] = []
+        redispatches: dict[int, int] = {}
 
         def wave_tasks():
-            """Lazily build each wave against the freshest global dk."""
-            for index, wave in enumerate(waves):
+            """Lazily build each wave against the freshest global dk,
+            appending re-dispatch waves for failed partitions."""
+            planned = iter(waves)
+            index = 0
+            while True:
+                wave = next(planned, None)
+                if wave is None:
+                    if not retry_queue:
+                        return
+                    wave = list(retry_queue)
+                    retry_queue.clear()
                 dk = merge.dk
                 wave_report = WaveReport(index=index, dk_before=dk)
                 report.waves.append(wave_report)
@@ -343,11 +393,14 @@ class QueryPlanner:
                 if broadcast:
                     report.threshold_broadcasts += 1
                 yield tasks
+                index += 1
 
-        def fold_wave(index: int, results: list,
+        def fold_wave(index: int, outcomes: list,
                       timings: list[TaskTiming]) -> None:
-            merge.fold(results)
             wave_report = report.waves[index]
+            results = self._fold_outcomes(
+                wave_report, outcomes, report, retry_queue, redispatches)
+            merge.fold(results)
             wave_report.dk_after = merge.dk
             wave_stats = merge_stats(r.stats for r in results)
             wave_report.nodes_pruned = wave_stats.nodes_pruned
@@ -357,6 +410,8 @@ class QueryPlanner:
             wave_tasks(), hints=hints, on_wave=fold_wave)
 
         result = merge.result()
+        report.exact = self._exactness(report.failed_partitions, probes,
+                                       merge.dk)
         self._finalize_stats(result.stats, report)
         return result, wave_timings, report
 
@@ -379,9 +434,19 @@ class QueryPlanner:
         """
         probes, waves, report = self._prepare_plan(parts, query, kwargs)
         partials: list[TopKResult] = []
+        retry_queue: list[int] = []
+        redispatches: dict[int, int] = {}
 
         def wave_tasks():
-            for index, wave in enumerate(waves):
+            planned = iter(waves)
+            index = 0
+            while True:
+                wave = next(planned, None)
+                if wave is None:
+                    if not retry_queue:
+                        return
+                    wave = list(retry_queue)
+                    retry_queue.clear()
                 wave_report = WaveReport(index=index, dk_before=radius,
                                          dk_after=radius)
                 report.waves.append(wave_report)
@@ -400,18 +465,72 @@ class QueryPlanner:
                     wave_report.partitions.append(pid)
                     tasks.append(make_task(parts[pid], kwargs))
                 yield tasks
+                index += 1
 
-        def fold_wave(index: int, results: list,
+        def fold_wave(index: int, outcomes: list,
                       timings: list[TaskTiming]) -> None:
+            wave_report = report.waves[index]
+            results = self._fold_outcomes(
+                wave_report, outcomes, report, retry_queue, redispatches)
             partials.extend(results)
             wave_stats = merge_stats(r.stats for r in results)
-            report.waves[index].nodes_pruned = wave_stats.nodes_pruned
-            report.waves[index].exact_refinements = (
-                wave_stats.exact_refinements)
+            wave_report.nodes_pruned = wave_stats.nodes_pruned
+            wave_report.exact_refinements = wave_stats.exact_refinements
 
         _, wave_timings = self.engine.run_waves(
             wave_tasks(), hints=hints, on_wave=fold_wave)
+        report.exact = self._exactness(report.failed_partitions, probes,
+                                       radius)
         return partials, wave_timings, report
+
+    @staticmethod
+    def _fold_outcomes(wave_report: WaveReport, outcomes: list,
+                       report: PlanReport, retry_queue: list[int],
+                       redispatches: dict[int, int]) -> list:
+        """Split one wave's outcomes into results and failures.
+
+        Successful results are returned for folding; each failed
+        partition either re-enters ``retry_queue`` (within the
+        :data:`PLANNER_REDISPATCHES` budget) or is recorded terminally
+        on ``report.failed_partitions``.  Engine-level fault counters
+        are aggregated onto the report either way.
+        """
+        results = []
+        for pid, outcome in zip(wave_report.partitions, outcomes):
+            report.retries += outcome.retries
+            report.timeouts += outcome.timeouts
+            report.speculative_wins += int(outcome.speculative_win)
+            if outcome.ok:
+                results.append(outcome.result)
+                continue
+            wave_report.failed.append(pid)
+            attempts = redispatches.get(pid, 0) + 1
+            redispatches[pid] = attempts
+            if attempts <= PLANNER_REDISPATCHES:
+                retry_queue.append(pid)
+            else:
+                report.failed_partitions.append(pid)
+        return results
+
+    @staticmethod
+    def _exactness(failed: list[int],
+                   probes: Sequence[PartitionProbe | None],
+                   threshold: float) -> bool:
+        """Whether a degraded result is still provably exact.
+
+        True iff every failed partition's probe lower bound *strictly*
+        exceeds ``threshold`` (the final ``dk`` for top-k, the radius
+        for range): nothing the partition holds could have entered the
+        answer, so losing it lost nothing.  Strict comparison because a
+        tie at ``dk`` could still displace a kept item via the
+        (distance, tid) tie-break; probe-less partitions are never
+        provable.  Vacuously True with no failures.
+        """
+        for pid in failed:
+            probe = probes[pid]
+            if probe is None or not probe.bound > threshold:
+                return False
+        return True
 
     @staticmethod
     def _finalize_stats(stats: SearchStats, report: PlanReport) -> None:
@@ -419,3 +538,6 @@ class QueryPlanner:
         stats.waves = len(report.waves)
         stats.threshold_broadcasts = report.threshold_broadcasts
         stats.partitions_skipped = report.partitions_skipped
+        stats.retries = report.retries
+        stats.timeouts = report.timeouts
+        stats.speculative_wins = report.speculative_wins

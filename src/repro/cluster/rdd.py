@@ -17,7 +17,8 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-from .engine import ExecutionEngine, TaskTiming, WorkloadHints
+from .engine import (ExecutionEngine, TaskTiming, WorkloadHints,
+                     require_results)
 from .partitioner import Partitioner
 
 __all__ = ["ProbeCache", "ClusterContext", "RDD"]
@@ -278,7 +279,11 @@ class RDD:
         """Materialize and return per-partition lists.
 
         Also records per-partition task timings on the context
-        (``context.last_timings``).
+        (``context.last_timings``).  Collect is an all-or-nothing
+        action: if any partition task failed terminally (possible only
+        under a :class:`~repro.cluster.engine.FaultPolicy`), raises
+        :class:`~repro.exceptions.TaskFailedError` — partial
+        collections would silently drop data.
         """
         chain: list[Callable[[list], list]] = []
         rdd: RDD = self
@@ -289,10 +294,10 @@ class RDD:
         source = rdd._source
 
         tasks = [_PartitionTask(part, chain) for part in source]
-        results, timings = self.context.engine.run(
+        outcomes, timings = self.context.engine.run(
             tasks, hints=self.context.hints)
         self.context.record_timings([timings])
-        return results
+        return require_results(outcomes)
 
     def count(self) -> int:
         """Number of elements across every materialized partition."""

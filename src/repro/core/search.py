@@ -76,6 +76,10 @@ class SearchStats:
     waves: int = 0
     threshold_broadcasts: int = 0
     partitions_skipped: int = 0
+    # -- fault-tolerance counters (see repro.cluster.engine) ---------------
+    retries: int = 0
+    timeouts: int = 0
+    speculative_wins: int = 0
 
 
 @dataclass

@@ -34,3 +34,25 @@ class IndexNotBuiltError(ReproError):
 
 class PartitioningError(ReproError):
     """A partitioning strategy produced an invalid partition assignment."""
+
+
+class TaskFailedError(ReproError):
+    """A dispatched partition task failed terminally.
+
+    Raised by fail-fast call sites (``RDD.collect_partitions``, the
+    FIFO scheduled batch path) when a task exhausted its retry budget
+    — or, with no :class:`~repro.cluster.engine.FaultPolicy`, when a
+    process worker death broke the persistent pool.  The planner paths
+    degrade gracefully instead: see
+    :class:`PartialResultError` and ``QueryOutcome.complete``.
+    """
+
+
+class PartialResultError(ReproError):
+    """A query outcome is incomplete and the caller demanded certainty.
+
+    Raised by ``QueryOutcome.require_complete()`` /
+    ``BatchOutcome.require_complete()`` when some partitions exhausted
+    their retries; the outcome object still carries the best-effort
+    result, the failed partition ids, and the exactness verdict.
+    """

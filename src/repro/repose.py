@@ -30,7 +30,8 @@ import numpy as np
 
 from .cluster.batch import BatchPlanReport, BatchQueryPlanner
 from .cluster.driver import merge_range, merge_top_k
-from .cluster.engine import ExecutionEngine, WorkloadHints
+from .cluster.engine import (ExecutionEngine, FaultPolicy, WorkloadHints,
+                             require_results)
 from .cluster.planner import PlanReport, QueryPlanner, WaveReport
 from .cluster.rdd import ClusterContext
 from .cluster.scheduler import (
@@ -53,7 +54,7 @@ from .core.search import (
 from .core.succinct import SuccinctRPTrie
 from .distances.base import Measure, get_measure
 from .distances.batch import banded_upper_bound
-from .exceptions import IndexNotBuiltError
+from .exceptions import IndexNotBuiltError, PartialResultError
 from .partitioning.strategies import make_strategy
 from .types import Trajectory, TrajectoryDataset
 
@@ -235,6 +236,15 @@ class QueryOutcome:
     exact-refinement counts) for waved executions; it is ``None`` for
     single-shot plans.  The same counters are also summed onto
     ``result.stats`` so existing stats plumbing reports them.
+
+    Degradation state (meaningful under an engine
+    :class:`~repro.cluster.engine.FaultPolicy`): ``complete`` is False
+    when some partitions exhausted every retry, ``failed_partitions``
+    names them, and ``exact`` tells whether the result is nevertheless
+    provably identical to the fault-free answer (every failed
+    partition's probe lower bound strictly exceeded the final
+    threshold).  ``complete`` implies ``exact``; an incomplete,
+    non-exact outcome is best-effort.
     """
 
     result: TopKResult
@@ -243,6 +253,22 @@ class QueryOutcome:
     per_partition_seconds: list[float] = field(default_factory=list)
     schedule: ScheduleReport | None = None
     plan: PlanReport | None = None
+    complete: bool = True
+    exact: bool = True
+    failed_partitions: list[int] = field(default_factory=list)
+
+    def require_complete(self) -> "QueryOutcome":
+        """Fail-fast guard: raise unless every partition contributed.
+
+        Returns ``self`` when complete, so calls chain; otherwise
+        raises :class:`~repro.exceptions.PartialResultError` naming the
+        failed partitions and the exactness verdict.
+        """
+        if self.complete:
+            return self
+        raise PartialResultError(
+            f"query lost partitions {self.failed_partitions} "
+            f"(result {'still provably exact' if self.exact else 'best-effort'})")
 
 
 @dataclass
@@ -263,6 +289,12 @@ class BatchOutcome:
     utilization expose the resource waste
     that homogeneous partitioning causes when query load concentrates
     on a few partitions.
+
+    Degradation state mirrors :class:`QueryOutcome`, per query:
+    ``complete`` is the whole batch's verdict, while ``exact[qi]`` and
+    ``failed_partitions[qi]`` report each query individually (both
+    empty for plans without per-query degradation accounting, e.g.
+    ``plan="single"``).
     """
 
     results: list[TopKResult]
@@ -270,10 +302,24 @@ class BatchOutcome:
     simulated_seconds: float
     schedule: ScheduleReport | None = None
     plan: BatchPlanReport | None = None
+    complete: bool = True
+    exact: list[bool] = field(default_factory=list)
+    failed_partitions: list[list[int]] = field(default_factory=list)
 
     @property
     def utilization(self) -> float:
         return self.schedule.utilization if self.schedule else 1.0
+
+    def require_complete(self) -> "BatchOutcome":
+        """Fail-fast guard: raise unless every query saw every
+        partition; returns ``self`` when complete, so calls chain."""
+        if self.complete:
+            return self
+        bad = [qi for qi, failed in enumerate(self.failed_partitions)
+               if failed]
+        raise PartialResultError(
+            f"batch queries {bad} lost partitions "
+            f"{[self.failed_partitions[qi] for qi in bad]}")
 
 
 class RPTrieLocalIndex:
@@ -443,9 +489,20 @@ class DistributedTopK:
         (shared-sample candidates behind the batch planner's sampled
         non-metric cross-query bounds; default auto-sizes to
         ``max(2k, 8)``, 0 disables).
+    fault_policy:
+        Optional :class:`~repro.cluster.engine.FaultPolicy` installed
+        on the engine: partition tasks are retried with backoff, timed
+        out against the calibrated cost model, optionally speculated,
+        and queries degrade to flagged partial results (see
+        :attr:`QueryOutcome.complete`) instead of raising when a
+        partition exhausts every retry.
     """
 
     _PLANS = ("waves", "single")
+
+    #: Every knob :attr:`plan_options` accepts; anything else raises
+    #: ``ValueError`` up front instead of being silently ignored.
+    _PLAN_OPTION_KEYS = frozenset({"wave_size", "share_eps", "sample_size"})
 
     def __init__(self, dataset: TrajectoryDataset,
                  index_factory: Callable[[], object],
@@ -455,7 +512,8 @@ class DistributedTopK:
                  engine: ExecutionEngine | str | None = None,
                  measure_hint: str | None = None,
                  plan: str = "waves",
-                 plan_options: dict | None = None):
+                 plan_options: dict | None = None,
+                 fault_policy: FaultPolicy | None = None):
         self.dataset = dataset
         self.index_factory = index_factory
         self.strategy = (make_strategy(strategy)
@@ -465,9 +523,11 @@ class DistributedTopK:
         if isinstance(engine, str):
             engine = ExecutionEngine(engine)
         self.context = ClusterContext(engine or ExecutionEngine())
+        if fault_policy is not None:
+            self.context.engine.fault_policy = fault_policy
         self.measure_hint = measure_hint
         self.plan = self._resolve_plan(plan)
-        self.plan_options = dict(plan_options or {})
+        self.plan_options = self._validate_plan_options(plan_options)
         self._partition_points: int | None = None
         self._rdd = None
         self._parts: list[RpTraj] | None = None
@@ -480,6 +540,24 @@ class DistributedTopK:
             raise ValueError(
                 f"unknown plan {mode!r} (use one of {self._PLANS})")
         return mode
+
+    @classmethod
+    def _validate_plan_options(cls, plan_options: dict | None) -> dict:
+        """Reject unknown planner knobs up front.
+
+        A typo'd option (``wave_sizes``) would otherwise be silently
+        ignored and the query would run with defaults — the worst kind
+        of mis-configuration.  Returns a fresh dict copy of the valid
+        options.
+        """
+        options = dict(plan_options or {})
+        unknown = sorted(set(options) - cls._PLAN_OPTION_KEYS)
+        if unknown:
+            supported = ", ".join(sorted(cls._PLAN_OPTION_KEYS))
+            raise ValueError(
+                f"unknown plan option(s) {unknown}; "
+                f"supported knobs: {supported}")
+        return options
 
     def _workload_hints(self, num_tasks: int, batch_width: int = 1,
                         queries_per_task: float = 1.0) -> WorkloadHints:
@@ -640,6 +718,9 @@ class DistributedTopK:
             per_partition_seconds=[t.seconds for t in timings],
             schedule=schedule,
             plan=report,
+            complete=report.complete,
+            exact=report.exact,
+            failed_partitions=list(report.failed_partitions),
         )
 
     def calibrate(self, query: Trajectory | None = None,
@@ -712,6 +793,7 @@ class DistributedTopK:
                     "plan='fifo' does not accept plan_options; the "
                     "FIFO one-shot path shares no work between queries")
             return self.top_k_batch_scheduled(queries, k)
+        plan_options = self._validate_plan_options(plan_options)
         if self._resolve_plan(plan) == "waves":
             return self._top_k_batch_waves(queries, k, plan_options)
         start = time.perf_counter()
@@ -755,7 +837,11 @@ class DistributedTopK:
         schedule = simulate_schedule_waves(wave_timings, self.cluster_spec)
         return BatchOutcome(results=results, wall_seconds=wall,
                             simulated_seconds=schedule.makespan,
-                            schedule=schedule, plan=report)
+                            schedule=schedule, plan=report,
+                            complete=report.complete,
+                            exact=[plan.exact for plan in report.per_query],
+                            failed_partitions=[list(plan.failed_partitions)
+                                               for plan in report.per_query])
 
     def top_k_batch_scheduled(self, queries: list[Trajectory],
                               k: int) -> BatchOutcome:
@@ -788,9 +874,13 @@ class DistributedTopK:
         # A whole batch amortizes one backend dispatch: the hints say
         # so (batch_width), which is what lets an "auto" engine justify
         # spinning up its process pool for DP-heavy measures.
-        outputs, timings = self.context.engine.run(
+        task_outcomes, timings = self.context.engine.run(
             tasks, hints=self._workload_hints(len(tasks),
                                               batch_width=len(queries)))
+        # FIFO is the fail-fast comparison path: no planner sits above
+        # it to re-enqueue failed partitions, so a terminal task
+        # failure raises instead of degrading.
+        outputs = require_results(task_outcomes)
         wall = time.perf_counter() - start
 
         report = BatchPlanReport(mode="batch-fifo",
@@ -876,7 +966,10 @@ class DistributedTopK:
                             simulated_seconds=schedule.makespan,
                             per_partition_seconds=[t.seconds for t in timings],
                             schedule=schedule,
-                            plan=report)
+                            plan=report,
+                            complete=report.complete,
+                            exact=report.exact,
+                            failed_partitions=list(report.failed_partitions))
 
     def index_bytes(self) -> int:
         if self.build_report is None:
@@ -1000,6 +1093,7 @@ class Repose(DistributedTopK):
               engine: ExecutionEngine | str | None = None,
               search_options: dict | None = None,
               plan: str = "waves", plan_options: dict | None = None,
+              fault_policy: FaultPolicy | None = None,
               pivot_sample: int = 500, seed: int = 7) -> "Repose":
         """Construct and build a REPOSE engine in one call.
 
@@ -1030,6 +1124,12 @@ class Repose(DistributedTopK):
             partition size and batch width (results are identical
             under every backend — only placement changes).  Default:
             serial, the deterministic choice.
+        fault_policy:
+            Optional :class:`~repro.cluster.engine.FaultPolicy`
+            making partition tasks retry with backoff, time out
+            against the calibrated cost model and optionally
+            speculate; queries then degrade to flagged partial results
+            instead of raising when a partition exhausts every retry.
         search_options:
             Per-partition search keyword arguments, forwarded to
             :func:`~repro.core.search.local_search`.  The most useful
@@ -1065,7 +1165,8 @@ class Repose(DistributedTopK):
                          strategy=strategy, num_partitions=num_partitions,
                          cluster_spec=cluster_spec, engine=engine,
                          search_options=search_options,
-                         plan=plan, plan_options=plan_options)
+                         plan=plan, plan_options=plan_options,
+                         fault_policy=fault_policy)
         DistributedTopK.build(engine_obj)
         return engine_obj
 

@@ -1,0 +1,11 @@
+"""Deterministic testing utilities (fault injection, chaos harnesses).
+
+Everything here is test infrastructure shipped with the library so the
+chaos suite, the fault benchmarks and downstream users exercise the
+fault-tolerant execution paths with the *same* deterministic injector
+(:class:`~repro.testing.faults.FaultInjector`).
+"""
+
+from .faults import FaultInjector, InjectedFault
+
+__all__ = ["FaultInjector", "InjectedFault"]

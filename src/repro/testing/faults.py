@@ -1,0 +1,179 @@
+"""Deterministic fault injection for the execution engine.
+
+The chaos suite needs to drive the fault-tolerant paths of
+:class:`~repro.cluster.engine.ExecutionEngine` — retries, timeouts,
+thread-fallback redispatch — without flaky randomness.
+:class:`FaultInjector` is a deterministic task wrapper: installed as the
+engine's ``task_wrapper``, it decides *at wrap time*, from a seed and a
+monotonically increasing wrap counter, whether each dispatched task
+faults and how.  The same seed therefore injects the same fault
+schedule on every run, independent of thread interleaving.
+
+Faults fire once per wrapped task: the first invocation raises (or
+delays), every later invocation — i.e. the engine's retry — runs the
+real task.  That makes the injector the ideal partner for the chaos
+suite's core assertion: under any injected fault schedule, a query
+that reports ``complete=True`` must be bit-identical to the fault-free
+run, because retries recompute exactly the original pure task.
+
+The fire-once latch is an in-memory flag, so the injector is meant for
+the serial and thread backends (process workers would see a pickled
+copy of the latch).  The ``"unpicklable"`` kind exists precisely to
+test the process path: it makes the wrapped task fail pickling, which
+the engine must transparently redispatch onto threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["InjectedFault", "FaultInjector", "FAULT_KINDS"]
+
+#: Every fault kind :class:`FaultInjector` can inject.
+FAULT_KINDS = ("raise", "delay", "hang", "unpicklable")
+
+
+class InjectedFault(RuntimeError):
+    """The error a ``"raise"``-kind injected fault throws.
+
+    A distinct type so chaos tests (and the engine's failure reports)
+    can tell injected faults from genuine bugs: any terminal
+    :class:`~repro.cluster.engine.TaskFailure` whose message does not
+    mention an injected fault is a real defect in the code under test.
+    """
+
+
+def _mix(seed: int, counter: int) -> float:
+    """Deterministic draw in [0, 1) from (seed, counter).
+
+    A splitmix64-style integer hash — no ``random.Random`` allocation
+    per task, no shared-state ordering hazards between threads.
+    """
+    x = (seed * 0x9E3779B97F4A7C15 + counter * 0xBF58476D1CE4E5B9) & ((1 << 64) - 1)
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & ((1 << 64) - 1)
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & ((1 << 64) - 1)
+    x ^= x >> 31
+    return x / float(1 << 64)
+
+
+class _FaultyTask:
+    """One wrapped task carrying its pre-drawn fault decision.
+
+    The latch (``fired``) flips on the first call, so retries run the
+    real task.  ``"unpicklable"`` tasks hold a lambda in an instance
+    attribute, which defeats pickling by construction — the process
+    pool rejects the submission and the engine must fall back to the
+    thread pool.
+    """
+
+    def __init__(self, task: Callable[[], object], kind: str | None,
+                 injector: "FaultInjector"):
+        self.task = task
+        self.kind = kind
+        self.injector = injector
+        self.fired = kind is None
+        self._lock = threading.Lock()
+        if kind == "unpicklable":
+            self._poison = lambda: None  # lambdas cannot pickle
+
+    def __call__(self) -> object:
+        kind = None
+        with self._lock:
+            if not self.fired:
+                self.fired = True
+                kind = self.kind
+        if kind is not None:
+            self.injector._record(kind)
+            if kind == "raise":
+                raise InjectedFault(
+                    f"injected fault (seed={self.injector.seed})")
+            if kind == "delay":
+                time.sleep(self.injector.delay_seconds)
+            elif kind == "hang":
+                # Bounded, never an actual hang: long enough to trip a
+                # small task_timeout, short enough that a suite without
+                # timeouts still terminates.
+                time.sleep(self.injector.hang_seconds)
+        return self.task()
+
+
+class FaultInjector:
+    """Deterministic fault-injecting ``task_wrapper`` for the engine.
+
+    Parameters
+    ----------
+    seed:
+        Fault-schedule seed; equal seeds inject identical schedules.
+    rate:
+        Probability in [0, 1] that one wrapped task faults.
+    kinds:
+        Fault kinds to draw from, a subset of :data:`FAULT_KINDS`:
+        ``"raise"`` throws :class:`InjectedFault`, ``"delay"`` sleeps
+        ``delay_seconds`` before running (a mild straggler),
+        ``"hang"`` sleeps ``hang_seconds`` (a straggler meant to trip
+        the policy's timeout), ``"unpicklable"`` defeats pickling so
+        process submission must fall back to threads.
+    delay_seconds / hang_seconds:
+        Durations for the two straggler kinds (both bounded — the
+        injector never hangs forever).
+
+    Use :meth:`install` to attach to an engine, or pass the injector
+    itself as ``ExecutionEngine(task_wrapper=...)``; the injector is
+    callable with a single task and returns the wrapped task.
+    """
+
+    def __init__(self, seed: int = 0, rate: float = 0.1,
+                 kinds: Iterable[str] = ("raise", "delay"),
+                 delay_seconds: float = 0.02,
+                 hang_seconds: float = 2.0):
+        kinds = tuple(kinds)
+        unknown = sorted(set(kinds) - set(FAULT_KINDS))
+        if unknown:
+            raise ValueError(f"unknown fault kind(s) {unknown}; "
+                             f"choose from {FAULT_KINDS}")
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be within [0, 1]")
+        self.seed = seed
+        self.rate = rate
+        self.kinds = kinds
+        self.delay_seconds = delay_seconds
+        self.hang_seconds = hang_seconds
+        self._counter = 0
+        self._lock = threading.Lock()
+        #: Count of fired faults by kind (observability for tests).
+        self.injected: dict[str, int] = {kind: 0 for kind in kinds}
+
+    def __call__(self, task: Callable[[], object]) -> Callable[[], object]:
+        """Wrap one task, drawing its fault fate deterministically."""
+        with self._lock:
+            counter = self._counter
+            self._counter += 1
+        kind = None
+        if self.kinds and _mix(self.seed, 2 * counter) < self.rate:
+            pick = _mix(self.seed, 2 * counter + 1)
+            kind = self.kinds[int(pick * len(self.kinds)) % len(self.kinds)]
+        return _FaultyTask(task, kind, self)
+
+    def _record(self, kind: str) -> None:
+        with self._lock:
+            self.injected[kind] = self.injected.get(kind, 0) + 1
+
+    @property
+    def total_injected(self) -> int:
+        """How many faults actually fired so far."""
+        with self._lock:
+            return sum(self.injected.values())
+
+    def install(self, engine) -> "FaultInjector":
+        """Set this injector as ``engine.task_wrapper``; returns self."""
+        engine.task_wrapper = self
+        return self
+
+    def uninstall(self, engine) -> None:
+        """Remove this injector from ``engine`` if it is installed."""
+        if getattr(engine, "task_wrapper", None) is self:
+            engine.task_wrapper = None

@@ -1,12 +1,55 @@
-"""Shared fixtures: the paper's running example and small random data."""
+"""Shared fixtures: the paper's running example and small random data.
+
+Also enforces a per-test wall-clock cap so a hung wave (the failure
+mode the fault-tolerance layer exists to prevent) fails fast instead
+of stalling the whole suite.  When the ``pytest-timeout`` plugin is
+installed (CI installs it) that plugin owns the cap; otherwise a
+SIGALRM fallback covers main-thread tests on POSIX.  Override with
+``REPRO_TEST_TIMEOUT`` (seconds; 0 disables the fallback).
+"""
 
 from __future__ import annotations
+
+import os
+import signal
+import threading
 
 import numpy as np
 import pytest
 
 from repro.core.grid import Grid
 from repro.types import BoundingBox, Trajectory, TrajectoryDataset
+
+#: Per-test wall-clock cap, seconds.  Generous: the slowest legitimate
+#: tests (full fuzz harness cases) run well under this; only a genuine
+#: hang crosses it.
+TEST_TIMEOUT_SECONDS = int(os.environ.get("REPRO_TEST_TIMEOUT", "600"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """SIGALRM fallback for the per-test cap (see module docstring)."""
+    use_fallback = (
+        TEST_TIMEOUT_SECONDS > 0
+        and not item.config.pluginmanager.hasplugin("timeout")
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread())
+    if not use_fallback:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {TEST_TIMEOUT_SECONDS}s wall-clock cap "
+            f"(likely a hung wave; see tests/conftest.py)")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.alarm(TEST_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 # Table II of the paper (coordinates of the running example).
 PAPER_TRAJECTORIES = {

@@ -7,6 +7,7 @@ from repro.cluster.engine import (
     TaskTiming,
     WorkloadHints,
     choose_backend,
+    require_results,
 )
 from repro.cluster.driver import merge_top_k
 from repro.cluster.partitioner import (
@@ -229,8 +230,8 @@ class TestProcessBackend:
     def test_results_in_partition_order(self):
         engine = ExecutionEngine("process", max_workers=2)
         tasks = [_SquareTask(v) for v in range(6)]
-        results, timings = engine.run(tasks)
-        assert results == [0, 1, 4, 9, 16, 25]
+        outcomes, timings = engine.run(tasks)
+        assert require_results(outcomes) == [0, 1, 4, 9, 16, 25]
         assert [t.partition_id for t in timings] == list(range(6))
         assert all(t.seconds >= 0 for t in timings)
 
@@ -238,11 +239,11 @@ class TestProcessBackend:
         tasks = [_SquareTask(v) for v in range(5)]
         serial, _ = ExecutionEngine("serial").run(tasks)
         procs, _ = ExecutionEngine("process", max_workers=2).run(tasks)
-        assert procs == serial
+        assert require_results(procs) == require_results(serial)
 
     def test_empty_task_list(self):
-        results, timings = ExecutionEngine("process").run([])
-        assert results == [] and timings == []
+        outcomes, timings = ExecutionEngine("process").run([])
+        assert outcomes == [] and timings == []
 
 class TestAutoBackend:
     def test_no_hints_stays_serial(self):
@@ -274,9 +275,9 @@ class TestAutoBackend:
         engine = ExecutionEngine("auto", max_workers=2)
         hints = WorkloadHints(measure="hausdorff", partition_points=10**6,
                               num_tasks=3)
-        results, timings = engine.run(
+        outcomes, timings = engine.run(
             [lambda: 1, lambda: 2, lambda: 3], hints=hints)
-        assert results == [1, 2, 3]
+        assert require_results(outcomes) == [1, 2, 3]
         assert engine.last_backend == "thread"
         engine.close()
 
@@ -285,8 +286,8 @@ class TestAutoBackend:
         hints = WorkloadHints(measure="lcss", partition_points=10**6,
                               num_tasks=2, batch_width=8)
         assert choose_backend(hints) == "process"
-        results, _ = engine.run([lambda: 1, lambda: 2], hints=hints)
-        assert results == [1, 2]
+        outcomes, _ = engine.run([lambda: 1, lambda: 2], hints=hints)
+        assert require_results(outcomes) == [1, 2]
         assert engine.last_backend == "thread"
         engine.close()
 
@@ -297,8 +298,8 @@ class TestAutoBackend:
         hints = WorkloadHints(measure="lcss", partition_points=10**6,
                               num_tasks=3, batch_width=8)
         tasks = [_SquareTask(3), lambda: 99, _SquareTask(5)]
-        results, timings = engine.run(tasks, hints=hints)
-        assert results == [9, 99, 25]
+        outcomes, timings = engine.run(tasks, hints=hints)
+        assert require_results(outcomes) == [9, 99, 25]
         assert [t.partition_id for t in timings] == [0, 1, 2]
         assert engine.last_backend == "mixed"
         engine.close()
@@ -356,9 +357,9 @@ class TestPersistentPools:
         tasks = [_SquareTask(v) for v in range(3)]
         engine.run(tasks)
         pool = engine._process_pool
-        results, _ = engine.run(tasks)
+        outcomes, _ = engine.run(tasks)
         assert engine._process_pool is pool
-        assert results == [0, 1, 4]
+        assert require_results(outcomes) == [0, 1, 4]
         engine.close()
 
     def test_context_manager_closes(self):

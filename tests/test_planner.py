@@ -353,11 +353,12 @@ class TestEngineWaves:
             assert seen == [0]
             yield [lambda: "b0"]
 
-        def on_wave(index, results, timings):
+        def on_wave(index, outcomes, timings):
             seen.append(index)
 
-        results, wave_timings = engine.run_waves(waves(), on_wave=on_wave)
-        assert results == ["a0", "a1", "b0"]
+        outcomes, wave_timings = engine.run_waves(waves(), on_wave=on_wave)
+        assert [o.result for o in outcomes] == ["a0", "a1", "b0"]
+        assert all(o.ok for o in outcomes)
         assert [len(w) for w in wave_timings] == [2, 1]
         assert seen == [0, 1]
 

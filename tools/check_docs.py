@@ -36,6 +36,7 @@ DOC_MODULES = [
     "src/repro/cluster/driver.py",
     "src/repro/cluster/batch.py",
     "src/repro/cluster/rdd.py",
+    "src/repro/testing/faults.py",
 ]
 
 #: Minimum fraction of public objects (module included) with docstrings.
