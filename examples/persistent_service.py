@@ -1,72 +1,114 @@
 #!/usr/bin/env python3
-"""An index service lifecycle: build, persist, restart, append, verify.
+"""An always-on serving lifecycle: build, serve, recur, insert, verify.
 
-Simulates how a deployment would actually run REPOSE's local index:
+Simulates how a deployment would actually run REPOSE as a service:
 
-1. build an RP-Trie over yesterday's trajectories;
-2. save it to disk (`repro.persistence`) and "restart" by loading it —
-   no pivot-distance recomputation;
-3. stream today's new trajectories into the live index with
-   incremental inserts;
-4. answer queries and verify them against a brute-force scan
-   (`repro.validation`-style check).
+1. build a distributed engine over yesterday's trajectories;
+2. start a :class:`~repro.cluster.service.ReposeService` — an asyncio
+   admission queue that micro-batches single top-k requests into
+   coordinated ``top_k_batch`` waves on the persistent engine pools;
+3. stream a bursty request mix of hot (recurring) and cold queries —
+   recurring queries hit the cross-batch hot-query registry and start
+   their search under their previous final threshold;
+4. stream today's new trajectories in mid-traffic with barrier
+   ``insert()``s (each one rolls the index epoch, invalidating the
+   registry so no request is served stale state);
+5. verify served answers are bit-identical to one-shot
+   ``plan="single"`` queries.
 """
 
-import tempfile
+import asyncio
 import time
-from pathlib import Path
 
 import numpy as np
 
-from repro import RPTrie, Grid, local_search
-from repro.baselines.linear import LinearScanIndex
+from repro import Repose
 from repro.datasets import generate_dataset, preprocess
-from repro.persistence import load_index, save_index
 from repro.types import Trajectory
+
+
+async def serve_traffic(engine, hot, cold, today, k):
+    """One day of traffic: bursts of hot+cold requests, mid-stream
+    inserts, a final hot recurrence after the index changed."""
+    service = engine.serve(max_wait_ms=2.0, max_batch=8)
+
+    # Morning burst: every hot query twice (the second occurrence of
+    # each lands in a later micro-batch and is seeded by the registry),
+    # interleaved with cold queries.
+    burst = [*hot, *cold, *hot]
+    futures = [await service.submit(query, k) for query in burst]
+    outcomes = await asyncio.gather(*futures)
+
+    # Midday: today's trajectories arrive while traffic continues.
+    # Each insert is a queue barrier — applied strictly between
+    # micro-batches — and bumps the index epoch.
+    for traj in today:
+        await service.insert(
+            Trajectory(traj.points, traj_id=traj.traj_id))
+
+    # Afternoon: the hot queries recur once more.  The registry was
+    # invalidated by the inserts, so these recompute (correctly seeing
+    # today's data) and re-warm the registry.
+    afternoon = await asyncio.gather(
+        *[await service.submit(query, k) for query in hot])
+
+    await service.stop()
+    return service, outcomes, afternoon
 
 
 def main() -> None:
     data = preprocess(generate_dataset("sf", scale=0.0015, seed=42))
     yesterday = data.trajectories[: len(data) // 2]
-    today = data.trajectories[len(data) // 2:]
+    today = data.trajectories[len(data) // 2: len(data) // 2 + 5]
+    base = data.__class__(trajectories=list(yesterday))
     print(f"{len(yesterday)} historical trajectories, "
           f"{len(today)} arriving today")
 
-    grid = Grid.fit(data.bounding_box(), delta=0.02)
     started = time.perf_counter()
-    trie = RPTrie(grid, "hausdorff", optimized=True).build(yesterday)
-    print(f"initial build: {time.perf_counter() - started:.2f}s, "
-          f"{trie.node_count} nodes")
+    engine = Repose.build(base, measure="hausdorff", num_partitions=8)
+    print(f"engine build: {time.perf_counter() - started:.2f}s")
 
-    with tempfile.TemporaryDirectory() as tmp:
-        path = Path(tmp) / "sf.rptrie.npz"
-        save_index(trie, path)
-        print(f"saved index: {path.stat().st_size / 1024:.1f} KiB")
-
-        started = time.perf_counter()
-        live = load_index(path)
-        print(f"warm restart (load): {time.perf_counter() - started:.3f}s")
-
-    for traj in today:
-        live.insert(Trajectory(traj.points, traj_id=traj.traj_id))
-    print(f"after streaming inserts: {live.num_trajectories} trajectories, "
-          f"{live.node_count} nodes")
-
-    # Query and verify against brute force.
     rng = np.random.default_rng(1)
-    everything = yesterday + today
-    scan = LinearScanIndex("hausdorff").build(everything)
-    for qi in rng.choice(len(everything), size=3, replace=False):
-        query = everything[int(qi)]
-        fast = local_search(live, query, 5)
-        slow = scan.top_k(query, 5)
-        match = ([round(d, 9) for d in fast.distances()]
-                 == [round(d, 9) for d in slow.distances()])
-        print(f"query {query.traj_id:4d}: top-5 "
-              f"{[t for t in fast.ids()]} "
-              f"({'verified' if match else 'MISMATCH'}; "
-              f"{fast.stats.distance_computations} refinements vs "
-              f"{slow.stats.distance_computations} scans)")
+    picks = rng.choice(len(yesterday), size=6, replace=False)
+    hot = [yesterday[int(i)] for i in picks[:3]]
+    cold = [yesterday[int(i)] for i in picks[3:]]
+    k = 5
+
+    # Reference answers at the pre-insert index state, computed before
+    # any traffic runs (the one-shot single plan touches no registry).
+    pre = {q.traj_id: engine.top_k(q, k, plan="single").result.items
+           for q in hot + cold}
+
+    service, outcomes, afternoon = asyncio.run(
+        serve_traffic(engine, hot, cold, today, k))
+
+    # Verify: every served answer must be bit-identical to a one-shot
+    # single-plan query at the same index state.
+    morning = hot + cold + hot
+    morning_ok = all(outcome.result.items == pre[query.traj_id]
+                     for query, outcome in zip(morning, outcomes))
+    print(f"morning burst ({len(morning)} requests): "
+          f"{'verified bit-identical' if morning_ok else 'MISMATCH'} "
+          f"against plan='single' (pre-insert)")
+    post = {q.traj_id: engine.top_k(q, k, plan="single").result.items
+            for q in hot}
+    verified = all(outcome.result.items == post[query.traj_id]
+                   for query, outcome in zip(hot, afternoon))
+    print(f"afternoon recurrences: "
+          f"{'verified bit-identical' if verified else 'MISMATCH'} "
+          f"against plan='single' (post-insert)")
+
+    stats = service.stats
+    registry = service.registry.counters()
+    mean_batch = (sum(stats.batch_sizes) / len(stats.batch_sizes)
+                  if stats.batch_sizes else 0.0)
+    print(f"served {stats.requests} requests in {stats.batches} "
+          f"micro-batches (mean size {mean_batch:.2f}), "
+          f"{stats.inserts} barrier inserts")
+    print(f"hot-query registry: {registry['hits']} hits, "
+          f"{registry['stores']} stores, "
+          f"{registry['invalidations']} entries invalidated by "
+          f"epoch rolls")
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ from .distances import get_measure, list_measures
 from .core import Grid, RPTrie, SuccinctRPTrie, local_search
 from .core.search import local_range_search
 from .repose import DistributedTopK, Repose, make_baseline
+from .cluster.service import HotQueryRegistry, ReposeService
 from .temporal import STLocalIndex, TimedTrajectory
 
 __version__ = "1.0.0"
@@ -43,6 +44,8 @@ __all__ = [
     "Repose",
     "DistributedTopK",
     "make_baseline",
+    "ReposeService",
+    "HotQueryRegistry",
     "TimedTrajectory",
     "STLocalIndex",
     "__version__",

@@ -4,6 +4,7 @@ Commands
 --------
 ``generate``  synthesize a dataset to CSV from a Table III spec
 ``query``     build an engine over a CSV dataset and run a top-k query
+``serve``     stream requests through the always-on micro-batching service
 ``bench``     run one paper experiment (delegates to benchmarks/run_all)
 ``info``      print dataset statistics for a CSV file
 
@@ -99,6 +100,35 @@ def build_parser() -> argparse.ArgumentParser:
                             "the multi-query batch planner (with "
                             "--plan single: sequentially) and print "
                             "per-query top-1 plus batch statistics")
+
+    serve = sub.add_parser(
+        "serve", help="stream top-k requests through the always-on "
+                      "micro-batching service (ReposeService)")
+    serve.add_argument("data", help="CSV dataset (traj_id,x,y rows)")
+    serve.add_argument("--measure", default="hausdorff",
+                       choices=sorted(list_measures()))
+    serve.add_argument("--k", type=int, default=10)
+    serve.add_argument("--delta", type=float, default=None,
+                       help="grid cell side (default: span/128)")
+    serve.add_argument("--partitions", type=int, default=16)
+    serve.add_argument("--strategy", default="heterogeneous",
+                       choices=["heterogeneous", "homogeneous", "random"])
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="micro-batch window: a request waits at most "
+                            "this long for companions (default 2.0)")
+    serve.add_argument("--max-batch", type=int, default=16,
+                       help="micro-batch size cap (default 16)")
+    serve.add_argument("--requests", type=int, default=8,
+                       help="distinct sampled queries to stream "
+                            "(default 8)")
+    serve.add_argument("--repeat", type=int, default=2,
+                       help="times each query is issued, interleaved; "
+                            "repeats exercise the cross-batch hot-query "
+                            "registry (default 2)")
+    serve.add_argument("--share-eps", type=float, default=None,
+                       help="near-duplicate sharing threshold for each "
+                            "micro-batch and for registry neighbor "
+                            "seeding")
 
     info = sub.add_parser("info", help="dataset statistics for a CSV file")
     info.add_argument("data")
@@ -268,6 +298,72 @@ def _run_batch(engine: Repose, data, args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Stream sampled requests through a :class:`ReposeService`.
+
+    Each of ``--requests`` sampled queries is issued ``--repeat``
+    times, interleaved (q1 q2 ... q1 q2 ...), so later rounds recur
+    across micro-batches and hit the hot-query registry.  Prints
+    per-query results once, then batching, latency and registry
+    statistics.
+    """
+    import asyncio
+
+    data = load_csv(args.data)
+    measure = get_measure(args.measure)
+    plan_options = ({"share_eps": args.share_eps}
+                    if args.share_eps is not None else None)
+    engine = Repose.build(data, measure=measure, delta=args.delta,
+                          num_partitions=args.partitions,
+                          strategy=args.strategy)
+    distinct = sample_queries(data, count=max(1, args.requests))
+    stream = [query for _ in range(max(1, args.repeat))
+              for query in distinct]
+    service = engine.serve(max_wait_ms=args.max_wait_ms,
+                           max_batch=args.max_batch,
+                           plan_options=plan_options)
+
+    async def run_stream():
+        futures = [await service.submit(query, args.k)
+                   for query in stream]
+        outcomes = await asyncio.gather(*futures)
+        await service.stop()
+        return outcomes
+
+    outcomes = asyncio.run(run_stream())
+    print(f"served {len(stream)} requests ({len(distinct)} distinct "
+          f"queries x {args.repeat}, {measure.name}, "
+          f"k={args.k}):")
+    for query, outcome in zip(distinct, outcomes):
+        result = outcome.result
+        best = (f"id {result.items[0][1]} "
+                f"distance {result.items[0][0]:.6f}"
+                if result.items else "no results")
+        print(f"  query {query.traj_id:6d}: {len(result)} results, "
+              f"best {best}")
+    stats = service.stats
+    mean_batch = (sum(stats.batch_sizes) / len(stats.batch_sizes)
+                  if stats.batch_sizes else 0.0)
+    latencies = sorted(stats.latencies)
+
+    def _pct(q: float) -> float:
+        if not latencies:
+            return 0.0
+        return latencies[min(len(latencies) - 1,
+                             int(q * len(latencies)))] * 1e3
+
+    print(f"micro-batches: {stats.batches} "
+          f"(mean size {mean_batch:.2f}, cap {args.max_batch}, "
+          f"window {args.max_wait_ms:g} ms)")
+    print(f"latency: p50 {_pct(0.50):.2f} ms, p99 {_pct(0.99):.2f} ms")
+    registry = service.registry.counters()
+    print(f"hot-query registry: {registry['hits']} hits, "
+          f"{registry['neighbor_hits']} neighbor seeds, "
+          f"{registry['stores']} stores, "
+          f"{registry['entries']} entries")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from pathlib import Path
     sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
@@ -282,6 +378,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _cmd_generate,
         "info": _cmd_info,
         "query": _cmd_query,
+        "serve": _cmd_serve,
         "bench": _cmd_bench,
     }
     return handlers[args.command](args)

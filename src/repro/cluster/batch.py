@@ -70,6 +70,15 @@ at or under it, so it upper-bounds the query's *final* k-th best with
 no metric assumption and is min-folded into the broadcast vector
 (:meth:`~repro.cluster.driver.RunningTopKVector.broadcast_vector`).
 
+**Cross-batch reuse** extends both mechanisms beyond one batch: a
+:class:`~repro.cluster.service.HotQueryRegistry` passed to the planner
+persists exact final results keyed by probe fingerprint, so a query
+recurring in a *later* batch is seeded with its previous final
+threshold, and a near-duplicate of a stored representative with a
+triangle or sampled banded bound — the serving layer
+(:class:`~repro.cluster.service.ReposeService`) threads one registry
+through every micro-batch of a query stream.
+
 Every threshold is applied strictly and upper-bounds the query's final
 k-th-best distance, and each query's merge is the single-query merge,
 so every per-query answer is **bit-identical** to running that query
@@ -112,6 +121,12 @@ CROSS_QUERY_LIMIT = 64
 #: ``max(2 * k, SAMPLE_MIN)`` distinct candidates): below this many
 #: the k-th smallest upper bound is too loose to prune anything.
 SAMPLE_MIN = 8
+
+#: Most-recently-used hot-query registry entries scanned as candidate
+#: near-duplicate representatives for each registry miss.  Bounds the
+#: per-query scan cost (distance calls against stored representatives)
+#: independently of registry capacity.
+REGISTRY_SCAN_LIMIT = 8
 
 
 @dataclass
@@ -166,6 +181,17 @@ class BatchPlanReport:
     #: pass (share-group members perform no lookups at all).
     probe_cache_hits: int = 0
     probe_cache_misses: int = 0
+    #: Queries whose threshold was seeded from a hot-query registry
+    #: entry with an identical fingerprint (a recurring query across
+    #: batches starting under its previous final ``dk``).
+    registry_hits: int = 0
+    #: Queries seeded from a stored *near-duplicate* representative —
+    #: a registry entry within ``share_eps`` — through the metric
+    #: triangle bound or the sampled non-metric banded bound.
+    registry_neighbor_seeds: int = 0
+    #: Exact, complete per-query results this batch persisted into the
+    #: hot-query registry for later batches to seed from.
+    registry_stores: int = 0
     #: Per-query plan reports, aligned with the input queries.
     per_query: list[PlanReport] = field(default_factory=list)
     #: Engine-level task re-dispatches consumed across the batch.
@@ -241,6 +267,19 @@ class BatchQueryPlanner(QueryPlanner):
         ``max(2 * k, SAMPLE_MIN)``; 0 disables the sampled bound;
         positive values below ``k`` are raised to ``k`` (fewer than k
         samples can never certify a k-th-best bound).
+    registry:
+        Optional :class:`~repro.cluster.service.HotQueryRegistry`
+        (duck-typed: ``epoch``, ``get``, ``recent``, ``put``)
+        persisting exact final results *across* batches.  Before the
+        waves run, each active query is seeded with a certified upper
+        bound on its final k-th best — its own stored final threshold
+        on an exact fingerprint hit, or a triangle / sampled banded
+        bound against a stored near-duplicate representative within
+        ``share_eps`` — folded into the broadcast vector from wave 0.
+        After the waves, exact complete results are stored back under
+        the batch-*start* epoch, so results raced by a concurrent
+        index write are dropped rather than served stale.  None (the
+        default) disables cross-batch reuse.
     """
 
     def __init__(self, engine, wave_size: int | None = None,
@@ -249,7 +288,8 @@ class BatchQueryPlanner(QueryPlanner):
                  share_eps: float | None = None,
                  share_distance: Callable | None = None,
                  sampled_bound: Callable | None = None,
-                 sample_size: int | None = None):
+                 sample_size: int | None = None,
+                 registry=None):
         super().__init__(engine, wave_size=wave_size,
                          probe_cache=probe_cache)
         self.query_distance = query_distance
@@ -257,6 +297,7 @@ class BatchQueryPlanner(QueryPlanner):
         self.share_distance = share_distance
         self.sampled_bound = sampled_bound
         self.sample_size = sample_size
+        self.registry = registry
 
     @property
     def _share_distance_is_metric(self) -> bool:
@@ -454,6 +495,109 @@ class BatchQueryPlanner(QueryPlanner):
                 lookup[traj.traj_id] = traj.points
         return lookup
 
+    @staticmethod
+    def _registry_fingerprint(query, kwargs: dict) -> bytes | None:
+        """Registry key for one query, or None when ineligible.
+
+        The registry key is the probe fingerprint (query points +
+        ``dqp``), so it is only a faithful identity when no *other*
+        kwarg could change the answer — queries carrying any kwarg
+        beyond ``dqp`` opt out of the registry entirely (both seeding
+        and storing), mirroring :meth:`_dedup_key`'s safety posture.
+        """
+        if any(key != "dqp" for key in kwargs):
+            return None
+        return ProbeCache.fingerprint(query, kwargs.get("dqp"))
+
+    def _registry_seeds(self, parts: Sequence, queries: Sequence,
+                        active: Sequence[int], k: int,
+                        fingerprints: dict[int, bytes],
+                        report: BatchPlanReport,
+                        traj_points: dict[int, np.ndarray] | None,
+                        ) -> tuple[np.ndarray | None,
+                                   dict[int, np.ndarray] | None]:
+        """Per-query certified seed thresholds from the registry.
+
+        For each active fingerprintable query, in preference order:
+
+        * **Exact hit** — an entry with the same fingerprint at the
+          current epoch stores the final merged top-k of an identical
+          query; its k-th distance *is* this query's final ``dk``
+          (the search is deterministic), so it seeds exactly.
+        * **Near-duplicate** — failing that, up to
+          :data:`REGISTRY_SCAN_LIMIT` recent entries within
+          ``share_eps`` of this query are tried as representatives:
+          under a metric, ``stored_dk + d(rep, query)`` upper-bounds
+          this query's final k-th best by the triangle inequality; for
+          non-metric measures the k-th smallest :attr:`sampled_bound`
+          from the query to the entry's stored trajectories certifies
+          k distinct trajectories at or under it.  The tightest such
+          bound seeds the query.
+
+        Every seed upper-bounds the query's *final* k-th best, and is
+        applied downstream through the same strict (``>``) skip and
+        ``nextafter`` search cutoff as any other threshold, so seeded
+        results stay bit-identical to cold ones.  Returns ``(seeds,
+        traj_points)`` — seeds is None when nothing seeded; the
+        (lazily built) trajectory lookup is returned for reuse.
+        """
+        seeds = np.full(len(queries), np.inf)
+        candidates: list | None = None
+        can_neighbor = (self.share_eps is not None
+                        and self.share_distance is not None)
+        for qi in active:
+            fingerprint = fingerprints.get(qi)
+            if fingerprint is None:
+                continue
+            entry = self.registry.get(fingerprint, k)
+            if entry is not None:
+                seeds[qi] = entry.threshold(k)
+                report.registry_hits += 1
+                continue
+            if not can_neighbor:
+                continue
+            query_points = getattr(queries[qi], "points", None)
+            if query_points is None:
+                continue
+            if candidates is None:
+                candidates = self.registry.recent(REGISTRY_SCAN_LIMIT)
+            best = np.inf
+            for candidate in candidates:
+                if getattr(candidate.query, "points", None) is None:
+                    continue
+                if len(candidate.items) < k:
+                    continue
+                distance = float(self.share_distance(queries[qi],
+                                                     candidate.query))
+                if distance > self.share_eps:
+                    continue
+                if self._share_distance_is_metric:
+                    bound = candidate.threshold(k) + distance
+                elif self.sampled_bound is not None:
+                    if traj_points is None:
+                        traj_points = self._trajectory_points(parts)
+                    values = []
+                    for _, tid in candidate.items:
+                        points = traj_points.get(tid)
+                        if points is not None:
+                            values.append(float(
+                                self.sampled_bound(query_points, points)))
+                    if len(values) < k:
+                        continue
+                    values.sort()
+                    bound = values[k - 1]
+                else:
+                    continue
+                best = min(best, bound)
+            if np.isfinite(best):
+                seeds[qi] = best
+                self.registry.neighbor_hits = getattr(
+                    self.registry, "neighbor_hits", 0) + 1
+                report.registry_neighbor_seeds += 1
+        if not np.isfinite(seeds).any():
+            return None, traj_points
+        return seeds, traj_points
+
     def execute_batch(self, parts: Sequence, queries: Sequence, k: int,
                       kwargs_list: Sequence[dict],
                       make_task: Callable[[object, list, list, list],
@@ -558,6 +702,26 @@ class BatchQueryPlanner(QueryPlanner):
         pairwise: np.ndarray | None = None
         traj_points: dict[int, np.ndarray] | None = None
         bound_cache: dict = {}
+        # Cross-batch hot-query registry: snapshot the epoch *before*
+        # the waves (results are stored under it — a concurrent index
+        # write mid-batch rolls the registry epoch past it, so those
+        # stores are dropped on arrival instead of served stale), and
+        # seed every recurring / near-duplicate query's threshold from
+        # stored final results.
+        registry_epoch = 0
+        fingerprints: dict[int, bytes] = {}
+        seed_bounds: np.ndarray | None = None
+        if self.registry is not None:
+            registry_epoch = self.registry.epoch
+            registry_stores_before = getattr(self.registry, "stores", 0)
+            for qi in active:
+                fingerprint = self._registry_fingerprint(queries[qi],
+                                                         kwargs_list[qi])
+                if fingerprint is not None:
+                    fingerprints[qi] = fingerprint
+            seed_bounds, traj_points = self._registry_seeds(
+                parts, queries, active, k, fingerprints, report,
+                traj_points)
         # Per wave: the dispatched (pid, group) pairs, for the fold.
         wave_groups: list[list[tuple[int, list[int]]]] = []
         # Failed (partition -> queries) pairs awaiting a re-dispatch
@@ -605,12 +769,20 @@ class BatchQueryPlanner(QueryPlanner):
                             queries, live, k, merges, traj_points,
                             cache=bound_cache)
                 raw = merges.dk_vector()
-                dks, tightened = merges.broadcast_vector(pairwise,
-                                                         bounds=bounds)
-                report.cross_query_tightenings += tightened
                 if bounds is not None:
                     report.sampled_tightenings += int(
                         np.count_nonzero(bounds < raw))
+                if seed_bounds is not None:
+                    # Registry seeds are certified upper bounds on the
+                    # final k-th best, so folding them in every wave is
+                    # sound; they are counted separately above so the
+                    # sampled counter keeps meaning "tightened by this
+                    # wave's sampled pass".
+                    bounds = (seed_bounds if bounds is None
+                              else np.minimum(bounds, seed_bounds))
+                dks, tightened = merges.broadcast_vector(pairwise,
+                                                         bounds=bounds)
+                report.cross_query_tightenings += tightened
                 groups: dict[int, list[int]] = {}
                 if retry_wave is not None:
                     for pid, qis in retry_wave.items():
@@ -740,6 +912,20 @@ class BatchQueryPlanner(QueryPlanner):
             plan = report.per_query[qi]
             plan.exact = self._exactness(plan.failed_partitions,
                                          plans[qi][0], merges.dk(qi))
+        if self.registry is not None:
+            # Persist exact, fully-answered results for later batches;
+            # stamped with the batch-start epoch so entries raced by a
+            # concurrent write never enter circulation.
+            for qi in active:
+                fingerprint = fingerprints.get(qi)
+                plan = report.per_query[qi]
+                if (fingerprint is None or not plan.exact
+                        or len(results[qi].items) < k):
+                    continue
+                self.registry.put(fingerprint, queries[qi],
+                                  results[qi].items, epoch=registry_epoch)
+            report.registry_stores = (getattr(self.registry, "stores", 0)
+                                      - registry_stores_before)
         for qi, rep in enumerate(alias):
             if rep != qi:
                 # Same points, same shared kwargs: the search's answer

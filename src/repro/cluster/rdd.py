@@ -38,6 +38,13 @@ class ProbeCache:
     (:meth:`bump_epoch`), dropping every cached probe, because a changed
     partition's bounds are new.  Capacity-bounded, evicting oldest
     entries first; :attr:`hits`/:attr:`misses` expose effectiveness.
+
+    The epoch is also the driver's *index epoch*: any derived cache
+    whose validity depends on the indexes not having changed (the
+    serving layer's :class:`~repro.cluster.service.HotQueryRegistry`)
+    can :meth:`subscribe` to epoch rolls and drop its own state in the
+    same moment probes are dropped, so no reader anywhere observes
+    state from a previous epoch.
     """
 
     def __init__(self, capacity: int = 4096):
@@ -46,6 +53,18 @@ class ProbeCache:
         self.hits = 0
         self.misses = 0
         self._entries: dict[tuple, object] = {}
+        self._listeners: list[Callable[[int], None]] = []
+
+    def subscribe(self, listener: Callable[[int], None]) -> None:
+        """Register ``listener(new_epoch)`` to be called on every
+        :meth:`bump_epoch`, synchronously and in subscription order.
+
+        Listeners let epoch-stamped derived caches (the hot-query
+        registry) invalidate eagerly instead of lazily checking the
+        epoch on every read — a write (insert/rebuild) then leaves no
+        stale entry behind for any reader to race with.
+        """
+        self._listeners.append(listener)
 
     @staticmethod
     def fingerprint(query, dqp=None) -> bytes | None:
@@ -61,9 +80,12 @@ class ProbeCache:
         return digest.digest()
 
     def bump_epoch(self) -> None:
-        """Invalidate every cached probe (the indexes changed)."""
+        """Invalidate every cached probe (the indexes changed) and
+        notify every subscribed listener of the new epoch."""
         self.epoch += 1
         self._entries.clear()
+        for listener in self._listeners:
+            listener(self.epoch)
 
     def counters(self) -> tuple[int, int]:
         """Current ``(hits, misses)`` snapshot.

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -312,6 +313,43 @@ class _SharedGatherStore:
         return getattr(self._store, name)
 
 
+#: Process-wide persistent shared gather views, one per live store
+#: (see :func:`_persistent_view`).  Weak keys: a view dies with its
+#: store, so rebuilt indexes start fresh.
+_PERSISTENT_VIEWS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _persistent_view(store) -> _SharedGatherStore:
+    """The shared gather view that outlives one multi-query call.
+
+    Share groups can span engine waves: a staggered near-duplicate
+    member's task dispatches one wave *after* its representative's, in
+    a separate :func:`local_search_multi` call.  A per-call view would
+    make the member rebuild every leaf tensor its representative
+    already gathered; this registry hands every call on the same store
+    the same view, so cross-wave group members hit the memoized
+    tensors.  Entries are evicted only by the budget policy
+    (:meth:`_SharedGatherStore.release_group`) and rebuilt
+    bit-identically if evicted, so correctness never depends on the
+    cache — which also makes the rare concurrent access (an engine
+    speculatively duplicating a straggler task) safe: racing writers
+    can at worst build the same tensor twice.  Stores that cannot be
+    weak-referenced (test fakes) get a fresh per-call view, the
+    pre-existing behaviour.
+    """
+    try:
+        view = _PERSISTENT_VIEWS.get(store)
+    except TypeError:
+        return _SharedGatherStore(store)
+    if view is None:
+        view = _SharedGatherStore(store)
+        try:
+            _PERSISTENT_VIEWS[store] = view
+        except TypeError:
+            pass
+    return view
+
+
 def _refine_leaf_top_k(trie, measure, query: Trajectory, tids: list[int],
                        results: ResultHeap, stats: SearchStats,
                        batch_refine: bool, store=None) -> None:
@@ -457,8 +495,11 @@ def local_search_multi(trie, queries: list[Trajectory], k: int,
     a per-query vector of *share-group* labels (None for ungrouped):
     queries carrying the same label are near-duplicates, so they are
     run consecutively — their gathered leaf tensors hit the shared
-    store back to back — and the store may release a finished group's
-    tensors to bound peak memory (see
+    store back to back — and the shared view is *persistent* per store
+    (:func:`_persistent_view`), so a group member whose task runs one
+    engine wave after its representative's still reuses the tensors
+    the representative built.  The store may release a finished
+    group's tensors to bound peak memory (see
     :meth:`_SharedGatherStore.release_group`; execution order and
     eviction can never change any query's answer, because every search
     is an independent pure function of its own arguments).  Returns one
@@ -466,7 +507,18 @@ def local_search_multi(trie, queries: list[Trajectory], k: int,
     to ``local_search(trie, query, k, dqp=..., dk=...)`` run alone —
     only shared read-only tensors and caches differ.
     """
-    shared = _SharedGatherStore(trie.store) if batch_refine else None
+    # Share-grouped calls use the *persistent* per-store view: a
+    # staggered member's task runs one engine wave after its
+    # representative's, so the tensors it should share were gathered in
+    # a previous call.  Ungrouped multi-query calls keep a fresh
+    # per-call view (sharing within the task only), preserving their
+    # established accounting.
+    persistent = (batch_refine and share_groups is not None
+                  and any(label is not None for label in share_groups))
+    if persistent:
+        shared = _persistent_view(trie.store)
+    else:
+        shared = _SharedGatherStore(trie.store) if batch_refine else None
     order = list(range(len(queries)))
     if share_groups is not None:
         # Group members run consecutively (stable: grouped queries
@@ -490,6 +542,14 @@ def local_search_multi(trie, queries: list[Trajectory], k: int,
             batch_refine=batch_refine,
             dk=dks[index] if dks is not None else float("inf"),
             store=shared)
+    if persistent:
+        # Mark every label this call used (None included) releasable:
+        # the persistent view keeps tensors until its budget forces
+        # oldest-first eviction, so cross-wave members still hit them,
+        # while unbounded growth across a long stream is impossible.
+        for label in dict.fromkeys(
+                share_groups[index] for index in order):
+            shared.release_group(label)
     return results
 
 

@@ -56,3 +56,12 @@ class PartialResultError(ReproError):
     their retries; the outcome object still carries the best-effort
     result, the failed partition ids, and the exactness verdict.
     """
+
+
+class ServiceClosedError(ReproError):
+    """A request was submitted to a ReposeService that is shut down.
+
+    Raised by ``ReposeService.submit()``/``insert()`` after ``stop()``
+    has been requested, and set on still-pending request futures when
+    the service stops without draining.
+    """

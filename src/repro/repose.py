@@ -532,6 +532,9 @@ class DistributedTopK:
         self._rdd = None
         self._parts: list[RpTraj] | None = None
         self.build_report: BuildReport | None = None
+        #: The serving front-end attached by ``build(service=...)``
+        #: (see :meth:`serve`); None until one is requested.
+        self.service = None
 
     def _resolve_plan(self, plan: str | None) -> str:
         """Validate a plan name, defaulting to the engine-level plan."""
@@ -753,7 +756,8 @@ class DistributedTopK:
 
     def top_k_batch(self, queries: list[Trajectory], k: int,
                     plan: str | None = None,
-                    plan_options: dict | None = None) -> BatchOutcome:
+                    plan_options: dict | None = None,
+                    registry=None) -> BatchOutcome:
         """Run a batch of queries under one coordinated plan.
 
         ``plan="waves"`` (the engine default) routes the whole batch
@@ -780,6 +784,14 @@ class DistributedTopK:
         result per query, bit-identical to running that query alone.
         ``plan_options`` overrides the engine-level planner knobs for
         this call.
+
+        ``registry`` optionally passes a
+        :class:`~repro.cluster.service.HotQueryRegistry` persisting
+        exact final results *across* batches (the serving layer
+        threads one through every micro-batch): recurring and
+        near-duplicate queries are seeded with certified thresholds
+        and exact results are stored back.  Only the ``"waves"`` plan
+        consults it.
         """
         if self._rdd is None:
             raise IndexNotBuiltError("call build() before batch queries")
@@ -795,7 +807,8 @@ class DistributedTopK:
             return self.top_k_batch_scheduled(queries, k)
         plan_options = self._validate_plan_options(plan_options)
         if self._resolve_plan(plan) == "waves":
-            return self._top_k_batch_waves(queries, k, plan_options)
+            return self._top_k_batch_waves(queries, k, plan_options,
+                                           registry=registry)
         start = time.perf_counter()
         outcomes = [self.top_k(query, k, plan="single")
                     for query in queries]
@@ -811,7 +824,7 @@ class DistributedTopK:
 
     def _top_k_batch_waves(self, queries: list[Trajectory], k: int,
                            plan_options: dict | None = None,
-                           ) -> BatchOutcome:
+                           registry=None) -> BatchOutcome:
         """Batched wave execution (see :mod:`repro.cluster.batch`)."""
         start = time.perf_counter()
         options = {**self.plan_options, **(plan_options or {})}
@@ -824,7 +837,8 @@ class DistributedTopK:
             share_eps=options.get("share_eps"),
             share_distance=self._share_distance_fn(),
             sampled_bound=self._sampled_bound_fn(),
-            sample_size=options.get("sample_size"))
+            sample_size=options.get("sample_size"),
+            registry=registry)
         results, wave_timings, report = planner.execute_batch(
             self._parts, queries, k, kwargs_list,
             make_task=lambda rp, group, kws, shares: _LocalMultiTopKTask(
@@ -1001,6 +1015,27 @@ class DistributedTopK:
         # every in-flight fingerprint are stale.
         self.context.probe_cache.bump_epoch()
 
+    def serve(self, **service_options):
+        """An always-on async micro-batching service over this engine.
+
+        Returns an (unstarted)
+        :class:`~repro.cluster.service.ReposeService`; keyword options
+        (``max_wait_ms``, ``max_batch``, ``plan_options``,
+        ``dispatch``, registry knobs, ...) are forwarded to its
+        constructor.  Requires a built index.  Use it from an event
+        loop::
+
+            service = engine.serve(max_wait_ms=2.0, max_batch=16)
+            outcome = await service.top_k(query, k=10)
+            await service.stop()
+        """
+        # Imported lazily: repro.cluster.service imports this module
+        # for QueryOutcome, so a top-level import would be circular.
+        from .cluster.service import ReposeService
+        if self._rdd is None:
+            raise IndexNotBuiltError("call build() before serve()")
+        return ReposeService(self, **service_options)
+
 
 class Repose(DistributedTopK):
     """The REPOSE framework (paper, Sections III-V).
@@ -1094,7 +1129,8 @@ class Repose(DistributedTopK):
               search_options: dict | None = None,
               plan: str = "waves", plan_options: dict | None = None,
               fault_policy: FaultPolicy | None = None,
-              pivot_sample: int = 500, seed: int = 7) -> "Repose":
+              pivot_sample: int = 500, seed: int = 7,
+              service: dict | bool | None = None) -> "Repose":
         """Construct and build a REPOSE engine in one call.
 
         ``delta`` defaults to 1/128 of the dataset's smaller span.
@@ -1142,6 +1178,14 @@ class Repose(DistributedTopK):
             property tests and like-for-like benchmarks.  The ablation
             switches ``use_pivots``/``use_lbt``/``use_lbo`` are also
             accepted.
+        service:
+            Attach an always-on serving front-end
+            (:class:`~repro.cluster.service.ReposeService`) to the
+            built engine as ``engine.service``: ``True`` with
+            defaults, or a dict of service constructor options
+            (``max_wait_ms``, ``max_batch``, ``dispatch``, ...).  The
+            service is created unstarted — start it from an event
+            loop (``await engine.service.start()`` or ``async with``).
         """
         measure_obj = get_measure(measure) if isinstance(measure, str) else measure
         box = dataset.bounding_box()
@@ -1168,6 +1212,9 @@ class Repose(DistributedTopK):
                          plan=plan, plan_options=plan_options,
                          fault_policy=fault_policy)
         DistributedTopK.build(engine_obj)
+        if service:
+            engine_obj.service = engine_obj.serve(
+                **(service if isinstance(service, dict) else {}))
         return engine_obj
 
 

@@ -1,0 +1,127 @@
+"""Deterministic asyncio: virtual-clock event loops for service tests.
+
+Timing-window code — the serving layer's micro-batch cut
+(``max_wait_ms``) — is untestable against the real clock: a loaded CI
+machine can stretch any sleep, so assertions on *which batch a request
+lands in* would flake.  This module provides an event loop whose clock
+is **virtual**: time advances only when the loop would otherwise block
+waiting for a timer, and then jumps exactly to the next deadline.
+Every timer fires in deterministic order at its exact scheduled
+instant, so a test script of "submit, wait 5 virtual ms, submit"
+produces the same batch cuts on every run and machine, in microseconds
+of real time.
+
+The mechanism wraps the loop's selector: ``BaseEventLoop._run_once``
+computes how long to sleep until the earliest scheduled callback and
+passes it to ``selector.select(timeout)``; the wrapper *advances the
+virtual clock by that timeout* instead of sleeping, then polls real
+I/O readiness without blocking.  When the loop has no timer to wait
+for (``timeout=None``) it waits a short real interval, so wake-ups
+from other threads — a thread-dispatched batch completing — still
+arrive while virtual time stands still.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+__all__ = ["VirtualClock", "VirtualClockLoop", "virtual_loop",
+           "run_virtual"]
+
+
+class VirtualClock:
+    """A monotonically advancing virtual time source."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def time(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Advance virtual time (never backwards)."""
+        if seconds > 0:
+            self._now += seconds
+
+
+class _VirtualSelector:
+    """Selector facade turning blocking waits into clock advances.
+
+    ``select(timeout)`` with a positive timeout — the loop waiting for
+    its next timer — advances the virtual clock by exactly that
+    timeout and polls the real selector without blocking, so the timer
+    is due the moment the loop re-reads its (virtual) clock.
+    ``select(None)`` — no timers, waiting on I/O or cross-thread
+    wake-ups — blocks for a short *real* interval instead, leaving
+    virtual time untouched.  Every other attribute delegates to the
+    wrapped selector.
+    """
+
+    #: Real seconds to block per idle iteration when no timer is
+    #: scheduled: long enough not to busy-spin, short enough that a
+    #: worker thread's wake-up is picked up promptly.
+    IDLE_WAIT = 0.002
+
+    def __init__(self, wrapped, clock: VirtualClock):
+        self._wrapped = wrapped
+        self._clock = clock
+
+    def select(self, timeout=None):
+        """Advance virtual time instead of sleeping (see class doc)."""
+        if timeout is not None and timeout > 0:
+            self._clock.advance(timeout)
+            return self._wrapped.select(0)
+        if timeout is None:
+            return self._wrapped.select(self.IDLE_WAIT)
+        return self._wrapped.select(0)
+
+    def __getattr__(self, name):
+        return getattr(self._wrapped, name)
+
+
+class VirtualClockLoop(asyncio.SelectorEventLoop):
+    """A selector event loop running on a :class:`VirtualClock`.
+
+    ``loop.time()`` reads the virtual clock, and the patched selector
+    advances it whenever the loop would block on a timer — so
+    ``asyncio.sleep``, ``wait_for`` timeouts and ``call_later``
+    callbacks all fire deterministically at their exact virtual
+    deadlines, regardless of machine load.
+    """
+
+    def __init__(self, start: float = 0.0):
+        super().__init__()
+        self.clock = VirtualClock(start)
+        self._selector = _VirtualSelector(self._selector, self.clock)
+
+    def time(self) -> float:
+        """Virtual seconds (drives every scheduled callback)."""
+        return self.clock.time()
+
+
+@contextlib.contextmanager
+def virtual_loop(start: float = 0.0):
+    """Context manager yielding a fresh, closed-on-exit virtual loop.
+
+    Usage::
+
+        with virtual_loop() as loop:
+            loop.run_until_complete(scenario())
+    """
+    loop = VirtualClockLoop(start)
+    try:
+        yield loop
+    finally:
+        loop.close()
+
+
+def run_virtual(coro, start: float = 0.0):
+    """Run one coroutine to completion on a fresh virtual-clock loop.
+
+    The deterministic analogue of :func:`asyncio.run` used throughout
+    the service tests; returns the coroutine's result.
+    """
+    with virtual_loop(start) as loop:
+        return loop.run_until_complete(coro)

@@ -161,3 +161,24 @@ class TestQuery:
         out = capsys.readouterr().out
         assert "batch of 2 top-2 queries" in out
         assert "batch plan" not in out
+
+
+class TestServe:
+    def test_streams_and_reports_registry(self, csv_dataset, capsys):
+        assert main(["serve", str(csv_dataset), "--k", "3",
+                     "--partitions", "4", "--delta", "0.15",
+                     "--requests", "3", "--repeat", "2",
+                     "--max-batch", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "served 6 requests (3 distinct queries x 2" in out
+        assert "micro-batches:" in out
+        assert "latency: p50" in out
+        # Round two recurs every query: at least the 3 repeats hit.
+        assert "hot-query registry: 3 hits" in out
+
+    def test_share_eps_forwarded(self, csv_dataset, capsys):
+        assert main(["serve", str(csv_dataset), "--k", "2",
+                     "--partitions", "4", "--delta", "0.15",
+                     "--requests", "2", "--repeat", "1",
+                     "--share-eps", "0.5"]) == 0
+        assert "hot-query registry:" in capsys.readouterr().out

@@ -18,8 +18,18 @@ Every case is derived from one integer seed, so the run is fully
 deterministic; any violation fails with the case seed and its full
 parameter set in the message.  Knobs (environment):
 
+A second harness streams the same randomized mixes through the
+always-on serving layer (:class:`~repro.cluster.service.ReposeService`
+on the deterministic virtual-clock loop): randomized arrival times
+land requests in randomized micro-batch cuts, recurrences are served
+registry-warm, and mid-stream barrier ``insert()``s roll the index
+epoch — and every served answer must still be bit-identical to
+``plan="single"`` at the matching index state.
+
 ``REPRO_FUZZ_CASES``
     Cases per measure (default 36 — 216 total across 6 measures).
+    The served-path harness runs ``max(2, cases // 6)`` cases per
+    measure (each case covers a whole request stream twice).
 ``REPRO_FUZZ_SEED``
     Base seed (default 20260729).  Reproduce a CI failure by exporting
     the seed printed in the failure message and re-running this file.
@@ -27,6 +37,7 @@ parameter set in the message.  Knobs (environment):
 
 from __future__ import annotations
 
+import asyncio
 import itertools
 import os
 
@@ -164,3 +175,86 @@ def test_fuzz_batch_matches_single(measure):
                                                      expected)):
                 assert result.items == items, (
                     f"fifo divergence on query {qi}: {context}")
+
+
+SERVED_CASES_PER_MEASURE = max(2, CASES_PER_MEASURE // 6)
+
+
+@pytest.mark.parametrize("measure", MEASURES)
+def test_fuzz_served_path_matches_single(measure):
+    """Requests streamed through the serving layer — randomized
+    arrival times, randomized windows, cold then registry-warm, with
+    optional mid-stream barrier inserts — stay bit-identical, per
+    request, to single-shot execution at the same index state."""
+    build_rng = np.random.default_rng((BASE_SEED, 7,
+                                       MEASURES.index(measure)))
+    dataset = TrajectoryDataset(
+        name=f"fuzz-served-{measure}",
+        trajectories=[_random_trajectory(build_rng, i, hot=bool(i % 3))
+                      for i in range(70)])
+    engine = Repose.build(dataset, measure=measure, delta=0.4,
+                          num_partitions=NUM_PARTITIONS)
+    from repro.testing import run_virtual
+
+    for case in range(SERVED_CASES_PER_MEASURE):
+        case_seed = (BASE_SEED, 7, MEASURES.index(measure), case)
+        rng = np.random.default_rng(case_seed)
+        queries = _query_mix(rng, engine)
+        k = int(rng.integers(1, 10))
+        options = _case_options(rng, k)
+        max_wait_ms = float(rng.uniform(1.0, 5.0))
+        max_batch = int(rng.integers(2, 6))
+        delays = rng.uniform(0.0, 0.004, len(queries))
+        newcomer = (_random_trajectory(rng, next(_INSERT_IDS),
+                                       hot=bool(rng.random() < 0.5))
+                    if rng.random() < 0.5 else None)
+        context = (f"case_seed={case_seed} measure={measure} k={k} "
+                   f"options={options} max_wait_ms={max_wait_ms:.2f} "
+                   f"max_batch={max_batch} insert={newcomer is not None} "
+                   f"queries={len(queries)} "
+                   f"(rerun: REPRO_FUZZ_SEED={BASE_SEED} "
+                   f"python -m pytest tests/test_fuzz_equivalence.py "
+                   f"-k 'served and {measure}')")
+
+        # Phase-1 references at the pre-insert index state must be
+        # computed before any traffic runs.
+        pre = [engine.top_k(query, k, plan="single").result.items
+               for query in queries]
+
+        async def scenario():
+            service = engine.serve(max_wait_ms=max_wait_ms,
+                                   max_batch=max_batch,
+                                   plan_options=options,
+                                   dispatch="inline")
+            async with service:
+                futures = []
+                for delay, query in zip(delays, queries):
+                    if delay > 0:
+                        await asyncio.sleep(float(delay))
+                    futures.append(await service.submit(query, k))
+                phase1 = await asyncio.gather(*futures)
+                if newcomer is not None:
+                    await service.insert(newcomer)
+                futures = [await service.submit(query, k)
+                           for query in queries]
+                phase2 = await asyncio.gather(*futures)
+            return service, phase1, phase2
+
+        service, phase1, phase2 = run_virtual(scenario())
+        assert sum(service.stats.batch_sizes) == 2 * len(queries)
+        for qi, (outcome, items) in enumerate(zip(phase1, pre)):
+            assert outcome.result.items == items, (
+                f"served/single divergence on phase-1 request {qi}: "
+                f"{context}")
+
+        # Phase-2 references reflect the post-insert state (the
+        # engine keeps the insert applied inside the service).
+        post = [engine.top_k(query, k, plan="single").result.items
+                for query in queries]
+        for qi, (outcome, items) in enumerate(zip(phase2, post)):
+            assert outcome.result.items == items, (
+                f"served/single divergence on phase-2 request {qi}: "
+                f"{context}")
+        if newcomer is not None:
+            assert service.registry.epoch == engine.context.probe_cache.epoch, (
+                f"registry missed the epoch roll: {context}")

@@ -36,7 +36,9 @@ DOC_MODULES = [
     "src/repro/cluster/driver.py",
     "src/repro/cluster/batch.py",
     "src/repro/cluster/rdd.py",
+    "src/repro/cluster/service.py",
     "src/repro/testing/faults.py",
+    "src/repro/testing/clock.py",
 ]
 
 #: Minimum fraction of public objects (module included) with docstrings.
