@@ -34,6 +34,7 @@ EXPERIMENTS = {
     "ablation_succinct": ("bench_ablation_succinct",
                           "test_report_ablation_succinct"),
     "refinement": ("bench_refinement_batch", "test_report_refinement"),
+    "kernels": ("bench_kernels", "test_report_kernels"),
     "planner": ("bench_planner", "test_report_planner"),
     "batch_planner": ("bench_batch_planner", "test_report_batch_planner"),
     "near_dup": ("bench_near_dup", "test_report_near_dup"),

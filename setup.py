@@ -4,9 +4,20 @@ This environment ships setuptools without the ``wheel`` package, so PEP
 517 editable installs (which build a wheel) fail offline.  Keeping a
 ``setup.py`` and no ``[build-system]`` table lets ``pip install -e .``
 use the legacy ``setup.py develop`` path, which needs no wheel.
-All real metadata lives in pyproject.toml.
+
+The ``kernels`` extra pulls in numba for the fastest compiled DP
+kernel tier (``pip install .[kernels]``); without it the package still
+runs the cnative tier (host C compiler + ctypes) or the pure-numpy
+sweeps — see ``repro.distances.kernels``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={"kernels": ["numba"]},
+)

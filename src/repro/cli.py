@@ -76,6 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "a share-group representative reuse its "
                             "probe and wave plan "
                             "(plan_options={'share_eps': EPS})")
+    query.add_argument("--kernels", default=None,
+                       choices=["auto", "numpy", "numba", "cnative"],
+                       help="DP kernel backend for batch refinement: "
+                            "'numpy' (always available), 'numba'/"
+                            "'cnative' (compiled tiers, bit-identical "
+                            "results), or 'auto' (fastest available, "
+                            "the default; REPRO_KERNELS env overrides)")
     query.add_argument("--calibrate", action="store_true",
                        help="calibrate the 'auto' cost model on one "
                             "real partition task before querying")
@@ -222,6 +229,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     engine = Repose.build(data, measure=measure, delta=args.delta,
                           num_partitions=args.partitions,
                           strategy=args.strategy,
+                          kernels=args.kernels,
                           plan=("waves" if args.plan in (None, "fifo")
                                 else args.plan),
                           plan_options=plan_options or None,

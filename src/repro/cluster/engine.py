@@ -110,6 +110,13 @@ class WorkloadHints:
         partition for a whole query group), so per-task work scales
         with the group width even though ``num_tasks`` shrinks; this
         keeps the cost model's total-work estimate honest for them.
+    kernels:
+        Resolved DP kernel backend the refiner will run (``"numba"``,
+        ``"cnative"``, ``"numpy"``, or ``None`` for the numpy default;
+        never ``"auto"`` — the driver resolves before hinting).
+        Compiled backends shrink the exact-DP share of a task and run
+        it outside the GIL, which shifts both the per-point cost and
+        the thread-vs-process placement below.
     """
 
     measure: str | None = None
@@ -117,6 +124,7 @@ class WorkloadHints:
     num_tasks: int = 0
     batch_width: int = 1
     queries_per_task: float = 1.0
+    kernels: str | None = None
 
 
 #: Rough leaf-refinement cost per trajectory point of one local query,
@@ -146,6 +154,65 @@ _GIL_FRACTION = {
     "lcss": 0.90,
 }
 _DEFAULT_GIL_FRACTION = 0.50
+
+#: The exact elastic-DP measures the compiled kernel tier accelerates
+#: (:mod:`repro.distances.kernels`).  Hausdorff never reaches a DP
+#: sweep, so kernel hints leave its cost untouched.
+_DP_MEASURES = frozenset({"frechet", "dtw", "erp", "edr", "lcss"})
+
+#: Ballpark per-point cost multiplier when the exact DP stage runs on a
+#: compiled backend instead of the numpy sweeps.  Used only until
+#: :meth:`ExecutionEngine.calibrate` measures the real composite rate.
+_COMPILED_COST_SCALE = {
+    "numba": 0.2,
+    "cnative": 0.25,
+}
+
+#: GIL-held share for DP measures under a compiled backend: the row
+#: loops that kept EDR/LCSS Python-bound move into native code that
+#: releases (cnative) or never takes (numba nogil regions) the GIL.
+_COMPILED_GIL_FRACTION = 0.15
+
+
+def _cost_key(measure: str | None, kernels: str | None) -> str | None:
+    """Cost-table key for a (measure, kernel backend) pair.
+
+    Compiled backends get composite ``"measure+backend"`` keys so a
+    calibration under one backend never masquerades as another's rate;
+    the numpy fallback (and no hint at all) keeps the plain measure key
+    for backward compatibility with pre-kernel calibrations.
+    """
+    if measure is None or kernels in (None, "numpy"):
+        return measure
+    if measure in _DP_MEASURES:
+        return f"{measure}+{kernels}"
+    return measure
+
+
+def _lookup_cost_us(measure: str | None, kernels: str | None,
+                    cost_us: dict[str, float] | None) -> float:
+    """Per-point cost (us) for the hinted measure/backend pair.
+
+    Measured composite rates win; otherwise the plain-measure ballpark
+    is scaled by the compiled backend's expected exact-DP speedup."""
+    table = cost_us or {}
+    key = _cost_key(measure, kernels)
+    cost = table.get(key)
+    if cost is not None:
+        return cost
+    cost = table.get(measure)
+    if cost is None:
+        cost = _MEASURE_COST_US.get(measure, _DEFAULT_COST_US)
+    if key != measure:
+        cost *= _COMPILED_COST_SCALE.get(kernels, 0.25)
+    return cost
+
+
+def _gil_fraction(measure: str | None, kernels: str | None) -> float:
+    """GIL-held share for the hinted measure/backend pair."""
+    if kernels not in (None, "numpy") and measure in _DP_MEASURES:
+        return _COMPILED_GIL_FRACTION
+    return _GIL_FRACTION.get(measure, _DEFAULT_GIL_FRACTION)
 
 #: Below this much estimated total work (us) any pool dispatch costs
 #: more than it saves; above it, threads are the cheap default.
@@ -180,21 +247,23 @@ def choose_backend(hints: WorkloadHints | None,
     ``cost_us`` optionally overrides the built-in per-measure cost
     table with *measured* rates (see :meth:`ExecutionEngine.calibrate`)
     so the model reflects this machine rather than the dev-box
-    ballparks.  Pure function of its inputs (no measurement at choice
-    time), so selections are reproducible and unit-testable.
+    ballparks.  When ``hints.kernels`` names a compiled DP backend the
+    lookup prefers the composite ``"measure+backend"`` calibration key
+    and otherwise scales the ballpark by the backend's expected
+    exact-DP speedup; the GIL share also drops, since the DP loops run
+    in native code.  Pure function of its inputs (no measurement at
+    choice time), so selections are reproducible and unit-testable.
     """
     if hints is None or hints.num_tasks <= 1:
         return "serial"
-    cost = (cost_us or {}).get(hints.measure)
-    if cost is None:
-        cost = _MEASURE_COST_US.get(hints.measure, _DEFAULT_COST_US)
+    cost = _lookup_cost_us(hints.measure, hints.kernels, cost_us)
     per_task = (cost * max(hints.partition_points, 1)
                 * max(hints.batch_width, 1)
                 * max(hints.queries_per_task, 1.0))
     total = per_task * hints.num_tasks
     if total < _SERIAL_CUTOFF_US:
         return "serial"
-    gil = _GIL_FRACTION.get(hints.measure, _DEFAULT_GIL_FRACTION)
+    gil = _gil_fraction(hints.measure, hints.kernels)
     if gil > _GIL_THRESHOLD:
         spawn = _PROCESS_WARM_US if process_pool_warm else _PROCESS_SPAWN_US
         if total * gil > spawn:
@@ -414,7 +483,8 @@ class ExecutionEngine:
         self.fault_policy = fault_policy
         self.task_wrapper = task_wrapper
         self.last_backend: str | None = None
-        #: Measured per-point task costs (us) keyed by measure name,
+        #: Measured per-point task costs (us) keyed by measure name —
+        #: or ``"measure+backend"`` for compiled DP kernel backends —
         #: filled by :meth:`calibrate`; overrides the built-in cost
         #: table for this engine's ``"auto"`` resolutions.
         self.calibrated_cost_us: dict[str, float] = {}
@@ -526,7 +596,8 @@ class ExecutionEngine:
 
     def calibrate(self, measure: str | None,
                   task: Callable[[], object],
-                  partition_points: int) -> float:
+                  partition_points: int,
+                  kernels: str | None = None) -> float:
         """One-shot cost-model calibration for ``measure``.
 
         Runs ``task`` (a representative single-partition query task)
@@ -540,10 +611,16 @@ class ExecutionEngine:
         table.  The same rate feeds :class:`FaultPolicy` timeout
         derivation, so calibrated engines time out on measured — not
         guessed — expectations.
+
+        ``kernels`` names the resolved DP kernel backend the timed task
+        ran under; compiled backends store the rate under the composite
+        ``"measure+backend"`` key so each backend keeps its own
+        measured rate (a cnative calibration must not make the numpy
+        fallback look five times cheaper than it is).
         """
         _, timing = _timed_task(0, task)
         rate = timing.seconds * 1e6 / max(partition_points, 1)
-        self.calibrated_cost_us[measure] = rate
+        self.calibrated_cost_us[_cost_key(measure, kernels)] = rate
         return rate
 
     # -- pool management ----------------------------------------------------
@@ -686,9 +763,8 @@ class ExecutionEngine:
         ``None`` when the hints carry no sizing information."""
         if hints is None or hints.partition_points <= 0:
             return None
-        cost = self.calibrated_cost_us.get(hints.measure)
-        if cost is None:
-            cost = _MEASURE_COST_US.get(hints.measure, _DEFAULT_COST_US)
+        cost = _lookup_cost_us(hints.measure, hints.kernels,
+                               self.calibrated_cost_us)
         per_task_us = (cost * max(hints.partition_points, 1)
                        * max(hints.batch_width, 1)
                        * max(hints.queries_per_task, 1.0))

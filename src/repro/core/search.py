@@ -352,14 +352,15 @@ def _persistent_view(store) -> _SharedGatherStore:
 
 def _refine_leaf_top_k(trie, measure, query: Trajectory, tids: list[int],
                        results: ResultHeap, stats: SearchStats,
-                       batch_refine: bool, store=None) -> None:
+                       batch_refine: bool, store=None,
+                       kernels: str | None = None) -> None:
     """Refine one leaf's candidates into ``results`` (both paths)."""
     stats.leaf_refinements += 1
     stats.distance_computations += len(tids)
     if batch_refine:
         refine_top_k(measure, query.points, tids,
                      store if store is not None else trie.store, results,
-                     stats=stats)
+                     stats=stats, kernels=kernels)
         return
     for tid in tids:
         traj = trie.trajectory(tid)
@@ -375,7 +376,8 @@ def local_search(trie, query: Trajectory, k: int,
                  dqp: np.ndarray | None = None,
                  batch_refine: bool = True,
                  dk: float = float("inf"),
-                 store=None) -> TopKResult:
+                 store=None,
+                 kernels: str | None = None) -> TopKResult:
     """Top-k search on one RP-Trie (Algorithm 2).
 
     Parameters
@@ -413,6 +415,10 @@ def local_search(trie, query: Trajectory, k: int,
         gather-memoizing view so a group of queries builds each leaf's
         padded tensor once; any substitute must return bit-identical
         arrays for the same ids, so results never depend on it.
+    kernels:
+        DP kernel backend for batch refinement
+        (:mod:`repro.distances.kernels`); None/"auto" picks the
+        fastest available.  Backends never change results, only speed.
     """
     trie._require_built()
     measure = trie.measure
@@ -445,7 +451,8 @@ def local_search(trie, query: Trajectory, k: int,
 
         if node.is_leaf:
             _refine_leaf_top_k(trie, measure, query, list(node.tids),
-                               results, stats, batch_refine, store=store)
+                               results, stats, batch_refine, store=store,
+                               kernels=kernels)
             continue
 
         for child in node.iter_children():
@@ -476,6 +483,7 @@ def local_search_multi(trie, queries: list[Trajectory], k: int,
                        use_lbo: bool = True,
                        batch_refine: bool = True,
                        share_groups: list | None = None,
+                       kernels: str | None = None,
                        ) -> list[TopKResult]:
     """Top-k for several queries against one RP-Trie, sharing work.
 
@@ -541,7 +549,7 @@ def local_search_multi(trie, queries: list[Trajectory], k: int,
             dqp=dqps[index] if dqps is not None else None,
             batch_refine=batch_refine,
             dk=dks[index] if dks is not None else float("inf"),
-            store=shared)
+            store=shared, kernels=kernels)
     if persistent:
         # Mark every label this call used (None included) releasable:
         # the persistent view keeps tensors until its budget forces
@@ -556,7 +564,8 @@ def local_search_multi(trie, queries: list[Trajectory], k: int,
 def local_range_search(trie, query: Trajectory, radius: float,
                        use_pivots: bool = True,
                        dqp: np.ndarray | None = None,
-                       batch_refine: bool = True) -> TopKResult:
+                       batch_refine: bool = True,
+                       kernels: str | None = None) -> TopKResult:
     """All trajectories within ``radius`` of the query, ascending.
 
     Reuses the top-k machinery with a fixed threshold instead of the
@@ -589,7 +598,8 @@ def local_range_search(trie, query: Trajectory, radius: float,
             stats.distance_computations += len(tids)
             if batch_refine:
                 items.extend(refine_range(measure, query.points, tids,
-                                          trie.store, radius, stats=stats))
+                                          trie.store, radius, stats=stats,
+                                          kernels=kernels))
             else:
                 for tid in tids:
                     traj = trie.trajectory(tid)

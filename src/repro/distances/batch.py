@@ -41,18 +41,27 @@ sweep *is* the exact DP and its results are consumed directly.
 ascending-bound order against a probe heap, and the exact values for
 each stage come from one batched DP over the retained tensor
 (:func:`batch_dtw_distances`, :func:`batch_frechet_distances`,
-:func:`batch_edr_distances`, :func:`batch_lcss_distances`) — a row
-sweep (DTW, and the integer edit DPs) or anti-diagonal sweep (Frechet)
-that performs, for every candidate simultaneously, the same operations
-the sequential per-pair DP performs, and is therefore bit-identical to
-it.
+:func:`batch_erp_distances`, :func:`batch_edr_distances`,
+:func:`batch_lcss_distances`) — a row sweep (DTW/ERP, and the integer
+edit DPs) or anti-diagonal sweep (Frechet) that performs, for every
+candidate simultaneously, the same operations the sequential per-pair
+DP performs, and is therefore bit-identical to it.  The batched DPs
+also *early-abandon*: given the stage threshold ``dk``, a candidate
+whose running per-row lower bound reaches ``dk`` skips its remaining
+rows and reports the bound with an exact-mask of False.  The exact
+DPs dispatch through the kernel registry
+(:mod:`repro.distances.kernels`), so the same sweeps can run as
+compiled native code; backends agree bit-for-bit on exact values.
 A final replay pass offers the refined values in the original candidate
 order, which makes the outcome **bit-identical** to the per-trajectory
 early-abandoning loop, including how equal distances at the k-th
 boundary tie-break: every value that can enter the heap is either the
-sequential DP's value bit-for-bit or produced by the same
+sequential DP's value bit-for-bit, produced by the same
 :func:`distance_with_threshold` call (same operands, same threshold)
-the sequential loop would have made.
+the sequential loop would have made, or a sound lower bound already at
+or above the heap's threshold when offered — a no-op that leaves the
+heap untouched (the replay recomputes any non-exact value that could
+still be accepted before offering it).
 """
 
 from __future__ import annotations
@@ -65,6 +74,7 @@ from .edr import DEFAULT_EPS as _EDR_DEFAULT_EPS
 from .edr import edr_banded_distance
 from .erp import DEFAULT_PREFIX_DEPTH
 from .frechet import frechet_distance
+from .kernels import get_kernels
 from .lcss import DEFAULT_EPS as _LCSS_DEFAULT_EPS
 from .lcss import lcss_banded_distance
 from .threshold import distance_with_threshold
@@ -79,6 +89,7 @@ __all__ = [
     "batch_dtw_banded",
     "batch_frechet_distances",
     "batch_frechet_banded",
+    "batch_erp_distances",
     "batch_edr_distances",
     "batch_edr_banded",
     "batch_lcss_distances",
@@ -155,7 +166,19 @@ def batch_match_tensor(query: np.ndarray, padded: np.ndarray,
 
 # -- batched exact DP kernels -------------------------------------------------
 
-def batch_dtw_distances(dm: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+#: Row cadence of the early-abandon check inside the exact numpy
+#: sweeps.  Checking every row would pay a masked row-min reduction per
+#: row for savings that only materialize every so often; every 8 rows
+#: keeps the dk=inf path overhead at a single branch per row while
+#: still cutting abandoned candidates' work by close to the ideal
+#: fraction.  Compiled kernels check every row (their check is a scalar
+#: compare, not a reduction), which is why exact *masks* may differ
+#: between backends while exact *values* never do.
+_ABANDON_EVERY = 8
+
+
+def batch_dtw_distances(dm: np.ndarray, lengths: np.ndarray,
+                        dk: float = np.inf, return_mask: bool = False):
     """Exact DTW for a whole candidate stack in one row sweep.
 
     ``dm`` is a ``(c, m, L)`` cost tensor with ``+inf`` past each
@@ -167,16 +190,30 @@ def batch_dtw_distances(dm: np.ndarray, lengths: np.ndarray) -> np.ndarray:
     ``dtw_distance(query, candidate)``.  Cost: ``m`` numpy row steps
     for the whole stack instead of ``m`` steps per candidate.
 
+    With a finite ``dk`` the sweep early-abandons: every monotone warp
+    path visits every row, so a candidate's running row minimum (over
+    its valid columns) lower-bounds its final DTW; once it reaches
+    ``dk`` the candidate's remaining rows are dropped and its returned
+    value is that row-min bound.  With ``return_mask`` the function
+    returns ``(values, exact_mask)`` where abandoned candidates are
+    False; with ``dk`` infinite every value is exact and bit-identical.
+
     Padding is benign: ``+inf`` costs produce ``inf``/``nan`` only at
     columns at or past each candidate's length, and the recurrence
     never feeds a later column into an earlier one, so the value read
     at ``lengths - 1`` is untouched by padding.
     """
     cc, m, width = dm.shape
+    out = np.empty(cc, dtype=np.float64)
+    exact = np.ones(cc, dtype=bool)
+    abandon = bool(np.isfinite(dk)) and m > 2
+    act = None           # active candidate indices (None = everyone)
+    lens = lengths
+    cols = np.arange(width)
     with np.errstate(invalid="ignore"):
         row = np.cumsum(dm[:, 0, :], axis=1)
         for i in range(1, m):
-            costs = dm[:, i, :]
+            costs = dm[:, i, :] if act is None else dm[act, i, :]
             cand = np.empty_like(row)
             cand[:, 0] = row[:, 0]
             np.minimum(row[:, :-1], row[:, 1:], out=cand[:, 1:])
@@ -186,7 +223,29 @@ def batch_dtw_distances(dm: np.ndarray, lengths: np.ndarray) -> np.ndarray:
             np.minimum.accumulate(cand, axis=1, out=cand)
             cand += prefix
             row = cand
-    return row[np.arange(cc), lengths - 1]
+            if abandon and i < m - 1 and i % _ABANDON_EVERY == 0:
+                valid = cols[np.newaxis, :] < lens[:, np.newaxis]
+                rmin = np.where(valid, row, np.inf).min(axis=1)
+                dead = rmin >= dk
+                if dead.any():
+                    idx = (act[dead] if act is not None
+                           else np.flatnonzero(dead))
+                    out[idx] = rmin[dead]
+                    exact[idx] = False
+                    keep = ~dead
+                    act = (act[keep] if act is not None
+                           else np.flatnonzero(keep))
+                    if act.size == 0:
+                        row = None
+                        break
+                    row = row[keep]
+                    lens = lens[keep]
+    if row is not None:
+        idx = np.arange(cc) if act is None else act
+        out[idx] = row[np.arange(len(idx)), lens - 1]
+    if return_mask:
+        return out, exact
+    return out
 
 
 def batch_dtw_banded(dm: np.ndarray, lengths: np.ndarray,
@@ -255,7 +314,8 @@ def _gather_diagonal(diag: np.ndarray, diag_lo: int,
 
 
 def _frechet_sweep(dm: np.ndarray, lengths: np.ndarray,
-                   r: int | None) -> np.ndarray:
+                   r: int | None, dk: float = np.inf,
+                   exact: np.ndarray | None = None) -> np.ndarray:
     """Anti-diagonal Frechet sweep over a candidate stack.
 
     With ``r`` None the sweep is the exact DP; otherwise anti-diagonals
@@ -263,16 +323,29 @@ def _frechet_sweep(dm: np.ndarray, lengths: np.ndarray,
     finish on different diagonals (their lengths differ), so each
     candidate's value is captured on its final diagonal
     ``(m - 1) + (length - 1)``.
+
+    With a finite ``dk`` (and an ``exact`` mask to write into) the
+    sweep early-abandons unfinished candidates.  A single anti-diagonal
+    is *not* a path cut — a diagonal step jumps from diagonal ``s - 2``
+    to ``s`` — but any path to a later cell must cross diagonal
+    ``s - 1`` or ``s``, so the minimum over the two most recent
+    diagonals lower-bounds every unfinished candidate's final value.
+    Cells outside a candidate's valid column range hold ``+inf`` (the
+    cost tensor is inf-padded and the DP is max/min selections), so no
+    masking is needed before the minimum.
     """
     cc, m, width = dm.shape
     out = np.empty(cc, dtype=np.float64)
-    final_s = (m - 1) + lengths - 1
+    abandon = exact is not None and bool(np.isfinite(dk))
+    act = np.arange(cc)
+    dm_a, fs_a = dm, (m - 1) + lengths - 1
     prev2, lo2 = np.empty((cc, 0)), 0
     prev1, lo1 = dm[:, 0, 0:1].copy(), 0
-    hit = final_s == 0
+    hit = fs_a == 0
     if hit.any():
         out[hit] = prev1[hit, 0]
     for s in range(1, m + width - 1):
+        count = len(act)
         i_lo = max(0, s - width + 1)
         i_hi = min(m - 1, s)
         if r is not None:
@@ -282,26 +355,44 @@ def _frechet_sweep(dm: np.ndarray, lengths: np.ndarray,
             # The band excludes this whole diagonal; later diagonals
             # see it as all-missing (gathers return inf).
             prev2, lo2 = prev1, lo1
-            prev1, lo1 = np.empty((cc, 0)), 0
+            prev1, lo1 = np.empty((count, 0)), 0
             continue
         ii = np.arange(i_lo, i_hi + 1)
-        costs = dm[:, ii, s - ii]
-        best = _gather_diagonal(prev2, lo2, ii - 1, cc)       # f[i-1, j-1]
-        np.minimum(best, _gather_diagonal(prev1, lo1, ii - 1, cc),
+        costs = dm_a[:, ii, s - ii]
+        best = _gather_diagonal(prev2, lo2, ii - 1, count)    # f[i-1, j-1]
+        np.minimum(best, _gather_diagonal(prev1, lo1, ii - 1, count),
                    out=best)                                  # f[i-1, j]
-        np.minimum(best, _gather_diagonal(prev1, lo1, ii, cc),
+        np.minimum(best, _gather_diagonal(prev1, lo1, ii, count),
                    out=best)                                  # f[i, j-1]
         current = np.maximum(costs, best)
-        hit = final_s == s
+        hit = fs_a == s
         if hit.any():
-            out[hit] = current[hit, m - 1 - i_lo]
+            out[act[hit]] = current[hit, m - 1 - i_lo]
+        if abandon and s % _ABANDON_EVERY == 0:
+            lb = current.min(axis=1)
+            if prev1.shape[1]:
+                np.minimum(lb, prev1.min(axis=1), out=lb)
+            dead = (fs_a > s) & (lb >= dk)
+            if dead.any():
+                out[act[dead]] = lb[dead]
+                exact[act[dead]] = False
+                keep = ~dead
+                act = act[keep]
+                if act.size == 0:
+                    return out
+                dm_a = dm_a[keep]
+                fs_a = fs_a[keep]
+                prev2, lo2 = prev1[keep], lo1
+                prev1, lo1 = current[keep], i_lo
+                continue
         prev2, lo2 = prev1, lo1
         prev1, lo1 = current, i_lo
     return out
 
 
-def batch_frechet_distances(dm: np.ndarray,
-                            lengths: np.ndarray) -> np.ndarray:
+def batch_frechet_distances(dm: np.ndarray, lengths: np.ndarray,
+                            dk: float = np.inf,
+                            return_mask: bool = False):
     """Exact discrete Frechet for a whole candidate stack.
 
     One anti-diagonal sweep over the shared ``(c, m, L)`` tensor
@@ -310,8 +401,17 @@ def batch_frechet_distances(dm: np.ndarray,
     min/max — exact float selections — so its value is
     evaluation-order independent and each result is **bit-identical**
     to :func:`repro.distances.frechet.frechet_distance`.
+
+    With a finite ``dk`` candidates whose two-diagonal frontier minimum
+    (a sound lower bound; see :func:`_frechet_sweep`) reaches ``dk``
+    are abandoned and return that bound; ``return_mask`` adds the
+    ``(values, exact_mask)`` form, with abandoned candidates False.
     """
-    return _frechet_sweep(dm, lengths, None)
+    exact = np.ones(dm.shape[0], dtype=bool)
+    values = _frechet_sweep(dm, lengths, None, dk=dk, exact=exact)
+    if return_mask:
+        return values, exact
+    return values
 
 
 def batch_frechet_banded(dm: np.ndarray, lengths: np.ndarray,
@@ -333,10 +433,85 @@ def batch_frechet_banded(dm: np.ndarray, lengths: np.ndarray,
     return _frechet_sweep(dm, lengths, r), False
 
 
+def batch_erp_distances(dm: np.ndarray, ga: np.ndarray, gb: np.ndarray,
+                        lengths: np.ndarray, dk: float = np.inf,
+                        return_mask: bool = False):
+    """Exact ERP for a whole candidate stack in one row sweep.
+
+    ``dm`` is the ``(c, m, L)`` query-to-candidate point distance
+    tensor (``+inf`` past each candidate's length), ``ga`` the query's
+    per-point gap distances, ``gb`` the ``(c, L)`` candidate gap
+    distances (``+inf`` past each length), and ``lengths`` the true
+    lengths.  The sweep replicates
+    :func:`repro.distances.erp.erp_distance`'s min-plus prefix scan —
+    the candidate-gap prefix is subtracted, the running minimum
+    accumulated, and the prefix added back, element for element in the
+    per-pair DP's association order — so each returned value is
+    **bit-identical** to ``erp_distance(query, candidate)``.
+
+    With a finite ``dk`` the sweep early-abandons: every monotone
+    alignment path visits every row of the table, so the running row
+    minimum over a candidate's valid columns (``j <= length``)
+    lower-bounds its final ERP; candidates whose row-min reaches ``dk``
+    drop out with that bound, flagged False in the ``return_mask``
+    form's exact mask.
+
+    Padding is benign: ``+inf`` gaps/costs produce ``inf``/``nan``
+    only at columns past each candidate's length, and the recurrence
+    never feeds a later column into an earlier one, so the value read
+    at column ``length`` is untouched.
+    """
+    cc, m, width = dm.shape
+    out = np.empty(cc, dtype=np.float64)
+    exact = np.ones(cc, dtype=bool)
+    abandon = bool(np.isfinite(dk)) and m > 2
+    act = None
+    lens = lengths
+    cols = np.arange(width + 1)
+    with np.errstate(invalid="ignore"):
+        gbp = np.concatenate(
+            [np.zeros((cc, 1)), np.cumsum(gb, axis=1)], axis=1)
+        prev = gbp.copy()                       # f[0, j] = sum(gap_b[:j])
+        for i in range(m):
+            costs = dm[:, i, :] if act is None else dm[act, i, :]
+            cand = np.empty_like(prev)
+            cand[:, 0] = prev[:, 0] + ga[i]
+            np.minimum(prev[:, :-1] + costs, prev[:, 1:] + ga[i],
+                       out=cand[:, 1:])
+            cand -= gbp
+            np.minimum.accumulate(cand, axis=1, out=cand)
+            cand += gbp
+            prev = cand
+            if abandon and i < m - 1 and (i + 1) % _ABANDON_EVERY == 0:
+                valid = cols[np.newaxis, :] <= lens[:, np.newaxis]
+                rmin = np.where(valid, prev, np.inf).min(axis=1)
+                dead = rmin >= dk
+                if dead.any():
+                    idx = (act[dead] if act is not None
+                           else np.flatnonzero(dead))
+                    out[idx] = rmin[dead]
+                    exact[idx] = False
+                    keep = ~dead
+                    act = (act[keep] if act is not None
+                           else np.flatnonzero(keep))
+                    if act.size == 0:
+                        prev = None
+                        break
+                    prev = prev[keep]
+                    gbp = gbp[keep]
+                    lens = lens[keep]
+    if prev is not None:
+        idx = np.arange(cc) if act is None else act
+        out[idx] = prev[np.arange(len(idx)), lens]
+    if return_mask:
+        return out, exact
+    return out
+
+
 # -- batched integer edit DPs (EDR / LCSS) ------------------------------------
 
-def batch_edr_distances(match: np.ndarray,
-                        lengths: np.ndarray) -> np.ndarray:
+def batch_edr_distances(match: np.ndarray, lengths: np.ndarray,
+                        dk: float = np.inf, return_mask: bool = False):
     """Exact EDR for a whole candidate stack in one row sweep.
 
     ``match`` is a ``(c, m, L)`` boolean eps-match tensor
@@ -348,17 +523,29 @@ def batch_edr_distances(match: np.ndarray,
     values are small integers held in float64, so each returned value is
     **bit-identical** to ``edr_distance(query, candidate)``.
 
+    With a finite ``dk`` the sweep early-abandons on the running
+    row-min bound over valid columns (every alignment path visits
+    every table row and edit costs are non-negative); ``return_mask``
+    adds the ``(values, exact_mask)`` form with abandoned candidates
+    flagged False.
+
     Padding is benign: False matches cost 1 only at columns at or past
     each candidate's length, and the recurrence never feeds a later
     column into an earlier one, so the value read at column ``lengths``
     is untouched by padding.
     """
     cc, m, width = match.shape
+    out = np.empty(cc, dtype=np.float64)
+    exact = np.ones(cc, dtype=bool)
+    abandon = bool(np.isfinite(dk)) and m > 2
+    act = None
+    lens = lengths
     positions = np.arange(width + 1, dtype=np.float64)
     prev = np.broadcast_to(positions, (cc, width + 1)).copy()  # f[0, j] = j
     for i in range(m):
-        sub_cost = np.where(match[:, i, :], 0.0, 1.0)
-        cand = np.empty((cc, width + 1), dtype=np.float64)
+        mm = match[:, i, :] if act is None else match[act, i, :]
+        sub_cost = np.where(mm, 0.0, 1.0)
+        cand = np.empty((len(prev), width + 1), dtype=np.float64)
         cand[:, 0] = prev[:, 0] + 1.0
         np.minimum(prev[:, :-1] + sub_cost, prev[:, 1:] + 1.0,
                    out=cand[:, 1:])
@@ -366,7 +553,29 @@ def batch_edr_distances(match: np.ndarray,
         np.minimum.accumulate(cand, axis=1, out=cand)
         cand += positions
         prev = cand
-    return prev[np.arange(cc), lengths]
+        if abandon and i < m - 1 and (i + 1) % _ABANDON_EVERY == 0:
+            valid = positions[np.newaxis, :] <= lens[:, np.newaxis]
+            rmin = np.where(valid, prev, np.inf).min(axis=1)
+            dead = rmin >= dk
+            if dead.any():
+                idx = (act[dead] if act is not None
+                       else np.flatnonzero(dead))
+                out[idx] = rmin[dead]
+                exact[idx] = False
+                keep = ~dead
+                act = (act[keep] if act is not None
+                       else np.flatnonzero(keep))
+                if act.size == 0:
+                    prev = None
+                    break
+                prev = prev[keep]
+                lens = lens[keep]
+    if prev is not None:
+        idx = np.arange(cc) if act is None else act
+        out[idx] = prev[np.arange(len(idx)), lens]
+    if return_mask:
+        return out, exact
+    return out
 
 
 def batch_edr_banded(match: np.ndarray, lengths: np.ndarray,
@@ -430,8 +639,8 @@ def batch_edr_banded(match: np.ndarray, lengths: np.ndarray,
     return window[np.arange(cc), lengths - lo_last], False
 
 
-def batch_lcss_distances(match: np.ndarray,
-                         lengths: np.ndarray) -> np.ndarray:
+def batch_lcss_distances(match: np.ndarray, lengths: np.ndarray,
+                         dk: float = np.inf, return_mask: bool = False):
     """Exact LCSS distances for a whole candidate stack in one sweep.
 
     One integer row sweep over the shared ``(c, m, L)`` match tensor
@@ -442,18 +651,52 @@ def batch_lcss_distances(match: np.ndarray,
     per-pair code divides, so each value is **bit-identical** to
     ``lcss_distance(query, candidate)``.  Padding never matches, so
     columns past each candidate's length cannot contribute.
+
+    With a finite ``dk`` the sweep early-abandons: after row ``i`` a
+    candidate's similarity can still grow by at most ``m - 1 - i``
+    (one match per remaining query row), so
+    ``1 - (row_max + m - 1 - i) / min(m, n)`` lower-bounds its final
+    distance; candidates whose bound reaches ``dk`` drop out with it,
+    flagged False in the ``return_mask`` form's exact mask.
     """
     cc, m, width = match.shape
+    out = np.empty(cc, dtype=np.float64)
+    exact = np.ones(cc, dtype=bool)
+    abandon = bool(np.isfinite(dk)) and m > 2
+    act = None
+    lens = lengths
     prev = np.zeros((cc, width + 1), dtype=np.int64)
     for i in range(m):
-        cand = np.empty((cc, width + 1), dtype=np.int64)
+        mm = match[:, i, :] if act is None else match[act, i, :]
+        cand = np.empty((len(prev), width + 1), dtype=np.int64)
         cand[:, 0] = 0
-        np.maximum(prev[:, 1:], prev[:, :-1] + match[:, i, :],
-                   out=cand[:, 1:])
+        np.maximum(prev[:, 1:], prev[:, :-1] + mm, out=cand[:, 1:])
         np.maximum.accumulate(cand, axis=1, out=cand)
         prev = cand
-    sims = prev[np.arange(cc), lengths]
-    return 1.0 - sims / np.minimum(m, lengths)
+        if abandon and i < m - 1 and (i + 1) % _ABANDON_EVERY == 0:
+            ub_sim = prev.max(axis=1) + (m - 1 - i)
+            lb = 1.0 - ub_sim / np.minimum(m, lens)
+            dead = lb >= dk
+            if dead.any():
+                idx = (act[dead] if act is not None
+                       else np.flatnonzero(dead))
+                out[idx] = lb[dead]
+                exact[idx] = False
+                keep = ~dead
+                act = (act[keep] if act is not None
+                       else np.flatnonzero(keep))
+                if act.size == 0:
+                    prev = None
+                    break
+                prev = prev[keep]
+                lens = lens[keep]
+    if prev is not None:
+        idx = np.arange(cc) if act is None else act
+        sims = prev[np.arange(len(idx)), lens]
+        out[idx] = 1.0 - sims / np.minimum(m, lens)
+    if return_mask:
+        return out, exact
+    return out
 
 
 def batch_lcss_banded(match: np.ndarray, lengths: np.ndarray,
@@ -778,14 +1021,18 @@ class BatchRefiner:
 
     Computes all candidates' refinement lower bounds up front (one
     batched kernel) and then answers per-candidate
-    ``exact_or_bound(i, threshold)`` queries with the same contract —
-    and the same bits — as :func:`distance_with_threshold`: the batch
-    bounds reproduce that function's internal prefilter values
-    bit-for-bit, so its branch can be replicated without recomputing
-    the prefilter.
+    ``exact_or_bound(i, threshold)`` queries with the same contract as
+    :func:`distance_with_threshold`: every batch bound is a sound
+    lower bound at least as tight as that function's internal
+    prefilter (for most measures it reproduces the prefilter values
+    bit-for-bit; the EDR/LCSS admission bounds are strictly tighter),
+    so its branch can be replicated without recomputing the prefilter
+    — a returned bound always lands at or above the threshold the
+    sequential call would have pruned with, and exact values are the
+    sequential DP's bits.
 
-    For the DP measures (Frechet/DTW, and the integer edit measures
-    EDR/LCSS) three further accelerations apply:
+    For the DP measures (Frechet/DTW, ERP, and the integer edit
+    measures EDR/LCSS) three further accelerations apply:
 
     * the broadcast tensor — pairwise distances for Frechet/DTW, the
       boolean eps-match tensor for EDR/LCSS — is retained (when it fits
@@ -796,7 +1043,9 @@ class BatchRefiner:
       beats ``dk`` — when the band covers the whole matrix these are
       exact distances and :attr:`exact_mask` marks them;
     * :meth:`exact_batch` evaluates many survivors' exact DPs in one
-      batched sweep, bit-identical to the per-pair DP.
+      batched sweep — through the configured kernel backend
+      (:mod:`repro.distances.kernels`) — bit-identical to the per-pair
+      DP for every candidate it marks exact.
 
     For ERP the classic gap-mass screen is tightened for surviving
     candidates by the vectorized per-prefix corner DP.
@@ -809,20 +1058,27 @@ class BatchRefiner:
         The current pruning threshold (k-th best distance, or the range
         radius).  Used only to skip screening work for candidates that
         are already out — never to change results.
+    kernels:
+        Kernel backend name (``"numpy"`` | ``"cnative"`` | ``"numba"``
+        | ``"auto"``/None); resolved once via
+        :func:`repro.distances.kernels.get_kernels`.
     """
 
     def __init__(self, measure: Measure, query: np.ndarray, store,
-                 tids: list[int], dk: float = np.inf):
+                 tids: list[int], dk: float = np.inf,
+                 kernels: str | None = None):
         self.measure = measure
         self.query = query
         self.store = store
         self.tids = tids
         self.name = measure.name
+        self.kernels = get_kernels(kernels)
         self.uppers: np.ndarray | None = None
         self.exact_mask: np.ndarray | None = None
         self._chunks: list | None = None    # [(rows, tensor)] when kept
         self._row_of: np.ndarray | None = None
         self._lengths: np.ndarray | None = None
+        self._erp_ga: np.ndarray | None = None
         if self.name in ("frechet", "dtw") and tids:
             padded, lengths = store.gather(tids)
             self._lengths = lengths
@@ -859,8 +1115,8 @@ class BatchRefiner:
                                 keep: bool) -> None:
         """Chunked screen for DTW/Frechet: lower bounds, banded upper
         bounds for survivors, and (optionally) retained tensors."""
-        banded = (batch_dtw_banded if self.name == "dtw"
-                  else batch_frechet_banded)
+        banded = (self.kernels.dtw_banded if self.name == "dtw"
+                  else self.kernels.frechet_banded)
         self._screen_dp_measures(
             padded, lengths, dk, keep, banded,
             build_tensor=lambda chunk: batch_point_distance_tensor(
@@ -875,17 +1131,40 @@ class BatchRefiner:
         upper bounds for survivors, and (optionally) retained match
         tensors for the staged exact DPs."""
         eps = _edit_eps(self.measure)
-        banded = (batch_edr_banded if self.name == "edr"
-                  else batch_lcss_banded)
+        banded = (self.kernels.edr_banded if self.name == "edr"
+                  else self.kernels.lcss_banded)
+        m = len(self.query)
         if self.name == "edr":
-            # The per-pair prefilter's length-difference bound, computed
-            # on the same integers (bit-identical as floats).
+            # The per-pair prefilter's length-difference bound,
+            # tightened by match-count admission bounds read off the
+            # hot tensor: a query row with no eps-match anywhere in
+            # the candidate forces at least one edit, and so does
+            # every never-matched candidate point (each alignment op
+            # resolves at most one such row/point).
             def chunk_bounds(tensor, chunk_lengths):
-                return np.abs(float(len(self.query))
-                              - chunk_lengths.astype(np.float64))
+                row_any = tensor.any(axis=2).sum(axis=1)
+                col_any = tensor.any(axis=1).sum(axis=1)
+                lens = chunk_lengths.astype(np.float64)
+                bounds = np.abs(float(m) - lens)
+                np.maximum(bounds, (m - row_any).astype(np.float64),
+                           out=bounds)
+                np.maximum(bounds, lens - col_any, out=bounds)
+                return bounds
         else:
+            # LCSS finally gets a non-trivial admission bound (the
+            # PR 5 follow-up): the common subsequence cannot exceed
+            # the number of query rows — or candidate points — with
+            # any eps-match at all, so
+            # ``1 - min(row_any, col_any, min(m, n)) / min(m, n)``
+            # lower-bounds the distance and admits a candidate to
+            # gather/exact work only when enough matches exist for it
+            # to still beat the threshold.
             def chunk_bounds(tensor, chunk_lengths):
-                return np.zeros(len(chunk_lengths), dtype=np.float64)
+                row_any = tensor.any(axis=2).sum(axis=1)
+                col_any = tensor.any(axis=1).sum(axis=1)
+                mn = np.minimum(m, chunk_lengths)
+                ub_sim = np.minimum(np.minimum(row_any, col_any), mn)
+                return 1.0 - ub_sim / mn
         self._screen_dp_measures(
             padded, lengths, dk, keep, banded,
             build_tensor=lambda chunk: batch_match_tensor(
@@ -982,17 +1261,44 @@ class BatchRefiner:
     @property
     def supports_batch_dp(self) -> bool:
         """True when :meth:`exact_batch` runs a real batched DP."""
-        return self.name in ("frechet", "dtw", "edr", "lcss")
+        return self.name in ("frechet", "dtw", "erp", "edr", "lcss")
 
-    def exact_batch(self, idxs: list[int]) -> np.ndarray:
-        """Exact distances for candidates ``idxs`` via one batched DP.
+    def _erp_tensors(self, idxs: list[int]):
+        """Gather the ERP DP inputs for candidates ``idxs``: the point
+        distance tensor, the query/candidate gap distances (inf-padded
+        for the candidates) and the true lengths.  The gap distances
+        are the same ``hypot`` the per-pair DP computes, elementwise on
+        the same operands, so the batched DP stays bit-identical."""
+        gap = np.asarray(self.measure.params.get("gap", (0.0, 0.0)),
+                         dtype=np.float64)
+        if self._erp_ga is None:
+            self._erp_ga = np.hypot(self.query[:, 0] - gap[0],
+                                    self.query[:, 1] - gap[1])
+        padded, lengths = self.store.gather(
+            [self.tids[i] for i in idxs])
+        dm = batch_point_distance_tensor(self.query, padded)
+        gb = np.hypot(padded[:, :, 0] - gap[0], padded[:, :, 1] - gap[1])
+        return dm, self._erp_ga, gb, lengths
 
-        Bit-identical to calling the per-pair DP for each candidate;
-        reuses retained tensor slices when available, otherwise
-        regathers just these candidates.
+    def exact_batch(self, idxs: list[int], dk: float = np.inf,
+                    ) -> tuple[np.ndarray, np.ndarray]:
+        """Distances for candidates ``idxs`` via one batched DP,
+        dispatched through the configured kernel backend.
+
+        Returns ``(values, exact_mask)``.  Values flagged exact are
+        bit-identical to the per-pair DP; with a finite ``dk`` a
+        candidate may instead be early-abandoned, in which case its
+        value is a sound lower bound that is ``>= dk`` and its mask
+        entry is False.  Reuses retained tensor slices when available,
+        otherwise regathers just these candidates.
         """
         if len(idxs) == 1:
-            return np.array([self._exact_pair(idxs[0])])
+            return (np.array([self._exact_pair(idxs[0])]),
+                    np.ones(1, dtype=bool))
+        kern = self.kernels
+        if self.name == "erp":
+            dm, ga, gb, lengths = self._erp_tensors(idxs)
+            return kern.erp_exact(dm, ga, gb, lengths, dk=dk)
         edit = self.name in ("edr", "lcss")
         lengths = self._lengths[idxs]
         if self._chunks is not None:
@@ -1014,12 +1320,12 @@ class BatchRefiner:
             else:
                 dm = batch_point_distance_tensor(self.query, padded)
         if self.name == "dtw":
-            return batch_dtw_distances(dm, lengths)
+            return kern.dtw_exact(dm, lengths, dk=dk)
         if self.name == "frechet":
-            return batch_frechet_distances(dm, lengths)
+            return kern.frechet_exact(dm, lengths, dk=dk)
         if self.name == "edr":
-            return batch_edr_distances(dm, lengths)
-        return batch_lcss_distances(dm, lengths)
+            return kern.edr_exact(dm, lengths, dk=dk)
+        return kern.lcss_exact(dm, lengths, dk=dk)
 
     def _exact_pair(self, i: int) -> float:
         """Per-pair exact evaluation for candidate ``i`` (DP measures).
@@ -1055,7 +1361,8 @@ class BatchRefiner:
 
 
 def refine_top_k(measure: Measure, query: np.ndarray, tids: list[int],
-                 store, heap, stats=None) -> None:
+                 store, heap, stats=None, kernels: str | None = None,
+                 ) -> None:
     """Refine a candidate batch into a top-k ``heap``.
 
     ``heap`` must expose ``dk``, ``offer(distance, tid)`` and
@@ -1086,10 +1393,15 @@ def refine_top_k(measure: Measure, query: np.ndarray, tids: list[int],
 
     Every value that can enter the heap is either the sequential DP's
     result bit-for-bit (batched DPs reproduce the per-pair float
-    operations) or the output of the same ``distance_with_threshold``
-    call the sequential loop would have made, so the final heap —
-    including tie-breaks at the k-th boundary — is bit-identical to the
-    per-trajectory loop's.
+    operations for every candidate they mark exact), the output of the
+    same ``distance_with_threshold`` call the sequential loop would
+    have made, or a sound lower bound already at or above ``heap.dk``
+    when offered (an early-abandoned DP or a tightened admission
+    bound — a no-op offer either way), so the final heap — including
+    tie-breaks at the k-th boundary — is bit-identical to the
+    per-trajectory loop's.  ``kernels`` selects the DP backend
+    (:mod:`repro.distances.kernels`); backends never change the heap,
+    only the speed.
     """
     count = len(tids)
     if count == 0:
@@ -1101,7 +1413,8 @@ def refine_top_k(measure: Measure, query: np.ndarray, tids: list[int],
             heap.offer(distance_with_threshold(
                 measure, query, store.points_of(tid), heap.dk), tid)
         return
-    refiner = BatchRefiner(measure, query, store, tids, dk=heap.dk)
+    refiner = BatchRefiner(measure, query, store, tids, dk=heap.dk,
+                           kernels=kernels)
     bounds = refiner.bounds
     if refiner.is_exact:
         for tid, dist in zip(tids, bounds.tolist()):
@@ -1153,11 +1466,18 @@ def refine_top_k(measure: Measure, query: np.ndarray, tids: list[int],
                 break
             if stats is not None:
                 stats.exact_refinements += len(group)
-            for i, value in zip(group,
-                                refiner.exact_batch(group).tolist()):
-                values[i] = value
-                exact[i] = True
-                probe.offer(value, tids[i])
+            g_values, g_exact = refiner.exact_batch(group, dk=dk)
+            for gi, i in enumerate(group):
+                value = float(g_values[gi])
+                if g_exact[gi]:
+                    values[i] = value
+                    exact[i] = True
+                    probe.offer(value, tids[i])
+                elif value > values[i]:
+                    # Early-abandoned: keep the tighter lower bound.
+                    # It is >= the stage's dk, so if the final replay
+                    # threshold is looser the replay recomputes.
+                    values[i] = value
             stage = min(stage * 2, _DP_BATCH_MAX)
     else:
         for i in order:
@@ -1187,16 +1507,17 @@ def refine_top_k(measure: Measure, query: np.ndarray, tids: list[int],
 
 
 def refine_range(measure: Measure, query: np.ndarray, tids: list[int],
-                 store, radius: float,
-                 stats=None) -> list[tuple[float, int]]:
+                 store, radius: float, stats=None,
+                 kernels: str | None = None) -> list[tuple[float, int]]:
     """All candidates within ``radius``, as ``(distance, tid)`` pairs.
 
     Candidates whose batch bound already exceeds the radius are dropped
     without any per-candidate work; the rest go through the same
-    thresholded computation the sequential loop uses — batched for
-    DTW/Frechet — so the surviving set and its distances are
-    bit-identical.  ``stats`` counts exact evaluations as in
-    :func:`refine_top_k`.
+    thresholded computation the sequential loop uses — batched for the
+    DP measures, through the ``kernels`` backend — so the surviving
+    set and its distances are bit-identical (an early-abandoned DP
+    value is ``>= cutoff > radius`` and never admits).  ``stats``
+    counts exact evaluations as in :func:`refine_top_k`.
     """
     matches: list[tuple[float, int]] = []
     if not tids:
@@ -1211,7 +1532,8 @@ def refine_range(measure: Measure, query: np.ndarray, tids: list[int],
             if dist <= radius:
                 matches.append((dist, tid))
         return matches
-    refiner = BatchRefiner(measure, query, store, tids, dk=cutoff)
+    refiner = BatchRefiner(measure, query, store, tids, dk=cutoff,
+                           kernels=kernels)
     if refiner.is_exact:
         for tid, dist in zip(tids, refiner.bounds.tolist()):
             if dist <= radius:
@@ -1221,6 +1543,8 @@ def refine_range(measure: Measure, query: np.ndarray, tids: list[int],
                  if refiner.bounds[i] < cutoff]
     if refiner.supports_batch_dp:
         known = refiner.exact_mask
+        if known is None:           # ERP keeps no banded screen
+            known = np.zeros(len(tids), dtype=bool)
         pending = [i for i in survivors if not known[i]]
         distances = dict(
             (i, float(refiner.uppers[i]))
@@ -1229,9 +1553,9 @@ def refine_range(measure: Measure, query: np.ndarray, tids: list[int],
             stats.exact_refinements += len(survivors)
         for lo in range(0, len(pending), _DP_BATCH_MAX):
             group = pending[lo:lo + _DP_BATCH_MAX]
-            for i, value in zip(group,
-                                refiner.exact_batch(group).tolist()):
-                distances[i] = value
+            g_values, _ = refiner.exact_batch(group, dk=cutoff)
+            for gi, i in enumerate(group):
+                distances[i] = float(g_values[gi])
         for i in survivors:
             if distances[i] <= radius:
                 matches.append((distances[i], tids[i]))

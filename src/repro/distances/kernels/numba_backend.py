@@ -1,0 +1,522 @@
+"""Numba ``njit`` translations of the batch DP sweeps.
+
+Import-gated: when numba is not installed (the default container has
+only the numpy toolchain) :func:`available` returns False and the
+registry silently skips this backend.  Install it with
+``pip install .[kernels]``.
+
+The jitted loops are the same element-order translations as the C
+backend (:mod:`repro.distances.kernels.cnative`): DTW/ERP replicate
+the min-plus prefix scan per element, Frechet/the banded kernels use
+only selections, EDR/LCSS are integer DPs — so every exact value is
+bit-identical to the numpy sweeps.  Kernels are compiled with
+``cache=True`` (honouring ``NUMBA_CACHE_DIR``) and ``nogil=True`` so
+the thread execution backend scales on them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:
+    from numba import njit as _njit
+    _HAVE_NUMBA = True
+except Exception:  # pragma: no cover - exercised when numba is absent
+    _HAVE_NUMBA = False
+
+    def _njit(*args, **kwargs):
+        """No-op decorator stand-in used when numba is absent."""
+        if len(args) == 1 and callable(args[0]):
+            return args[0]
+
+        def deco(fn):
+            return fn
+        return deco
+
+__all__ = ["available", "dtw_exact", "frechet_exact", "erp_exact",
+           "edr_exact", "lcss_exact", "dtw_banded", "frechet_banded",
+           "edr_banded", "lcss_banded"]
+
+
+def available() -> bool:
+    """True when numba imported and the jitted kernels are usable."""
+    if not _HAVE_NUMBA:
+        return False
+    global _CHECKED, _USABLE
+    if _CHECKED:
+        return _USABLE
+    try:
+        # Warm one tiny kernel so a broken numba install (missing
+        # llvmlite, unsupported interpreter) is caught here, once,
+        # instead of erupting mid-refinement.
+        dm = np.zeros((1, 1, 1), dtype=np.float64)
+        lengths = np.ones(1, dtype=np.int64)
+        dtw_exact(dm, lengths, np.inf)
+        _USABLE = True
+    except Exception:  # pragma: no cover - depends on install health
+        _USABLE = False
+    _CHECKED = True
+    return _USABLE
+
+
+_CHECKED = False
+_USABLE = False
+
+
+@_njit(cache=True, nogil=True)
+def _nmin(a, b):
+    """np.minimum semantics: propagate nan, otherwise select."""
+    if a != a:
+        return a
+    if b != b:
+        return b
+    return b if b < a else a
+
+
+@_njit(cache=True, nogil=True)
+def _nmax(a, b):
+    """np.maximum semantics: propagate nan, otherwise select."""
+    if a != a:
+        return a
+    if b != b:
+        return b
+    return b if b > a else a
+
+
+@_njit(cache=True, nogil=True)
+def _dtw_exact(dm, lengths, dk, out, exact):
+    cc, m, width = dm.shape
+    check = np.isfinite(dk)
+    row = np.empty(width, dtype=np.float64)
+    for c in range(cc):
+        n = lengths[c]
+        acc = 0.0
+        for j in range(n):
+            acc += dm[c, 0, j]
+            row[j] = acc
+        done = False
+        for i in range(1, m):
+            prev_up = row[0]
+            prefix = dm[c, i, 0]
+            t = (row[0] + dm[c, i, 0]) - prefix
+            runmin = t
+            nv = runmin + prefix
+            rmin = nv
+            row[0] = nv
+            for j in range(1, n):
+                up = row[j]
+                cand = _nmin(prev_up, up) + dm[c, i, j]
+                prefix += dm[c, i, j]
+                t = cand - prefix
+                runmin = _nmin(runmin, t)
+                nv = runmin + prefix
+                prev_up = up
+                row[j] = nv
+                if nv < rmin:
+                    rmin = nv
+            if check and i < m - 1 and rmin >= dk:
+                out[c] = rmin
+                exact[c] = False
+                done = True
+                break
+        if not done:
+            out[c] = row[n - 1]
+            exact[c] = True
+
+
+@_njit(cache=True, nogil=True)
+def _frechet_exact(dm, lengths, dk, out, exact):
+    cc, m, width = dm.shape
+    check = np.isfinite(dk)
+    row = np.empty(width, dtype=np.float64)
+    for c in range(cc):
+        n = lengths[c]
+        run = dm[c, 0, 0]
+        row[0] = run
+        for j in range(1, n):
+            run = _nmax(run, dm[c, 0, j])
+            row[j] = run
+        done = False
+        for i in range(1, m):
+            prev_diag = row[0]
+            nv = _nmax(dm[c, i, 0], prev_diag)
+            row[0] = nv
+            left = nv
+            rmin = nv
+            for j in range(1, n):
+                up = row[j]
+                best = _nmin(prev_diag, _nmin(up, left))
+                nv = _nmax(dm[c, i, j], best)
+                prev_diag = up
+                left = nv
+                row[j] = nv
+                if nv < rmin:
+                    rmin = nv
+            if check and i < m - 1 and rmin >= dk:
+                out[c] = rmin
+                exact[c] = False
+                done = True
+                break
+        if not done:
+            out[c] = row[n - 1]
+            exact[c] = True
+
+
+@_njit(cache=True, nogil=True)
+def _erp_exact(dm, ga, gb, lengths, dk, out, exact):
+    cc, m, width = dm.shape
+    check = np.isfinite(dk)
+    prev = np.empty(width + 1, dtype=np.float64)
+    gbp = np.empty(width + 1, dtype=np.float64)
+    for c in range(cc):
+        n = lengths[c]
+        gbp[0] = 0.0
+        for j in range(1, n + 1):
+            gbp[j] = gbp[j - 1] + gb[c, j - 1]
+        for j in range(n + 1):
+            prev[j] = gbp[j]
+        done = False
+        for i in range(m):
+            gai = ga[i]
+            prev_left = prev[0]
+            t = (prev[0] + gai) - gbp[0]
+            runmin = t
+            nv = runmin + gbp[0]
+            prev[0] = nv
+            rmin = nv
+            for j in range(1, n + 1):
+                cand = _nmin(prev_left + dm[c, i, j - 1], prev[j] + gai)
+                prev_left = prev[j]
+                t = cand - gbp[j]
+                runmin = _nmin(runmin, t)
+                nv = runmin + gbp[j]
+                prev[j] = nv
+                if nv < rmin:
+                    rmin = nv
+            if check and i < m - 1 and rmin >= dk:
+                out[c] = rmin
+                exact[c] = False
+                done = True
+                break
+        if not done:
+            out[c] = prev[n]
+            exact[c] = True
+
+
+@_njit(cache=True, nogil=True)
+def _edr_exact(match, lengths, dk, out, exact):
+    cc, m, width = match.shape
+    check = np.isfinite(dk)
+    prev = np.empty(width + 1, dtype=np.int64)
+    for c in range(cc):
+        n = lengths[c]
+        for j in range(n + 1):
+            prev[j] = j
+        done = False
+        for i in range(m):
+            diag = prev[0]
+            prev[0] = prev[0] + 1
+            rmin = prev[0]
+            for j in range(1, n + 1):
+                up = prev[j]
+                best = diag + (0 if match[c, i, j - 1] else 1)
+                if up + 1 < best:
+                    best = up + 1
+                if prev[j - 1] + 1 < best:
+                    best = prev[j - 1] + 1
+                diag = up
+                prev[j] = best
+                if best < rmin:
+                    rmin = best
+            if check and i < m - 1 and float(rmin) >= dk:
+                out[c] = float(rmin)
+                exact[c] = False
+                done = True
+                break
+        if not done:
+            out[c] = float(prev[n])
+            exact[c] = True
+
+
+@_njit(cache=True, nogil=True)
+def _lcss_exact(match, lengths, dk, out, exact):
+    cc, m, width = match.shape
+    check = np.isfinite(dk)
+    prev = np.empty(width + 1, dtype=np.int64)
+    for c in range(cc):
+        n = lengths[c]
+        mn = m if m < n else n
+        for j in range(n + 1):
+            prev[j] = 0
+        done = False
+        for i in range(m):
+            diag = prev[0]
+            rmax = 0
+            for j in range(1, n + 1):
+                up = prev[j]
+                best = up
+                d = diag + (1 if match[c, i, j - 1] else 0)
+                if d > best:
+                    best = d
+                if prev[j - 1] > best:
+                    best = prev[j - 1]
+                diag = up
+                prev[j] = best
+                if best > rmax:
+                    rmax = best
+            if check and i < m - 1:
+                lb = 1.0 - float(rmax + (m - 1 - i)) / float(mn)
+                if lb >= dk:
+                    out[c] = lb
+                    exact[c] = False
+                    done = True
+                    break
+        if not done:
+            out[c] = 1.0 - float(prev[n]) / float(mn)
+            exact[c] = True
+
+
+@_njit(cache=True, nogil=True)
+def _dtw_banded(dm, lengths, r, out):
+    cc, m, width = dm.shape
+    w = 2 * r + 1
+    lo_last = m - 1 - r
+    if lo_last < 0:
+        lo_last = 0
+    win = np.empty(w, dtype=np.float64)
+    mv = np.empty(w, dtype=np.float64)
+    inf = np.inf
+    for c in range(cc):
+        acc = 0.0
+        for jj in range(w):
+            acc += dm[c, 0, jj] if jj < width else inf
+            win[jj] = acc
+        lo_prev = 0
+        for i in range(1, m):
+            lo = i - r
+            if lo < 0:
+                lo = 0
+            if lo == lo_prev:
+                mv[0] = win[0]
+                for jj in range(1, w):
+                    mv[jj] = _nmin(win[jj - 1], win[jj])
+            else:
+                mv[w - 1] = win[w - 1]
+                for jj in range(w - 1):
+                    mv[jj] = _nmin(win[jj], win[jj + 1])
+            prefix = 0.0
+            runmin = 0.0
+            for jj in range(w):
+                col = lo + jj
+                cost = dm[c, i, col] if col < width else inf
+                cand = mv[jj] + cost
+                prefix = cost if jj == 0 else prefix + cost
+                t = cand - prefix
+                runmin = t if jj == 0 else _nmin(runmin, t)
+                win[jj] = runmin + prefix
+            lo_prev = lo
+        out[c] = win[lengths[c] - 1 - lo_last]
+
+
+@_njit(cache=True, nogil=True)
+def _frechet_banded(dm, lengths, r, out):
+    cc, m, width = dm.shape
+    row = np.empty(width, dtype=np.float64)
+    inf = np.inf
+    for c in range(cc):
+        n = lengths[c]
+        for j in range(n):
+            row[j] = inf
+        hi = r + 1 if r + 1 < n else n
+        run = dm[c, 0, 0]
+        row[0] = run
+        for j in range(1, hi):
+            run = _nmax(run, dm[c, 0, j])
+            row[j] = run
+        for i in range(1, m):
+            lo = i - r
+            if lo < 0:
+                lo = 0
+            hi = i + r + 1
+            if hi > n:
+                hi = n
+            left = inf
+            prev_diag = row[lo - 1] if lo > 0 else inf
+            for j in range(lo, hi):
+                up = row[j]
+                best = _nmin(prev_diag, _nmin(up, left))
+                nv = _nmax(dm[c, i, j], best)
+                prev_diag = up
+                left = nv
+                row[j] = nv
+        out[c] = row[n - 1]
+
+
+@_njit(cache=True, nogil=True)
+def _edr_banded(match, lengths, r, out):
+    cc, m, width = match.shape
+    w = 2 * r + 1
+    prev = np.empty(width + 1, dtype=np.float64)
+    cur = np.empty(width + 1, dtype=np.float64)
+    inf = np.inf
+    for c in range(cc):
+        n = lengths[c]
+        hi0 = w if w < n + 1 else n + 1
+        for j in range(n + 1):
+            prev[j] = float(j) if j < hi0 else inf
+        for i in range(1, m + 1):
+            lo = i - r
+            if lo < 0:
+                lo = 0
+            hi = lo + w - 1
+            if hi > n:
+                hi = n
+            for j in range(n + 1):
+                cur[j] = inf
+            for j in range(lo, hi + 1):
+                if j == 0:
+                    cur[0] = prev[0] + 1.0
+                    continue
+                best = prev[j - 1] + (0.0 if match[c, i - 1, j - 1]
+                                      else 1.0)
+                if prev[j] + 1.0 < best:
+                    best = prev[j] + 1.0
+                if j > lo and cur[j - 1] + 1.0 < best:
+                    best = cur[j - 1] + 1.0
+                cur[j] = best
+            for j in range(n + 1):
+                prev[j] = cur[j]
+        out[c] = prev[n]
+
+
+@_njit(cache=True, nogil=True)
+def _lcss_banded(match, lengths, r, out):
+    cc, m, width = match.shape
+    w = 2 * r + 1
+    prev = np.empty(width + 1, dtype=np.int64)
+    cur = np.empty(width + 1, dtype=np.int64)
+    for c in range(cc):
+        n = lengths[c]
+        mn = m if m < n else n
+        for j in range(n + 1):
+            prev[j] = 0
+        for i in range(1, m + 1):
+            lo = i - r
+            if lo < 0:
+                lo = 0
+            hi = lo + w - 1
+            if hi > n:
+                hi = n
+            for j in range(n + 1):
+                cur[j] = 0
+            start = lo if lo > 1 else 1
+            for j in range(start, hi + 1):
+                best = prev[j]
+                d = prev[j - 1] + (1 if match[c, i - 1, j - 1] else 0)
+                if d > best:
+                    best = d
+                if j > lo and cur[j - 1] > best:
+                    best = cur[j - 1]
+                cur[j] = best
+            for j in range(n + 1):
+                prev[j] = cur[j]
+        out[c] = 1.0 - float(prev[n]) / float(mn)
+
+
+def _prep_f64(arr):
+    return np.ascontiguousarray(arr, dtype=np.float64)
+
+
+def _prep_bool(arr):
+    return np.ascontiguousarray(arr)
+
+
+def _prep_i64(arr):
+    return np.ascontiguousarray(arr, dtype=np.int64)
+
+
+def dtw_exact(dm, lengths, dk=np.inf):
+    """Exact DTW over a candidate stack; ``(values, exact_mask)``."""
+    cc = dm.shape[0]
+    out = np.empty(cc, dtype=np.float64)
+    exact = np.ones(cc, dtype=np.bool_)
+    if cc and dm.shape[1] and dm.shape[2]:
+        _dtw_exact(_prep_f64(dm), _prep_i64(lengths), float(dk),
+                   out, exact)
+    return out, exact
+
+
+def frechet_exact(dm, lengths, dk=np.inf):
+    """Exact Frechet over a candidate stack; ``(values, exact_mask)``."""
+    cc = dm.shape[0]
+    out = np.empty(cc, dtype=np.float64)
+    exact = np.ones(cc, dtype=np.bool_)
+    if cc and dm.shape[1] and dm.shape[2]:
+        _frechet_exact(_prep_f64(dm), _prep_i64(lengths), float(dk),
+                       out, exact)
+    return out, exact
+
+
+def erp_exact(dm, ga, gb, lengths, dk=np.inf):
+    """Exact ERP over a candidate stack; ``(values, exact_mask)``."""
+    cc = dm.shape[0]
+    out = np.empty(cc, dtype=np.float64)
+    exact = np.ones(cc, dtype=np.bool_)
+    if cc and dm.shape[1] and dm.shape[2]:
+        _erp_exact(_prep_f64(dm), _prep_f64(ga), _prep_f64(gb),
+                   _prep_i64(lengths), float(dk), out, exact)
+    return out, exact
+
+
+def edr_exact(match, lengths, dk=np.inf):
+    """Exact EDR over a candidate stack; ``(values, exact_mask)``."""
+    cc = match.shape[0]
+    out = np.empty(cc, dtype=np.float64)
+    exact = np.ones(cc, dtype=np.bool_)
+    if cc and match.shape[1] and match.shape[2]:
+        _edr_exact(_prep_bool(match), _prep_i64(lengths), float(dk),
+                   out, exact)
+    return out, exact
+
+
+def lcss_exact(match, lengths, dk=np.inf):
+    """Exact LCSS over a candidate stack; ``(values, exact_mask)``."""
+    cc = match.shape[0]
+    out = np.empty(cc, dtype=np.float64)
+    exact = np.ones(cc, dtype=np.bool_)
+    if cc and match.shape[1] and match.shape[2]:
+        _lcss_exact(_prep_bool(match), _prep_i64(lengths), float(dk),
+                    out, exact)
+    return out, exact
+
+
+def dtw_banded(dm, lengths, r):
+    """Banded DTW upper bounds at resolved radius ``r``."""
+    out = np.empty(dm.shape[0], dtype=np.float64)
+    if dm.shape[0]:
+        _dtw_banded(_prep_f64(dm), _prep_i64(lengths), int(r), out)
+    return out
+
+
+def frechet_banded(dm, lengths, r):
+    """Banded Frechet upper bounds at resolved radius ``r``."""
+    out = np.empty(dm.shape[0], dtype=np.float64)
+    if dm.shape[0]:
+        _frechet_banded(_prep_f64(dm), _prep_i64(lengths), int(r), out)
+    return out
+
+
+def edr_banded(match, lengths, r):
+    """Banded EDR upper bounds at resolved radius ``r``."""
+    out = np.empty(match.shape[0], dtype=np.float64)
+    if match.shape[0]:
+        _edr_banded(_prep_bool(match), _prep_i64(lengths), int(r), out)
+    return out
+
+
+def lcss_banded(match, lengths, r):
+    """Banded LCSS distance upper bounds at resolved radius ``r``."""
+    out = np.empty(match.shape[0], dtype=np.float64)
+    if match.shape[0]:
+        _lcss_banded(_prep_bool(match), _prep_i64(lengths), int(r), out)
+    return out

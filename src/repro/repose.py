@@ -54,6 +54,7 @@ from .core.search import (
 from .core.succinct import SuccinctRPTrie
 from .distances.base import Measure, get_measure
 from .distances.batch import banded_upper_bound
+from .distances.kernels import resolve_backend
 from .exceptions import IndexNotBuiltError, PartialResultError
 from .partitioning.strategies import make_strategy
 from .types import Trajectory, TrajectoryDataset
@@ -361,14 +362,27 @@ class RPTrieLocalIndex:
         self._trie = SuccinctRPTrie(trie) if self.succinct else trie
         return self
 
+    def _search_options(self, kernels: str | None = None) -> dict:
+        """Search options with a per-call kernel backend override.
+
+        ``kernels`` (from the planner's ``plan_options``) wins over the
+        engine-level ``search_options`` entry; None keeps the
+        configured options untouched.
+        """
+        if kernels is None:
+            return self.search_options
+        return {**self.search_options, "kernels": kernels}
+
     def top_k(self, query: Trajectory, k: int,
               dqp: np.ndarray | None = None,
-              dk: float = float("inf")) -> TopKResult:
-        """Local top-k; ``dk`` optionally seeds an external threshold."""
+              dk: float = float("inf"),
+              kernels: str | None = None) -> TopKResult:
+        """Local top-k; ``dk`` optionally seeds an external threshold,
+        ``kernels`` overrides the DP kernel backend for this call."""
         if self._trie is None:
             raise IndexNotBuiltError("call build() before top_k()")
         return local_search(self._trie, query, k, dqp=dqp, dk=dk,
-                            **self.search_options)
+                            **self._search_options(kernels))
 
     def top_k_multi(self, queries: list[Trajectory], k: int,
                     kwargs_list: list[dict],
@@ -387,12 +401,14 @@ class RPTrieLocalIndex:
         """
         if self._trie is None:
             raise IndexNotBuiltError("call build() before top_k_multi()")
+        kernels = next((kwargs["kernels"] for kwargs in kwargs_list
+                        if kwargs.get("kernels") is not None), None)
         return local_search_multi(
             self._trie, queries, k,
             dqps=[kwargs.get("dqp") for kwargs in kwargs_list],
             dks=[kwargs.get("dk", float("inf")) for kwargs in kwargs_list],
             share_groups=share_groups,
-            **self.search_options)
+            **self._search_options(kernels))
 
     def probe(self, query: Trajectory,
               dqp: np.ndarray | None = None) -> PartitionProbe:
@@ -411,14 +427,16 @@ class RPTrieLocalIndex:
             use_lbo=options.get("use_lbo", True))
 
     def range_query(self, query: Trajectory, radius: float,
-                    dqp: np.ndarray | None = None) -> TopKResult:
+                    dqp: np.ndarray | None = None,
+                    kernels: str | None = None) -> TopKResult:
         if self._trie is None:
             raise IndexNotBuiltError("call build() before range_query()")
-        options = self.search_options
+        options = self._search_options(kernels)
         return local_range_search(
             self._trie, query, radius, dqp=dqp,
             use_pivots=options.get("use_pivots", True),
-            batch_refine=options.get("batch_refine", True))
+            batch_refine=options.get("batch_refine", True),
+            kernels=options.get("kernels"))
 
     def memory_bytes(self) -> int:
         if self._trie is None:
@@ -470,6 +488,14 @@ class DistributedTopK:
         Measure name forwarded to an ``"auto"`` engine's cost model.
         :class:`Repose` and :func:`make_baseline` fill it in; only
         custom index factories need to pass it explicitly.
+    kernels_hint:
+        Resolved DP kernel backend name (``"numpy"``/``"cnative"``/
+        ``"numba"``) forwarded to the ``"auto"`` engine's cost model:
+        compiled kernels shift per-candidate rates (and the
+        serial/thread/process break-even) enough that the model keys
+        its calibrated rates by ``measure+backend``.
+        :meth:`Repose.build` fills it in from its ``kernels``
+        argument; never affects results, only backend placement.
     plan:
         Query execution plan: ``"waves"`` (default) routes single
         top-k and range queries through the two-phase
@@ -488,7 +514,11 @@ class DistributedTopK:
         near-duplicate sharing, default off); ``{"sample_size": int}``
         (shared-sample candidates behind the batch planner's sampled
         non-metric cross-query bounds; default auto-sizes to
-        ``max(2k, 8)``, 0 disables).
+        ``max(2k, 8)``, 0 disables); ``{"kernels": name}`` (DP kernel
+        backend for leaf refinement — see
+        :mod:`repro.distances.kernels` — forwarded to every local
+        search, overriding the index's build-time setting; never
+        changes results).
     fault_policy:
         Optional :class:`~repro.cluster.engine.FaultPolicy` installed
         on the engine: partition tasks are retried with backoff, timed
@@ -502,7 +532,8 @@ class DistributedTopK:
 
     #: Every knob :attr:`plan_options` accepts; anything else raises
     #: ``ValueError`` up front instead of being silently ignored.
-    _PLAN_OPTION_KEYS = frozenset({"wave_size", "share_eps", "sample_size"})
+    _PLAN_OPTION_KEYS = frozenset(
+        {"wave_size", "share_eps", "sample_size", "kernels"})
 
     def __init__(self, dataset: TrajectoryDataset,
                  index_factory: Callable[[], object],
@@ -511,6 +542,7 @@ class DistributedTopK:
                  cluster_spec: ClusterSpec | None = None,
                  engine: ExecutionEngine | str | None = None,
                  measure_hint: str | None = None,
+                 kernels_hint: str | None = None,
                  plan: str = "waves",
                  plan_options: dict | None = None,
                  fault_policy: FaultPolicy | None = None):
@@ -526,6 +558,7 @@ class DistributedTopK:
         if fault_policy is not None:
             self.context.engine.fault_policy = fault_policy
         self.measure_hint = measure_hint
+        self.kernels_hint = kernels_hint
         self.plan = self._resolve_plan(plan)
         self.plan_options = self._validate_plan_options(plan_options)
         self._partition_points: int | None = None
@@ -562,6 +595,21 @@ class DistributedTopK:
                 f"supported knobs: {supported}")
         return options
 
+    def _inject_kernels(self, kwargs: dict,
+                        options: dict | None = None) -> dict:
+        """Thread the planner-level kernel backend into query kwargs.
+
+        Only acts when a ``kernels`` plan option is actually set (the
+        engine-level :attr:`plan_options` by default, or a per-call
+        merge) and the caller did not already pass one — baseline
+        indexes, whose ``top_k`` knows nothing of kernel backends,
+        never see an injected key.
+        """
+        opts = self.plan_options if options is None else options
+        if "kernels" in opts and "kernels" not in kwargs:
+            kwargs = {**kwargs, "kernels": opts["kernels"]}
+        return kwargs
+
     def _workload_hints(self, num_tasks: int, batch_width: int = 1,
                         queries_per_task: float = 1.0) -> WorkloadHints:
         """Hints for the ``"auto"`` engine: what one dispatch looks like.
@@ -579,7 +627,8 @@ class DistributedTopK:
                              partition_points=self._partition_points,
                              num_tasks=num_tasks,
                              batch_width=batch_width,
-                             queries_per_task=queries_per_task)
+                             queries_per_task=queries_per_task,
+                             kernels=self.kernels_hint)
 
     def build(self) -> BuildReport:
         """Partition the dataset and build one local index per partition."""
@@ -642,8 +691,9 @@ class DistributedTopK:
             return self._top_k_waves(query, k, query_kwargs)
         start = time.perf_counter()
         self.context.hints = self._workload_hints(self.num_partitions)
-        query_kwargs = {**self._query_kwargs_for(query, query_kwargs),
-                        **query_kwargs}
+        query_kwargs = self._inject_kernels(
+            {**self._query_kwargs_for(query, query_kwargs),
+             **query_kwargs})
         partials = (self._rdd
                     .map_partitions(_TopKPartition(query, k, query_kwargs))
                     .collect())
@@ -704,8 +754,9 @@ class DistributedTopK:
         """
         start = time.perf_counter()
         parts = self._parts
-        kwargs = {**self._query_kwargs_for(query, query_kwargs),
-                  **query_kwargs}
+        kwargs = self._inject_kernels(
+            {**self._query_kwargs_for(query, query_kwargs),
+             **query_kwargs})
         result, wave_timings, report = self._planner().execute_top_k(
             parts, query, k, kwargs,
             make_task=lambda rp, kw: _LocalTopKTask(rp, query, k, kw),
@@ -746,10 +797,11 @@ class DistributedTopK:
         rp = max(parts, key=lambda rp: sum(len(t) for t in rp.trajectories))
         if query is None:
             query = rp.trajectories[0]
-        kwargs = self._query_kwargs_for(query)
+        kwargs = self._inject_kernels(self._query_kwargs_for(query))
         task = _LocalTopKTask(rp, query, k, kwargs)
         points = sum(len(t) for t in rp.trajectories)
-        rate = self.context.engine.calibrate(self.measure_hint, task, points)
+        rate = self.context.engine.calibrate(self.measure_hint, task, points,
+                                             kernels=self.kernels_hint)
         self.context.calibration = dict(
             self.context.engine.calibrated_cost_us)
         return rate
@@ -828,7 +880,10 @@ class DistributedTopK:
         """Batched wave execution (see :mod:`repro.cluster.batch`)."""
         start = time.perf_counter()
         options = {**self.plan_options, **(plan_options or {})}
-        kwargs_list = [self._query_kwargs_for(query) for query in queries]
+        kwargs_list = [
+            self._inject_kernels(self._query_kwargs_for(query),
+                                 options=options)
+            for query in queries]
         planner = BatchQueryPlanner(
             self.context.engine,
             wave_size=options.get("wave_size"),
@@ -882,7 +937,7 @@ class DistributedTopK:
         for query in queries:
             # One driver-side kwargs computation per query (not per
             # task): partitions share e.g. the query-pivot distances.
-            kwargs = self._query_kwargs_for(query)
+            kwargs = self._inject_kernels(self._query_kwargs_for(query))
             for rp in parts:
                 tasks.append(_LocalTopKTask(rp, query, k, kwargs))
         # A whole batch amortizes one backend dispatch: the hints say
@@ -942,8 +997,9 @@ class DistributedTopK:
             return self._range_waves(query, radius, query_kwargs)
         start = time.perf_counter()
         self.context.hints = self._workload_hints(self.num_partitions)
-        query_kwargs = {**self._query_kwargs_for(query, query_kwargs),
-                        **query_kwargs}
+        query_kwargs = self._inject_kernels(
+            {**self._query_kwargs_for(query, query_kwargs),
+             **query_kwargs})
         partials = (self._rdd
                     .map_partitions(_RangePartition(query, radius,
                                                     query_kwargs))
@@ -963,8 +1019,9 @@ class DistributedTopK:
         """Probed, waved range search (planner-skipped partitions)."""
         start = time.perf_counter()
         parts = self._parts
-        kwargs = {**self._query_kwargs_for(query, query_kwargs),
-                  **query_kwargs}
+        kwargs = self._inject_kernels(
+            {**self._query_kwargs_for(query, query_kwargs),
+             **query_kwargs})
         partials, wave_timings, report = self._planner().execute_range(
             parts, query, radius, kwargs,
             make_task=lambda rp, kw: _LocalRangeTask(rp, query, radius, kw),
@@ -1127,6 +1184,7 @@ class Repose(DistributedTopK):
               cluster_spec: ClusterSpec | None = None,
               engine: ExecutionEngine | str | None = None,
               search_options: dict | None = None,
+              kernels: str | None = None,
               plan: str = "waves", plan_options: dict | None = None,
               fault_policy: FaultPolicy | None = None,
               pivot_sample: int = 500, seed: int = 7,
@@ -1178,6 +1236,18 @@ class Repose(DistributedTopK):
             property tests and like-for-like benchmarks.  The ablation
             switches ``use_pivots``/``use_lbt``/``use_lbo`` are also
             accepted.
+        kernels:
+            DP kernel backend for the batch refinement engine
+            (:mod:`repro.distances.kernels`): ``"numpy"`` (the
+            always-available vectorized sweeps), ``"numba"`` /
+            ``"cnative"`` (compiled tiers), or ``"auto"``/None (the
+            fastest available; the ``REPRO_KERNELS`` environment
+            variable overrides the auto choice).  Requesting an
+            unavailable backend raises at build time.  Backends never
+            change results — the compiled kernels are bit-identical to
+            the numpy sweeps — only throughput; the resolved name is
+            also forwarded to the ``"auto"`` engine's cost model,
+            which keys calibrated rates by measure+backend.
         service:
             Attach an always-on serving front-end
             (:class:`~repro.cluster.service.ReposeService`) to the
@@ -1203,12 +1273,23 @@ class Repose(DistributedTopK):
             pivots = select_pivots(sample, measure_obj,
                                    num_pivots=num_pivots, rng=rng)
 
+        if kernels is not None:
+            search_options = {**(search_options or {}), "kernels": kernels}
+        # Resolve the backend batch refinement will actually run with
+        # (fails fast on an unavailable explicit request) so the
+        # "auto" engine's cost model keys its rates by it.
+        kernels_hint = None
+        if (search_options or {}).get("batch_refine", True):
+            kernels_hint = resolve_backend(
+                (search_options or {}).get("kernels"))
+
         engine_obj = cls(dataset, measure_obj, grid,
                          pivots=pivots, optimized=optimized,
                          num_pivots=num_pivots, succinct=succinct,
                          strategy=strategy, num_partitions=num_partitions,
                          cluster_spec=cluster_spec, engine=engine,
                          search_options=search_options,
+                         kernels_hint=kernels_hint,
                          plan=plan, plan_options=plan_options,
                          fault_policy=fault_policy)
         DistributedTopK.build(engine_obj)

@@ -1,0 +1,268 @@
+"""Compiled-vs-numpy equivalence for the DP kernel tier.
+
+The kernel registry (:mod:`repro.distances.kernels`) promises that
+every backend computes the five exact DP families in the *same
+association order* as the numpy sweeps, so exact values are
+bit-identical — ``TOLERANCES`` is 0.0 for every measure and these
+tests assert it literally, on stacks that include ties, length-1
+candidates, duplicate trajectories and non-contiguous tensors.  The
+early-abandon contract under a finite ``dk`` is weaker by design
+(backends may check at different cadences, so the exact masks may
+diverge) and is asserted as: every value still marked exact is
+bit-identical, every abandoned value is a sound lower bound of the
+exact distance that has reached ``dk``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.distances.batch import (
+    BatchRefiner,
+    batch_match_tensor,
+    batch_point_distance_tensor,
+    refine_top_k,
+)
+from repro.distances.dtw import dtw_distance
+from repro.distances.edr import edr_distance
+from repro.distances.erp import DEFAULT_GAP, erp_distance
+from repro.distances.frechet import frechet_distance
+from repro.distances.kernels import (
+    BACKEND_NAMES,
+    KERNELS_ENV,
+    TOLERANCES,
+    available_backends,
+    get_kernels,
+    resolve_backend,
+)
+from repro.distances.lcss import lcss_distance
+from repro.core.search import ResultHeap
+from repro.core.store import TrajectoryStore
+from repro.distances.base import get_measure
+from repro.types import Trajectory
+
+FAMILIES = ("dtw", "frechet", "erp", "edr", "lcss")
+EPS = 0.35
+BACKENDS = available_backends()
+COMPILED = tuple(b for b in BACKENDS if b != "numpy")
+
+
+def _stack(seed: int, count: int = 24, m: int = 13,
+           min_len: int = 1, max_len: int = 28):
+    """A query plus a ragged candidate stack with deliberate ties:
+    the first two candidates are identical and one is length-1."""
+    rng = np.random.default_rng(seed)
+    query = rng.random((m, 2)) * 4.0
+    lens = rng.integers(min_len, max_len + 1, size=count)
+    lens[0] = lens[1] = max(2, int(lens[0]))
+    lens[2] = 1
+    width = int(lens.max())
+    padded = np.full((count, width, 2), np.inf)
+    for c, n in enumerate(lens):
+        pts = rng.random((int(n), 2)) * 4.0
+        padded[c, :n] = pts
+    padded[1, :lens[1]] = padded[0, :lens[0]]  # exact tie twin
+    return query, padded, lens.astype(np.int64)
+
+
+def _tensors(family: str, query: np.ndarray, padded: np.ndarray):
+    """The broadcast tensor argument list for one family (everything
+    before ``lengths`` in the kernel signature)."""
+    if family in ("edr", "lcss"):
+        return (batch_match_tensor(query, padded, EPS),)
+    dm = batch_point_distance_tensor(query, padded)
+    if family == "erp":
+        g = np.asarray(DEFAULT_GAP)
+        ga = np.hypot(query[:, 0] - g[0], query[:, 1] - g[1])
+        with np.errstate(invalid="ignore"):
+            gb = np.hypot(padded[:, :, 0] - g[0], padded[:, :, 1] - g[1])
+        return dm, ga, gb
+    return (dm,)
+
+
+def _pair_reference(family: str, query: np.ndarray,
+                    padded: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    fns = {"dtw": dtw_distance, "frechet": frechet_distance,
+           "erp": erp_distance,
+           "edr": lambda a, b: edr_distance(a, b, eps=EPS),
+           "lcss": lambda a, b: lcss_distance(a, b, eps=EPS)}
+    fn = fns[family]
+    return np.array([fn(query, padded[c, :n])
+                     for c, n in enumerate(lengths)])
+
+
+def _exact_fn(kernels, family: str):
+    return getattr(kernels, f"{family}_exact")
+
+
+def _banded_fn(kernels, family: str):
+    return getattr(kernels, f"{family}_banded", None)
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_numpy_kernels_match_pair_reference(family):
+    """Anchor: the numpy kernel set equals the per-pair distances."""
+    query, padded, lengths = _stack(seed=3)
+    values, mask = _exact_fn(get_kernels("numpy"), family)(
+        *_tensors(family, query, padded), lengths, dk=np.inf)
+    assert mask.all()
+    ref = _pair_reference(family, query, padded, lengths)
+    np.testing.assert_allclose(values, ref, rtol=0, atol=1e-10)
+
+
+@pytest.mark.parametrize("backend", COMPILED)
+@pytest.mark.parametrize("family", FAMILIES)
+def test_exact_bit_identity(family, backend):
+    """dk=inf: compiled values are bit-identical to numpy, all exact."""
+    tol = TOLERANCES[family]
+    for seed in (0, 1, 2):
+        query, padded, lengths = _stack(seed=seed)
+        args = _tensors(family, query, padded)
+        base, base_mask = _exact_fn(get_kernels("numpy"), family)(
+            *args, lengths, dk=np.inf)
+        got, got_mask = _exact_fn(get_kernels(backend), family)(
+            *args, lengths, dk=np.inf)
+        assert base_mask.all() and got_mask.all()
+        if tol == 0.0:
+            assert np.array_equal(got, base), (
+                f"{family}/{backend} not bit-identical at seed {seed}")
+        else:  # pragma: no cover - all tolerances are currently 0.0
+            np.testing.assert_allclose(got, base, rtol=0, atol=tol)
+        # Tie twins must stay ties bit-for-bit on every backend.
+        assert got[0] == got[1]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("family", FAMILIES)
+def test_finite_dk_abandon_contract(family, backend):
+    """Finite dk: exact-marked values bit-identical, abandoned values
+    are sound lower bounds that reached the threshold."""
+    for seed in (5, 6):
+        query, padded, lengths = _stack(seed=seed, count=40, m=17)
+        args = _tensors(family, query, padded)
+        exact_vals, _ = _exact_fn(get_kernels("numpy"), family)(
+            *args, lengths, dk=np.inf)
+        dk = float(np.quantile(exact_vals, 0.35))
+        values, mask = _exact_fn(get_kernels(backend), family)(
+            *args, lengths, dk=dk)
+        assert np.array_equal(values[mask], exact_vals[mask])
+        abandoned = ~mask
+        assert (values[abandoned] >= dk).all()
+        assert (values[abandoned] <= exact_vals[abandoned] + 1e-12).all()
+        # Abandonment must never touch candidates below the threshold.
+        assert mask[exact_vals < dk].all()
+
+
+@pytest.mark.parametrize("backend", COMPILED)
+@pytest.mark.parametrize("family", FAMILIES)
+def test_banded_screens_and_fallback(family, backend):
+    """Banded kernels match numpy's windows bit-for-bit; a band wide
+    enough to cover the matrix falls back to the exact sweep."""
+    if family == "erp":
+        pytest.skip("ERP has no banded screen")
+    query, padded, lengths = _stack(seed=9, count=20, m=15, min_len=2)
+    args = _tensors(family, query, padded)
+    for band in (1, 3):
+        base, base_exact = _banded_fn(get_kernels("numpy"), family)(
+            *args, lengths, band)
+        got, got_exact = _banded_fn(get_kernels(backend), family)(
+            *args, lengths, band)
+        assert got_exact == base_exact
+        assert np.array_equal(got, base)
+    exact_vals, _ = _exact_fn(get_kernels("numpy"), family)(
+        *args, lengths, dk=np.inf)
+    huge = max(args[0].shape[1], args[0].shape[2]) + 2
+    got, got_exact = _banded_fn(get_kernels(backend), family)(
+        *args, lengths, huge)
+    assert got_exact is True
+    assert np.array_equal(got, exact_vals)
+
+
+@pytest.mark.parametrize("backend", COMPILED)
+@pytest.mark.parametrize("family", FAMILIES)
+def test_unretained_and_noncontiguous_tensors(family, backend):
+    """Kernels must accept sliced / non-contiguous tensor views (the
+    refiner hands over gather slices, not owned buffers)."""
+    query, padded, lengths = _stack(seed=13, count=30)
+    keep = np.arange(0, 30, 3)
+    sub = padded[keep][:, : int(lengths[keep].max())]
+    args = _tensors(family, query, sub)
+    sliced = tuple(a[:, ::-1][:, ::-1] if a.ndim > 1 else a for a in args)
+    assert any(not a.flags["C_CONTIGUOUS"] for a in sliced if a.ndim > 1) \
+        or all(a.flags["C_CONTIGUOUS"] for a in sliced)
+    base, _ = _exact_fn(get_kernels("numpy"), family)(
+        *args, lengths[keep], dk=np.inf)
+    got, _ = _exact_fn(get_kernels(backend), family)(
+        *sliced, lengths[keep], dk=np.inf)
+    assert np.array_equal(got, base)
+
+
+def test_registry_resolution_and_errors():
+    assert resolve_backend("numpy") == "numpy"
+    assert resolve_backend() in BACKEND_NAMES
+    assert resolve_backend("auto") == resolve_backend(None)
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        resolve_backend("fortran")
+    unavailable = [b for b in BACKEND_NAMES if b not in BACKENDS]
+    for name in unavailable:
+        with pytest.raises(ValueError, match="not available"):
+            resolve_backend(name)
+    # The set cache hands back the same object per backend.
+    assert get_kernels("numpy") is get_kernels("numpy")
+    assert get_kernels("numpy").compiled is False
+    for name in COMPILED:
+        assert get_kernels(name).compiled is True
+
+
+def test_env_override_controls_auto(tmp_path):
+    """REPRO_KERNELS replaces the auto choice in a fresh interpreter
+    (the in-process registry may already be cached)."""
+    env = {**os.environ, KERNELS_ENV: "numpy",
+           "PYTHONPATH": os.pathsep.join(sys.path)}
+    out = subprocess.run(
+        [sys.executable, "-c",
+         "from repro.distances.kernels import resolve_backend;"
+         "print(resolve_backend())"],
+        env=env, capture_output=True, text=True, check=True)
+    assert out.stdout.strip() == "numpy"
+
+
+@pytest.mark.parametrize("backend", COMPILED)
+@pytest.mark.parametrize("measure_name", FAMILIES)
+def test_refiner_dispatch_bit_identical_topk(measure_name, backend):
+    """refine_top_k through a compiled backend produces the same heap
+    (values, ids and tie-breaks) as the numpy backend."""
+    rng = np.random.default_rng(21)
+    trajs = [Trajectory(rng.random((int(rng.integers(2, 24)), 2)) * 4.0,
+                        traj_id=i)
+             for i in range(60)]
+    trajs.append(Trajectory(trajs[0].points, traj_id=60))  # tie twin
+    store = TrajectoryStore(trajs)
+    measure = get_measure(measure_name)
+    if measure_name in ("edr", "lcss"):
+        measure = measure.with_params(eps=EPS)
+    query = rng.random((11, 2)) * 4.0
+    tids = [t.traj_id for t in trajs]
+    heaps = {}
+    for name in ("numpy", backend):
+        heap = ResultHeap(k=7)
+        refine_top_k(measure, query, list(tids), store, heap,
+                     kernels=name)
+        heaps[name] = heap.sorted_items()
+    assert heaps[backend] == heaps["numpy"]
+
+
+@pytest.mark.parametrize("backend", COMPILED)
+def test_batchrefiner_exposes_selected_backend(backend):
+    rng = np.random.default_rng(2)
+    trajs = [Trajectory(rng.random((5, 2)), traj_id=i) for i in range(4)]
+    store = TrajectoryStore(trajs)
+    refiner = BatchRefiner(get_measure("dtw"), rng.random((6, 2)), store,
+                           [t.traj_id for t in trajs], kernels=backend)
+    assert refiner.kernels.name == backend
+    assert refiner.kernels.compiled

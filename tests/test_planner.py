@@ -423,8 +423,13 @@ class TestCalibration:
         engine = _build(skewed_dataset, "dtw", num_partitions=4)
         rate = engine.calibrate(k=3)
         assert rate > 0.0
-        assert engine.context.calibration["dtw"] == pytest.approx(rate)
-        assert engine.context.engine.calibrated_cost_us["dtw"] == \
+        # Compiled DP kernel backends key their measured rate by
+        # measure+backend so per-backend rates never mix; the numpy
+        # fallback keeps the plain measure key.
+        kern = engine.kernels_hint
+        key = "dtw" if kern in (None, "numpy") else f"dtw+{kern}"
+        assert engine.context.calibration[key] == pytest.approx(rate)
+        assert engine.context.engine.calibrated_cost_us[key] == \
             pytest.approx(rate)
         # Calibration must not disturb query results.
         query = skewed_dataset.trajectories[0]

@@ -29,6 +29,9 @@ REPO = Path(__file__).resolve().parent.parent
 #: Modules whose public API must be fully documented.
 DOC_MODULES = [
     "src/repro/distances/batch.py",
+    "src/repro/distances/kernels/__init__.py",
+    "src/repro/distances/kernels/cnative.py",
+    "src/repro/distances/kernels/numba_backend.py",
     "src/repro/core/store.py",
     "src/repro/core/search.py",
     "src/repro/cluster/engine.py",
