@@ -22,7 +22,12 @@ substrate for a single machine:
   k-th-best distance into every later wave's local searches;
 * :mod:`~repro.cluster.batch` — the multi-query batch planner: shared
   (cached) probes, partition-affinity task grouping, and a per-query
-  threshold vector with cross-query triangle-inequality reuse.
+  threshold vector with cross-query triangle-inequality reuse;
+* :mod:`~repro.cluster.query_index` — the driver-side metric index
+  (mutable VP-tree with content-fingerprint prefilter and a shared
+  pair cache) the batch planner's query scans — share clustering,
+  cross-query tightening, registry neighbor lookups — run against,
+  plus the incremental cross-wave cache for sampled non-metric bounds.
 """
 
 from .rdd import RDD, ClusterContext, ProbeCache
@@ -42,6 +47,7 @@ from .scheduler import (
 )
 from .driver import RunningTopK, RunningTopKVector, merge_range, merge_top_k
 from .planner import PlanReport, QueryPlanner, WaveReport
+from .query_index import IncrementalSampledBounds, QueryIndex
 from .batch import BatchPlanReport, BatchQueryPlanner
 
 __all__ = [
@@ -68,4 +74,6 @@ __all__ = [
     "WaveReport",
     "BatchQueryPlanner",
     "BatchPlanReport",
+    "QueryIndex",
+    "IncrementalSampledBounds",
 ]

@@ -70,6 +70,20 @@ at or under it, so it upper-bounds the query's *final* k-th best with
 no metric assumption and is min-folded into the broadcast vector
 (:meth:`~repro.cluster.driver.RunningTopKVector.broadcast_vector`).
 
+**The query-side metric index** (:mod:`repro.cluster.query_index`)
+carries all of this to production batch widths: share clustering,
+cross-query tightening and the registry's neighbor scan each run as
+lookups against a VP-tree over the batch's queries — content
+fingerprints pre-filter byte-identical queries before any distance
+call, a shared pair cache deduplicates evaluations across the three
+phases, and :data:`CROSS_QUERY_LIMIT` survives only as each lookup's
+fresh-distance-call budget (the historical hard cap on cross-query
+reuse is lifted; ``query_index=False`` restores the legacy greedy
+scans as a comparison baseline).  Thresholds, clusters and answers are
+value-identical wherever the budgets never bind — the index only
+removes driver-side distance calls, measured by the
+``query_distance_calls`` report counter.
+
 **Cross-batch reuse** extends both mechanisms beyond one batch: a
 :class:`~repro.cluster.service.HotQueryRegistry` passed to the planner
 persists exact final results keyed by probe fingerprint, so a query
@@ -104,17 +118,23 @@ from .driver import RunningTopKVector
 from .engine import TaskTiming, WorkloadHints
 from .planner import (PLANNER_REDISPATCHES, PlanReport, QueryPlanner,
                       WaveReport)
+from .query_index import IncrementalSampledBounds, QueryIndex
 from .rdd import ProbeCache
 from .scheduler import lpt_order
 
 __all__ = ["BatchPlanReport", "BatchQueryPlanner"]
 
-#: Largest number of *distinct* queries for which the planner computes
-#: the full query-to-query distance matrix behind cross-query threshold
-#: reuse.  The matrix is built serially on the driver at a wave
-#: boundary, so beyond this size its O(B^2) trajectory distances can
-#: cost more than the pruning they unlock; larger batches simply skip
-#: cross-query reuse (thresholds stay per-query — always sound).
+#: Driver-side *distance-call budget* per query-index lookup: share
+#: clustering, cross-query tightening and registry neighbor lookups
+#: each spend at most this many fresh trajectory-distance evaluations
+#: per query (:mod:`repro.cluster.query_index` truncates soundly — a
+#: partial lookup only forfeits an optimization, never an answer).
+#: Under the legacy greedy scans (``query_index=False``) this is the
+#: historical hard cap instead: at most this many share-group
+#: representatives are scanned per query, and batches with more
+#: distinct queries skip cross-query reuse entirely (the O(B^2)
+#: pairwise matrix would cost more than it prunes).  The metric index
+#: is what lifted that cap — indexed batches tighten at any width.
 CROSS_QUERY_LIMIT = 64
 
 #: Floor on the automatic sampled-bound sample size (the default is
@@ -122,10 +142,14 @@ CROSS_QUERY_LIMIT = 64
 #: the k-th smallest upper bound is too loose to prune anything.
 SAMPLE_MIN = 8
 
-#: Most-recently-used hot-query registry entries scanned as candidate
-#: near-duplicate representatives for each registry miss.  Bounds the
-#: per-query scan cost (distance calls against stored representatives)
-#: independently of registry capacity.
+#: Per-query *fresh distance-call budget* for the hot-query registry's
+#: near-duplicate neighbor lookup
+#: (:meth:`repro.cluster.service.HotQueryRegistry.neighbors`), keeping
+#: the per-miss cost bounded independently of registry capacity.  The
+#: indexed lookup reaches *every* live entry — cached and
+#: content-identical comparisons are free — where the legacy greedy
+#: scan (``query_index=False``) spends the same budget on just the
+#: most-recently-used entries.
 REGISTRY_SCAN_LIMIT = 8
 
 
@@ -164,6 +188,18 @@ class BatchPlanReport:
     #: running ``dk`` by a neighbour's results through the triangle
     #: inequality (summed over waves; metric measures only).
     cross_query_tightenings: int = 0
+    #: Driver-side trajectory-distance evaluations between *queries*
+    #: (share clustering, cross-query tightening, registry neighbor
+    #: lookups) — fresh calls only, so pair-cache and content-identity
+    #: hits are free.  The number the metric query index exists to
+    #: shrink; counted identically under both modes so indexed and
+    #: greedy batches compare directly.
+    query_distance_calls: int = 0
+    #: Fresh sampled banded-bound evaluations (the non-metric
+    #: cross-query DPs), deduplicated per (query, candidate) pair
+    #: across waves by :class:`~repro.cluster.query_index
+    #: .IncrementalSampledBounds`.
+    sampled_bound_calls: int = 0
     #: Queries whose broadcast threshold was tightened below their own
     #: running ``dk`` by the sampled banded bound (summed over waves;
     #: the non-metric counterpart of cross-query tightening).
@@ -280,6 +316,17 @@ class BatchQueryPlanner(QueryPlanner):
         the batch-*start* epoch, so results raced by a concurrent
         index write are dropped rather than served stale.  None (the
         default) disables cross-batch reuse.
+    query_index:
+        True (the default) routes the three driver-side query scans —
+        share clustering, cross-query tightening, registry neighbor
+        lookups — through the VP-tree metric index
+        (:class:`~repro.cluster.query_index.QueryIndex`), lifting the
+        :data:`CROSS_QUERY_LIMIT` batch-width cap on cross-query reuse
+        (the constant survives as a per-lookup distance-call budget).
+        False restores the legacy greedy scans bit-for-bit — the
+        comparison baseline for benchmarks and equivalence tests.
+        Either way every per-query answer is identical; the flag only
+        moves driver-side distance-call cost.
     """
 
     def __init__(self, engine, wave_size: int | None = None,
@@ -289,7 +336,7 @@ class BatchQueryPlanner(QueryPlanner):
                  share_distance: Callable | None = None,
                  sampled_bound: Callable | None = None,
                  sample_size: int | None = None,
-                 registry=None):
+                 registry=None, query_index: bool = True):
         super().__init__(engine, wave_size=wave_size,
                          probe_cache=probe_cache)
         self.query_distance = query_distance
@@ -298,6 +345,7 @@ class BatchQueryPlanner(QueryPlanner):
         self.sampled_bound = sampled_bound
         self.sample_size = sample_size
         self.registry = registry
+        self.query_index = query_index
 
     @property
     def _share_distance_is_metric(self) -> bool:
@@ -317,7 +365,7 @@ class BatchQueryPlanner(QueryPlanner):
 
     def _pairwise(self, queries: Sequence, active: Sequence[int],
                   known: dict[tuple[int, int], float] | None = None,
-                  ) -> np.ndarray:
+                  report: BatchPlanReport | None = None) -> np.ndarray:
         """Symmetric query-to-query distance matrix (zero diagonal).
 
         Computed driver-side, once per batch, and only on demand: the
@@ -330,7 +378,9 @@ class BatchQueryPlanner(QueryPlanner):
         share-group clustering already computed, so those pairs are
         never evaluated twice; the caller must only pass it when the
         clustering distance *is* the metric distance
-        (:attr:`_share_distance_is_metric`).
+        (:attr:`_share_distance_is_metric`).  ``report``, when given,
+        has every fresh evaluation counted into its
+        ``query_distance_calls``.
         """
         count = len(queries)
         pairwise = np.full((count, count), np.inf)
@@ -341,6 +391,8 @@ class BatchQueryPlanner(QueryPlanner):
                 if distance is None:
                     distance = float(self.query_distance(queries[i],
                                                          queries[j]))
+                    if report is not None:
+                        report.query_distance_calls += 1
                 pairwise[i, j] = pairwise[j, i] = distance
         return pairwise
 
@@ -348,48 +400,76 @@ class BatchQueryPlanner(QueryPlanner):
                         report: BatchPlanReport,
                         ) -> tuple[dict[int, int], dict[int, float],
                                    dict[tuple[int, int], float]]:
-        """Greedily cluster active queries into near-duplicate groups.
+        """Cluster active queries into near-duplicate share groups.
 
-        Walks the active queries in input order; each joins the first
-        existing representative within :attr:`share_eps` under
-        :attr:`share_distance`, else becomes a representative itself —
-        deterministic, O(batch x representatives) distance calls, and
-        every representative precedes its members.  Returns
-        ``(rep_of, dist_to_rep, known)``: each active query's
-        representative (itself for reps), each member's distance to
-        its representative, and every pair distance computed along the
+        Walks the active queries in input order; each joins the
+        lowest-indexed existing representative within
+        :attr:`share_eps` under :attr:`share_distance`, else becomes a
+        representative itself — deterministic, and every
+        representative precedes its members.  Returns ``(rep_of,
+        dist_to_rep, known)``: each active query's representative
+        (itself for reps), each member's exact distance to its
+        representative, and every pair distance evaluated along the
         way (keyed ``(min, max)``; :meth:`execute_batch` reuses them
-        for the pairwise matrix only under
+        for cross-query tightening only under
         :attr:`_share_distance_is_metric`).  Queries without a point
         array never cluster (nothing to compare).
 
-        Cost is bounded: each query compares against at most
-        :data:`CROSS_QUERY_LIMIT` representatives, so the driver pays
-        O(batch x 64) distance calls worst case — a hot-query storm
-        (few representatives, many members) still clusters fully,
-        while a batch of mutually dissimilar queries stops growing
-        the comparison set instead of going O(batch^2).
+        Under ``query_index=True`` the representatives live in a
+        :class:`~repro.cluster.query_index.QueryIndex` and each query
+        is one range lookup — triangle-pruned when the clustering
+        distance is the metric distance, an early-stopping linear scan
+        otherwise, either way at most :data:`CROSS_QUERY_LIMIT` fresh
+        distance calls (content-identical queries attach for free).  A
+        budget-truncated lookup falls back to "new representative",
+        exactly where the legacy greedy scan's hard cap lands: under
+        ``query_index=False`` each query compares against at most the
+        first :data:`CROSS_QUERY_LIMIT` representatives, so the driver
+        pays O(batch x 64) calls worst case with *no* pruning or
+        caching.  Both modes produce identical groups whenever the cap
+        never binds (the index only removes distance calls).
         """
         rep_of = {qi: qi for qi in active}
         dist_to_rep: dict[int, float] = {}
         known: dict[tuple[int, int], float] = {}
         if self.share_eps is None or self.share_distance is None:
             return rep_of, dist_to_rep, known
-        reps: list[int] = []
-        for qi in active:
-            if getattr(queries[qi], "points", None) is None:
-                continue
-            for rep in reps[:CROSS_QUERY_LIMIT]:
-                distance = float(self.share_distance(queries[rep],
-                                                     queries[qi]))
-                known[(min(rep, qi), max(rep, qi))] = distance
-                if distance <= self.share_eps:
+        if self.query_index:
+            index = QueryIndex(self.share_distance,
+                               metric=self._share_distance_is_metric,
+                               pair_cache=known)
+            for qi in active:
+                if getattr(queries[qi], "points", None) is None:
+                    continue
+                matches = index.range_search(queries[qi], self.share_eps,
+                                             obj_key=qi,
+                                             budget=CROSS_QUERY_LIMIT,
+                                             first=True)
+                if matches:
+                    rep, distance = matches[0]
                     rep_of[qi] = rep
                     dist_to_rep[qi] = distance
                     report.queries_shared += 1
-                    break
-            else:
-                reps.append(qi)
+                else:
+                    index.add(qi, queries[qi])
+            report.query_distance_calls += index.distance_calls
+        else:
+            reps: list[int] = []
+            for qi in active:
+                if getattr(queries[qi], "points", None) is None:
+                    continue
+                for rep in reps[:CROSS_QUERY_LIMIT]:
+                    distance = float(self.share_distance(queries[rep],
+                                                         queries[qi]))
+                    report.query_distance_calls += 1
+                    known[(min(rep, qi), max(rep, qi))] = distance
+                    if distance <= self.share_eps:
+                        rep_of[qi] = rep
+                        dist_to_rep[qi] = distance
+                        report.queries_shared += 1
+                        break
+                else:
+                    reps.append(qi)
         report.share_groups = len(
             {rep for qi, rep in rep_of.items() if rep != qi})
         return rep_of, dist_to_rep, known
@@ -444,7 +524,13 @@ class BatchQueryPlanner(QueryPlanner):
         be resolved driver-side.  ``cache`` memoizes evaluated
         ``(query index, tid)`` pairs across waves — both point arrays
         are immutable, so as the sample stabilizes each wave only pays
-        for candidates it has not bounded before.
+        for candidates it has not bounded before.  Passing an
+        :class:`~repro.cluster.query_index.IncrementalSampledBounds`
+        (what :meth:`execute_batch` does) additionally memoizes each
+        query's k-th value per sample epoch, so a wave whose shared
+        sample did not change skips even the selection pass; a plain
+        dict keeps the value-level caching only.  Bound *values* are
+        identical either way.
         """
         if self.sampled_bound is None or self.sample_size == 0:
             return None
@@ -462,10 +548,15 @@ class BatchQueryPlanner(QueryPlanner):
             return None
         if cache is None:
             cache = {}
+        epoch = getattr(merges, "sample_epoch", None)
         bounds = np.full(len(queries), np.inf)
         for qi in active:
             query_points = getattr(queries[qi], "points", None)
             if query_points is None:
+                continue
+            if isinstance(cache, IncrementalSampledBounds):
+                bounds[qi] = cache.kth(qi, query_points, resolved, k,
+                                       epoch=epoch)
                 continue
             values = []
             for tid, pts in resolved:
@@ -514,8 +605,8 @@ class BatchQueryPlanner(QueryPlanner):
                         fingerprints: dict[int, bytes],
                         report: BatchPlanReport,
                         traj_points: dict[int, np.ndarray] | None,
-                        ) -> tuple[np.ndarray | None,
-                                   dict[int, np.ndarray] | None]:
+                        cache=None) -> tuple[np.ndarray | None,
+                                             dict[int, np.ndarray] | None]:
         """Per-query certified seed thresholds from the registry.
 
         For each active fingerprintable query, in preference order:
@@ -524,20 +615,30 @@ class BatchQueryPlanner(QueryPlanner):
           current epoch stores the final merged top-k of an identical
           query; its k-th distance *is* this query's final ``dk``
           (the search is deterministic), so it seeds exactly.
-        * **Near-duplicate** — failing that, up to
-          :data:`REGISTRY_SCAN_LIMIT` recent entries within
+        * **Near-duplicate** — failing that, stored entries within
           ``share_eps`` of this query are tried as representatives:
           under a metric, ``stored_dk + d(rep, query)`` upper-bounds
           this query's final k-th best by the triangle inequality; for
           non-metric measures the k-th smallest :attr:`sampled_bound`
           from the query to the entry's stored trajectories certifies
           k distinct trajectories at or under it.  The tightest such
-          bound seeds the query.
+          bound seeds the query.  Under ``query_index=True`` the
+          candidates come from the registry's own metric lookup
+          (:meth:`~repro.cluster.service.HotQueryRegistry.neighbors`)
+          over *all* live entries at :data:`REGISTRY_SCAN_LIMIT` fresh
+          distance calls per query; the legacy path scans the
+          :data:`REGISTRY_SCAN_LIMIT` most-recently-used entries
+          instead (and is the fallback for registries without
+          ``neighbors``).
 
         Every seed upper-bounds the query's *final* k-th best, and is
         applied downstream through the same strict (``>``) skip and
         ``nextafter`` search cutoff as any other threshold, so seeded
-        results stay bit-identical to cold ones.  Returns ``(seeds,
+        results stay bit-identical to cold ones.  ``cache`` optionally
+        carries the batch's
+        :class:`~repro.cluster.query_index.IncrementalSampledBounds`,
+        so non-metric seed evaluations prime the wave-time sampled
+        bounds (same (query, tid) value space).  Returns ``(seeds,
         traj_points)`` — seeds is None when nothing seeded; the
         (lazily built) trajectory lookup is returned for reuse.
         """
@@ -545,6 +646,8 @@ class BatchQueryPlanner(QueryPlanner):
         candidates: list | None = None
         can_neighbor = (self.share_eps is not None
                         and self.share_distance is not None)
+        use_index = self.query_index and hasattr(self.registry,
+                                                 "neighbors")
         for qi in active:
             fingerprint = fingerprints.get(qi)
             if fingerprint is None:
@@ -559,17 +662,29 @@ class BatchQueryPlanner(QueryPlanner):
             query_points = getattr(queries[qi], "points", None)
             if query_points is None:
                 continue
-            if candidates is None:
-                candidates = self.registry.recent(REGISTRY_SCAN_LIMIT)
+            if use_index:
+                pairs, fresh = self.registry.neighbors(
+                    queries[qi], self.share_eps, self.share_distance,
+                    metric=self._share_distance_is_metric,
+                    budget=REGISTRY_SCAN_LIMIT, query_key=fingerprint)
+                report.query_distance_calls += fresh
+            else:
+                if candidates is None:
+                    candidates = self.registry.recent(REGISTRY_SCAN_LIMIT)
+                pairs = []
+                for candidate in candidates:
+                    if getattr(candidate.query, "points", None) is None:
+                        continue
+                    if len(candidate.items) < k:
+                        continue
+                    distance = float(self.share_distance(
+                        queries[qi], candidate.query))
+                    report.query_distance_calls += 1
+                    if distance <= self.share_eps:
+                        pairs.append((candidate, distance))
             best = np.inf
-            for candidate in candidates:
-                if getattr(candidate.query, "points", None) is None:
-                    continue
+            for candidate, distance in pairs:
                 if len(candidate.items) < k:
-                    continue
-                distance = float(self.share_distance(queries[qi],
-                                                     candidate.query))
-                if distance > self.share_eps:
                     continue
                 if self._share_distance_is_metric:
                     bound = candidate.threshold(k) + distance
@@ -579,7 +694,12 @@ class BatchQueryPlanner(QueryPlanner):
                     values = []
                     for _, tid in candidate.items:
                         points = traj_points.get(tid)
-                        if points is not None:
+                        if points is None:
+                            continue
+                        if isinstance(cache, IncrementalSampledBounds):
+                            values.append(cache.value(qi, query_points,
+                                                      tid, points))
+                        else:
                             values.append(float(
                                 self.sampled_bound(query_points, points)))
                     if len(values) < k:
@@ -700,8 +820,10 @@ class BatchQueryPlanner(QueryPlanner):
         num_waves = max((len(waves) for _, waves in plans), default=0)
         merges = RunningTopKVector(len(queries), k)
         pairwise: np.ndarray | None = None
+        cross_index: QueryIndex | None = None
         traj_points: dict[int, np.ndarray] | None = None
-        bound_cache: dict = {}
+        bound_cache = (IncrementalSampledBounds(self.sampled_bound)
+                       if self.sampled_bound is not None else None)
         # Cross-batch hot-query registry: snapshot the epoch *before*
         # the waves (results are stored under it — a concurrent index
         # write mid-batch rolls the registry epoch past it, so those
@@ -721,7 +843,7 @@ class BatchQueryPlanner(QueryPlanner):
                     fingerprints[qi] = fingerprint
             seed_bounds, traj_points = self._registry_seeds(
                 parts, queries, active, k, fingerprints, report,
-                traj_points)
+                traj_points, cache=bound_cache)
         # Per wave: the dispatched (pid, group) pairs, for the fold.
         wave_groups: list[list[tuple[int, list[int]]]] = []
         # Failed (partition -> queries) pairs awaiting a re-dispatch
@@ -733,7 +855,7 @@ class BatchQueryPlanner(QueryPlanner):
             """Lazily build each wave against the freshest dk vector,
             appending re-dispatch waves for failed (partition, query)
             pairs after the planned ones."""
-            nonlocal pairwise, traj_points
+            nonlocal pairwise, cross_index, traj_points
             index = 0
             while True:
                 retry_wave: dict[int, list[int]] | None = None
@@ -743,12 +865,35 @@ class BatchQueryPlanner(QueryPlanner):
                     retry_wave = {pid: list(qis) for pid, qis
                                   in sorted(retry_map.items())}
                     retry_map.clear()
-                if (pairwise is None and self.query_distance is not None
+                # Cross-query triangle coupling, built lazily: the
+                # bound needs some query to already hold k results, so
+                # the first wave never pays for it.  Indexed mode
+                # builds the VP-tree over *all* active queries (the
+                # lifted cap — CROSS_QUERY_LIMIT survives as each
+                # lookup's fresh-call budget, with clustering's pair
+                # distances prepaying the build wherever the
+                # clustering distance is the metric one); legacy mode
+                # keeps the capped full pairwise matrix.
+                if (self.query_index and cross_index is None
+                        and self.query_distance is not None
+                        and len(active) > 1
+                        and np.isfinite(merges.dk_vector()).any()):
+                    cross_index = QueryIndex(
+                        self.query_distance, metric=True,
+                        pair_cache=(known if self._share_distance_is_metric
+                                    else None))
+                    for qi in active:
+                        cross_index.add(qi, queries[qi])
+                    report.query_distance_calls += (
+                        cross_index.distance_calls)
+                if (not self.query_index and pairwise is None
+                        and self.query_distance is not None
                         and 1 < len(active) <= CROSS_QUERY_LIMIT
                         and np.isfinite(merges.dk_vector()).any()):
                     pairwise = self._pairwise(
                         queries, active,
-                        known if self._share_distance_is_metric else None)
+                        known if self._share_distance_is_metric else None,
+                        report=report)
                 bounds = None
                 if self.sampled_bound is not None and index > 0:
                     # Only queries actually dispatching in this wave
@@ -772,6 +917,25 @@ class BatchQueryPlanner(QueryPlanner):
                 if bounds is not None:
                     report.sampled_tightenings += int(
                         np.count_nonzero(bounds < raw))
+                if cross_index is not None:
+                    # Indexed cross-tightening: one budgeted weighted
+                    # nearest-neighbor lookup per item instead of the
+                    # full matrix reduction — value-identical to it
+                    # whenever the budget never binds (each query's
+                    # own dk rides in via the zero self-distance), and
+                    # a sound partial minimum when it does.
+                    weights = {qi: float(raw[qi]) for qi in active}
+                    before_calls = cross_index.distance_calls
+                    cross_vals, improved = cross_index.tighten(
+                        weights, budget=CROSS_QUERY_LIMIT)
+                    report.query_distance_calls += (
+                        cross_index.distance_calls - before_calls)
+                    report.cross_query_tightenings += improved
+                    tightenings = np.full(len(queries), np.inf)
+                    for qi, value in cross_vals.items():
+                        tightenings[qi] = value
+                    bounds = (tightenings if bounds is None
+                              else np.minimum(bounds, tightenings))
                 if seed_bounds is not None:
                     # Registry seeds are certified upper bounds on the
                     # final k-th best, so folding them in every wave is
@@ -907,6 +1071,8 @@ class BatchQueryPlanner(QueryPlanner):
         _, wave_timings = self.engine.run_waves(
             wave_tasks(), hints=hints, on_wave=fold_wave)
 
+        if bound_cache is not None:
+            report.sampled_bound_calls = bound_cache.calls
         results = merges.results()
         for qi in active:
             plan = report.per_query[qi]

@@ -40,7 +40,10 @@ partitions around the heavy ones instead of letting a straggler
 stretch the wave barrier.  Probes are memoizable across repeated
 queries through a driver-owned
 :class:`~repro.cluster.rdd.ProbeCache`, and the multi-query batch
-variant of this planner lives in :mod:`repro.cluster.batch`.
+variant of this planner lives in :mod:`repro.cluster.batch` — whose
+own driver-side scans over *queries* (share clustering, cross-query
+tightening, registry neighbor lookups) run against the metric index
+in :mod:`repro.cluster.query_index`.
 """
 
 from __future__ import annotations

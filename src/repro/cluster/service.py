@@ -103,6 +103,13 @@ class HotQueryRegistry:
     expiry deterministic under the virtual-clock test harness.
     """
 
+    #: Cap on the cross-epoch pair-distance cache behind
+    #: :meth:`neighbors`.  Distances between stored *queries* depend
+    #: only on their (content-hashed) fingerprints, so they survive
+    #: epoch purges; the cap merely bounds memory on endless streams —
+    #: the cache is simply reset when it fills.
+    PAIR_CACHE_LIMIT = 65536
+
     def __init__(self, probe_cache=None, capacity: int = 512,
                  ttl_seconds: float | None = None, clock=time.monotonic):
         self.capacity = max(1, int(capacity))
@@ -116,6 +123,10 @@ class HotQueryRegistry:
         self.evictions = 0
         self._clock = clock
         self._entries: OrderedDict[bytes, RegistryEntry] = OrderedDict()
+        self._index = None          # lazily built metric lookup
+        self._index_distance = None
+        self._indexed: set[bytes] = set()
+        self._pair_cache: dict = {}
         if probe_cache is not None:
             probe_cache.subscribe(self._on_epoch)
 
@@ -126,6 +137,8 @@ class HotQueryRegistry:
         """Epoch-roll listener: purge everything, record the new epoch."""
         self.invalidations += len(self._entries)
         self._entries.clear()
+        self._index = None
+        self._indexed.clear()
         self.epoch = epoch
 
     def _valid(self, entry: RegistryEntry) -> bool:
@@ -169,6 +182,89 @@ class HotQueryRegistry:
             if self._valid(entry):
                 out.append(entry)
         return out
+
+    def neighbors(self, query, eps: float, distance, metric: bool = False,
+                  budget: int | None = None, query_key: bytes | None = None,
+                  ) -> tuple[list[tuple[RegistryEntry, float]], int]:
+        """All valid stored entries within ``eps`` of ``query``.
+
+        The batch planner's near-duplicate seeding lookup
+        (``query_index`` mode): returns ``(matches, fresh_calls)``
+        where each match is ``(entry, distance)`` and ``fresh_calls``
+        counts the trajectory-distance evaluations actually performed.
+        Under ``metric=True`` the lookup runs against a lazily
+        maintained :class:`~repro.cluster.query_index.QueryIndex` over
+        every live entry — new entries are drained into it on demand,
+        entries evicted since are skipped at report time (same
+        fingerprint means same query points, so a replaced entry's
+        cached distances stay valid), and an epoch roll resets it with
+        the rest of the registry.  Under ``metric=False`` (non-metric
+        measures certify no pruning) it is a most-recent-first linear
+        scan.  Either way ``budget`` caps *fresh* distance calls per
+        lookup, and a cross-epoch pair cache keyed by fingerprints —
+        pure content hashes, so epoch-stable — makes recurring
+        queries' lookups nearly free; a truncated lookup just returns
+        fewer candidates (the seed it feeds is a minimum over
+        certified bounds, so any subset is sound).  Entries whose
+        stored query has no point array are never candidates,
+        mirroring the planner's greedy scan.
+        """
+        from .query_index import QueryIndex
+
+        if len(self._pair_cache) > self.PAIR_CACHE_LIMIT:
+            self._pair_cache = {}
+        matches: list[tuple[RegistryEntry, float]] = []
+        if not metric:
+            fresh = 0
+            for entry in reversed(self._entries.values()):
+                if budget is not None and fresh >= budget:
+                    break
+                if not self._valid(entry):
+                    continue
+                if getattr(entry.query, "points", None) is None:
+                    continue
+                pair = None
+                if query_key is not None:
+                    pair = ((query_key, entry.fingerprint)
+                            if query_key <= entry.fingerprint
+                            else (entry.fingerprint, query_key))
+                value = (self._pair_cache.get(pair)
+                         if pair is not None else None)
+                if value is None:
+                    value = float(distance(query, entry.query))
+                    fresh += 1
+                    if pair is not None:
+                        self._pair_cache[pair] = value
+                if value <= eps:
+                    matches.append((entry, value))
+            return matches, fresh
+        if (self._index is not None
+                and (self._index_distance != distance
+                     or len(self._indexed) > 2 * self.capacity)):
+            # A different measure, or too many evicted-but-indexed
+            # entries accumulated: rebuild lazily below (the pair
+            # cache keeps the rebuild nearly free for repeat content).
+            self._index = None
+            self._indexed.clear()
+        if self._index is None:
+            self._index = QueryIndex(distance, metric=True,
+                                     pair_cache=self._pair_cache)
+            self._index_distance = distance
+        calls_before = self._index.distance_calls
+        for fingerprint, entry in self._entries.items():
+            if fingerprint in self._indexed:
+                continue
+            if getattr(entry.query, "points", None) is None:
+                continue
+            if self._valid(entry):
+                self._index.add(fingerprint, entry.query)
+                self._indexed.add(fingerprint)
+        for key, value in self._index.range_search(
+                query, eps, obj_key=query_key, budget=budget):
+            entry = self._entries.get(key)
+            if entry is not None and self._valid(entry):
+                matches.append((entry, value))
+        return matches, self._index.distance_calls - calls_before
 
     def put(self, fingerprint: bytes, query, items,
             epoch: int | None = None) -> None:

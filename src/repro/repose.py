@@ -514,9 +514,15 @@ class DistributedTopK:
         near-duplicate sharing, default off); ``{"sample_size": int}``
         (shared-sample candidates behind the batch planner's sampled
         non-metric cross-query bounds; default auto-sizes to
-        ``max(2k, 8)``, 0 disables); ``{"kernels": name}`` (DP kernel
-        backend for leaf refinement — see
-        :mod:`repro.distances.kernels` — forwarded to every local
+        ``max(2k, 8)``, 0 disables); ``{"query_index": bool}``
+        (default True: route the batch planner's driver-side query
+        scans — share clustering, cross-query tightening, registry
+        neighbor lookups — through the VP-tree metric index of
+        :mod:`repro.cluster.query_index`, lifting the 64-query cap on
+        cross-query reuse; False restores the legacy greedy scans as a
+        comparison baseline — results are identical either way);
+        ``{"kernels": name}`` (DP kernel backend for leaf refinement —
+        see :mod:`repro.distances.kernels` — forwarded to every local
         search, overriding the index's build-time setting; never
         changes results).
     fault_policy:
@@ -533,7 +539,8 @@ class DistributedTopK:
     #: Every knob :attr:`plan_options` accepts; anything else raises
     #: ``ValueError`` up front instead of being silently ignored.
     _PLAN_OPTION_KEYS = frozenset(
-        {"wave_size", "share_eps", "sample_size", "kernels"})
+        {"wave_size", "share_eps", "sample_size", "kernels",
+         "query_index"})
 
     def __init__(self, dataset: TrajectoryDataset,
                  index_factory: Callable[[], object],
@@ -829,7 +836,13 @@ class DistributedTopK:
         (DTW/EDR/LCSS) a sampled banded bound over a small shared
         candidate sample tightens sibling thresholds where the
         triangle inequality cannot (``{"sample_size": n}`` sizes it, 0
-        disables).  ``plan="single"`` runs the queries sequentially,
+        disables).  All of the planner's driver-side query scans run
+        against the VP-tree metric index of
+        :mod:`repro.cluster.query_index` by default, which lifts the
+        64-query cap on cross-query reuse;
+        ``plan_options={"query_index": False}`` restores the legacy
+        greedy scans (identical results, more driver-side distance
+        calls).  ``plan="single"`` runs the queries sequentially,
         each as the paper's one-shot fan-out; ``plan="fifo"`` runs the
         Section V-A one-shot comparison path
         (:meth:`top_k_batch_scheduled`).  All plans return one merged
@@ -893,7 +906,8 @@ class DistributedTopK:
             share_distance=self._share_distance_fn(),
             sampled_bound=self._sampled_bound_fn(),
             sample_size=options.get("sample_size"),
-            registry=registry)
+            registry=registry,
+            query_index=options.get("query_index", True))
         results, wave_timings, report = planner.execute_batch(
             self._parts, queries, k, kwargs_list,
             make_task=lambda rp, group, kws, shares: _LocalMultiTopKTask(

@@ -359,7 +359,9 @@ class TestBatchPlannerMechanics:
     def test_pairwise_skips_duplicates_and_respects_limit(self,
                                                           monkeypatch):
         """Query-to-query distances are only computed between distinct
-        representatives, and not at all past CROSS_QUERY_LIMIT."""
+        representatives, and the legacy greedy mode disables cross
+        reuse outright past CROSS_QUERY_LIMIT while the indexed mode
+        keeps it under a per-lookup budget."""
         import repro.cluster.batch as batch_mod
         calls = []
 
@@ -369,21 +371,39 @@ class TestBatchPlannerMechanics:
 
         parts = [_ScriptedPart(_ScriptedIndex(0.0, [(1.0, 7)])),
                  _ScriptedPart(_ScriptedIndex(0.2, [(2.0, 8)]))]
-        planner = BatchQueryPlanner(ExecutionEngine(), wave_size=1,
-                                    query_distance=distance)
         queries = [Trajectory([(0.0, 0.0)], traj_id=1),
                    Trajectory([(0.0, 0.0)], traj_id=2),   # duplicate
                    Trajectory([(3.0, 3.0)], traj_id=3)]
-        _, _, report = planner.execute_batch(
-            parts, queries, 1, [{}, {}, {}], make_task=self._make_task)
-        assert report.queries_deduplicated == 1
-        # Only the 2 representatives pair up: one distance, not three.
-        assert len(calls) == 1
+        for query_index in (True, False):
+            calls.clear()
+            planner = BatchQueryPlanner(ExecutionEngine(), wave_size=1,
+                                        query_distance=distance,
+                                        query_index=query_index)
+            _, _, report = planner.execute_batch(
+                parts, queries, 1, [{}, {}, {}],
+                make_task=self._make_task)
+            assert report.queries_deduplicated == 1
+            # Only the 2 representatives pair up: one distance (the
+            # index's single routing insert, or the one matrix cell).
+            assert len(calls) == 1
+            assert report.query_distance_calls == 1
         calls.clear()
         monkeypatch.setattr(batch_mod, "CROSS_QUERY_LIMIT", 1)
-        planner.execute_batch(parts, queries, 1, [{}, {}, {}],
-                              make_task=self._make_task)
+        legacy = BatchQueryPlanner(ExecutionEngine(), wave_size=1,
+                                   query_distance=distance,
+                                   query_index=False)
+        legacy.execute_batch(parts, queries, 1, [{}, {}, {}],
+                             make_task=self._make_task)
         assert calls == []  # over the limit: cross reuse disabled
+        indexed = BatchQueryPlanner(ExecutionEngine(), wave_size=1,
+                                    query_distance=distance)
+        _, _, report = indexed.execute_batch(
+            parts, queries, 1, [{}, {}, {}], make_task=self._make_task)
+        # Indexed mode still couples the two representatives — the cap
+        # survives only as a fresh-call budget per lookup, and the one
+        # tree-build call stays within it.
+        assert len(calls) == 1
+        assert report.query_distance_calls == 1
 
     def test_per_query_wave_accounting(self, skewed_dataset):
         """Satellite: waves / threshold_broadcasts / partitions_skipped
@@ -720,8 +740,11 @@ class TestRunningTopKVectorBoundaries:
                         for query, kwargs in zip(queries, kwargs_list)]
 
     def test_cross_query_cap_at_64_distinct_queries(self):
-        """Boundary: exactly CROSS_QUERY_LIMIT (64) distinct queries
-        still build the pairwise matrix; 65 disable cross reuse."""
+        """Boundary: the legacy greedy mode builds the pairwise matrix
+        at exactly CROSS_QUERY_LIMIT (64) distinct queries and disables
+        cross reuse at 65; the indexed mode keeps cross reuse alive
+        past the cap with strictly fewer distance calls than the full
+        matrix would need."""
         calls = []
 
         def distance(a, b):
@@ -731,13 +754,44 @@ class TestRunningTopKVectorBoundaries:
         for count, expect_pairs in ((64, 64 * 63 // 2), (65, 0)):
             calls.clear()
             planner = BatchQueryPlanner(ExecutionEngine(), wave_size=1,
-                                        query_distance=distance)
+                                        query_distance=distance,
+                                        query_index=False)
             queries = [f"q{i}" for i in range(count)]
             results, _, report = planner.execute_batch(
                 self._scripted_parts(), queries, 1,
                 [{} for _ in queries], make_task=self._make_task)
             assert len(calls) == expect_pairs, count
+            assert report.query_distance_calls == expect_pairs
             assert all(r.items == [(1.0, 7)] for r in results)
+        # Lifted cap: at 65 queries the indexed mode still tightens —
+        # only q0 finds anything in wave 1, so the other 64 queries
+        # enter wave 2 with dk=inf and receive the finite cross bound
+        # 1.0 + 0.25 — within the per-lookup fresh-call budget instead
+        # of the all-pairs matrix (the lookups themselves ride on the
+        # pair distances the tree build already cached).
+        class _FirstOnly(_ScriptedIndex):
+            def top_k(self, query, k, dk=float("inf"), **kwargs):
+                self.seen_dks.append(dk)
+                if query != "q0":
+                    return TopKResult(items=[])
+                return TopKResult(items=list(self.items))
+
+        calls.clear()
+        parts = [_ScriptedPart(_FirstOnly(0.0, [(1.0, 7)])),
+                 _ScriptedPart(_ScriptedIndex(0.2, [(1.0, 7)]))]
+        planner = BatchQueryPlanner(ExecutionEngine(), wave_size=1,
+                                    query_distance=distance)
+        queries = [f"q{i}" for i in range(65)]
+        results, _, report = planner.execute_batch(
+            parts, queries, 1,
+            [{} for _ in queries], make_task=self._make_task)
+        assert report.cross_query_tightenings == 64
+        assert 0 < len(calls) < 65 * 64 // 2
+        assert report.query_distance_calls == len(calls)
+        # The 64 coupled searches saw the cross-derived 1.25 threshold.
+        assert sum(dk == pytest.approx(1.25)
+                   for dk in parts[1].index.seen_dks) == 64
+        assert all(r.items == [(1.0, 7)] for r in results)
 
     def test_single_query_batch(self, skewed_dataset):
         """Boundary: a batch of one runs the full machinery (no

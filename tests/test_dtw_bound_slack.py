@@ -1,0 +1,169 @@
+"""Regression pins for the banded-DTW ``_DTW_BOUND_SLACK`` contract.
+
+The sampled cross-query bound inflates the banded DTW value by a
+relative ``_DTW_BOUND_SLACK`` because the band-restricted DP — an
+upper bound in real arithmetic — can land a few float ulps *below*
+the exact DP when the band covers the optimal warp path (the same
+path costs are summed in a different association order).  These tests
+regenerate concrete point pairs where that inversion actually occurs
+(harvested by seed search over ``default_rng(seed)`` pairs) and pin
+both halves of the contract: the raw banded float value really does
+round below the exact DP, and the inflated bound — served through the
+planner's :class:`~repro.cluster.query_index.IncrementalSampledBounds`
+path — still admits the true k-th candidate under the strict
+``nextafter`` result-heap cutoff.
+"""
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.cluster.batch import BatchQueryPlanner
+from repro.cluster.engine import ExecutionEngine
+from repro.core.search import PartitionProbe, TopKResult
+from repro.distances import dtw_distance, get_measure
+from repro.distances.batch import SAMPLED_BOUND_BAND, banded_upper_bound
+from repro.distances.dtw import dtw_banded_distance
+from repro.types import Trajectory
+
+#: Seeds whose ``default_rng`` pair exhibits ``banded < exact`` in
+#: float64 (found by exhaustive search; the generation recipe below is
+#: part of the pin — do not change it without re-harvesting).  Seed 106
+#: is the sharpest: a 2-ulp inversion, enough to slip *below* even the
+#: ``nextafter`` admission cushion.
+INVERTED_SEEDS = [9, 106]
+SHARP_SEED = 106
+
+
+def _harvested_pair(seed: int) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(4, 10))
+    m = n + int(rng.integers(0, SAMPLED_BOUND_BAND))
+    a = rng.uniform(0, 10, (n, 2))
+    b = rng.uniform(0, 10, (m, 2))
+    return a, b
+
+
+@pytest.mark.parametrize("seed", INVERTED_SEEDS)
+def test_banded_dtw_float_value_rounds_below_exact_dp(seed):
+    """The inversion the slack exists for is real: on these pairs the
+    banded DP's float value is strictly below the exact DP's."""
+    a, b = _harvested_pair(seed)
+    exact = float(dtw_distance(a, b))
+    banded = float(dtw_banded_distance(a, b, SAMPLED_BOUND_BAND))
+    assert banded < exact, (
+        f"seed {seed} no longer reproduces the ulp inversion — the "
+        f"banded kernel changed; re-harvest the seeds")
+    # The inflated bound restores the float-level upper-bound contract.
+    inflated = banded_upper_bound(get_measure("dtw"), a, b)
+    assert inflated >= exact
+
+
+def test_sharp_seed_would_defeat_the_nextafter_cushion():
+    """Seed 106's gap is 2 ulps: without the slack, even the result
+    heap's ``nextafter`` admission cushion strictly excludes a
+    candidate sitting exactly at the true distance."""
+    a, b = _harvested_pair(SHARP_SEED)
+    exact = float(dtw_distance(a, b))
+    banded = float(dtw_banded_distance(a, b, SAMPLED_BOUND_BAND))
+    assert float(np.nextafter(banded, np.inf)) < exact
+
+
+class _ScriptedIndex:
+    """Planner-facing fake honoring the real local-search admission:
+    an item survives a broadcast threshold ``dk`` iff its distance is
+    at most ``nextafter(dk, inf)`` (search.py's strict-cutoff heap)."""
+
+    supports_threshold = True
+
+    def __init__(self, bound, items_for):
+        self.bound = bound
+        self.items_for = items_for
+        self.seen_dks: list[float] = []
+
+    def probe(self, query, dqp=None):
+        return PartitionProbe(bound=self.bound,
+                              child_bounds=(self.bound,), trajectories=1)
+
+    def top_k(self, query, k, dk=float("inf"), **kwargs):
+        self.seen_dks.append(dk)
+        cutoff = float(np.nextafter(dk, np.inf))
+        items = self.items_for(query)
+        return TopKResult(items=[item for item in items
+                                 if item[0] <= cutoff][:k])
+
+
+class _ScriptedPart:
+    def __init__(self, index, trajectories=()):
+        self.index = index
+        self.trajectories = list(trajectories)
+
+
+def _run_seed_106_batch() -> tuple[list, object, float]:
+    """One two-wave scripted batch where query ``a``'s true nearest is
+    only reachable through the sampled-bound threshold.
+
+    Query ``b`` (a duplicate of indexed trajectory 0) resolves in wave
+    one, seeding the shared candidate sample with trajectory 0; query
+    ``a`` finds nothing in wave one, so its wave-two threshold is
+    exactly the banded bound ``a -> trajectory 0`` served through
+    :class:`IncrementalSampledBounds`.  Trajectory 0 sits at exactly
+    the true DTW distance in wave two's partition: whether it survives
+    is decided by the slack alone.
+    """
+    a, b = _harvested_pair(SHARP_SEED)
+    exact = float(dtw_distance(a, b))
+    query_b = Trajectory(b, traj_id=900)
+    query_a = Trajectory(a, traj_id=901)
+    key_b = query_b.points.tobytes()
+
+    def first_part_items(query):
+        if query.points.tobytes() == key_b:
+            return [(0.0, 0)]
+        return []
+
+    def second_part_items(query):
+        if query.points.tobytes() == key_b:
+            return []
+        return [(exact, 0)]
+
+    parts = [
+        _ScriptedPart(_ScriptedIndex(0.0, first_part_items)),
+        _ScriptedPart(_ScriptedIndex(5.0, second_part_items),
+                      trajectories=[Trajectory(b, traj_id=0)]),
+    ]
+    planner = BatchQueryPlanner(
+        ExecutionEngine(), wave_size=1, sample_size=4,
+        sampled_bound=functools.partial(banded_upper_bound,
+                                        get_measure("dtw")))
+
+    def make_task(rp, queries, kwargs_list, shares=None):
+        return lambda: [rp.index.top_k(query, 1, **kwargs)
+                        for query, kwargs in zip(queries, kwargs_list)]
+
+    results, _, report = planner.execute_batch(
+        parts, [query_b, query_a], 1, [{}, {}], make_task=make_task)
+    return results, report, exact
+
+
+def test_slack_admits_true_kth_through_index_served_bound_path():
+    """With the slack in force the sampled bound stays a sound float
+    upper bound, so the true nearest neighbour survives the threshold
+    it produced — bit-identically to an unthresholded search."""
+    results, report, exact = _run_seed_106_batch()
+    assert results[0].items == [(0.0, 0)]
+    assert results[1].items == [(exact, 0)]
+    # The bound really was served through the incremental cache.
+    assert report.sampled_bound_calls > 0
+
+
+def test_without_slack_the_crafted_case_loses_the_true_kth(monkeypatch):
+    """Teeth check: zeroing the slack on the same scripted batch makes
+    the banded threshold strictly exclude the true nearest — the exact
+    failure `_DTW_BOUND_SLACK` exists to prevent."""
+    import repro.distances.batch as distances_batch
+    monkeypatch.setattr(distances_batch, "_DTW_BOUND_SLACK", 0.0)
+    results, _, exact = _run_seed_106_batch()
+    assert results[0].items == [(0.0, 0)]
+    assert results[1].items == []

@@ -258,3 +258,120 @@ def test_fuzz_served_path_matches_single(measure):
         if newcomer is not None:
             assert service.registry.epoch == engine.context.probe_cache.epoch, (
                 f"registry missed the epoch roll: {context}")
+
+
+WIDE_QUERIES = int(os.environ.get("REPRO_FUZZ_WIDE_QUERIES", "120"))
+
+
+def _wide_query_mix(rng: np.random.Generator, engine: Repose,
+                    total: int) -> list[Trajectory]:
+    """A serving-scale batch: many near-duplicate families around
+    dataset members (exact duplicates included), padded with disjoint
+    random queries, shuffled.  Sized so the distinct-query count far
+    exceeds the legacy 64-query cross-tightening cap."""
+    trajectories = engine.dataset.trajectories
+    queries: list[Trajectory] = []
+    while len(queries) < (2 * total) // 3:
+        base = trajectories[int(rng.integers(len(trajectories)))]
+        queries.append(base)
+        for _ in range(int(rng.integers(0, 4))):
+            queries.append(base if rng.random() < 0.25
+                           else _jittered(rng, base))
+    while len(queries) < total:
+        queries.append(_random_trajectory(rng, next(_QUERY_IDS),
+                                          hot=bool(rng.random() < 0.5)))
+    order = rng.permutation(len(queries))
+    return [queries[i] for i in order]
+
+
+def _total_refinements(plan) -> int:
+    return sum(wave.exact_refinements
+               for per_query in plan.per_query
+               for wave in per_query.waves)
+
+
+@pytest.mark.parametrize("measure", MEASURES)
+def test_fuzz_wide_batch_matches_single_with_no_worse_counters(measure):
+    """Serving-scale batches (far past the legacy 64-query cap) stay
+    bit-identical, per query, to single-shot execution under both the
+    query-index and the greedy-scan driver paths — and the index path
+    never probes or refines more than the greedy path it replaces."""
+    build_rng = np.random.default_rng((BASE_SEED, 23,
+                                       MEASURES.index(measure)))
+    dataset = TrajectoryDataset(
+        name=f"fuzz-wide-{measure}",
+        trajectories=[_random_trajectory(build_rng, i, hot=bool(i % 3))
+                      for i in range(70)])
+    engine = Repose.build(dataset, measure=measure, delta=0.4,
+                          num_partitions=NUM_PARTITIONS)
+
+    case_seed = (BASE_SEED, 23, MEASURES.index(measure), 0)
+    rng = np.random.default_rng(case_seed)
+    queries = _wide_query_mix(rng, engine, WIDE_QUERIES)
+    k = int(rng.integers(1, 9))
+    options = {"wave_size": 2, "share_eps": 0.05}
+    context = (f"case_seed={case_seed} measure={measure} k={k} "
+               f"queries={len(queries)} "
+               f"(rerun: REPRO_FUZZ_SEED={BASE_SEED} "
+               f"python -m pytest tests/test_fuzz_equivalence.py "
+               f"-k 'wide and {measure}')")
+
+    # Single-shot references, memoized by point content (duplicates
+    # share one reference computation).
+    memo: dict[bytes, list] = {}
+    expected = []
+    for query in queries:
+        ckey = query.points.tobytes()
+        if ckey not in memo:
+            memo[ckey] = engine.top_k(query, k,
+                                      plan="single").result.items
+        expected.append(memo[ckey])
+
+    # Cold indexed run (empty registry): the lifted cap must not cost
+    # exactness at serving scale.
+    cold = engine.top_k_batch(queries, k, plan="waves",
+                              plan_options=options)
+    for qi, (result, items) in enumerate(zip(cold.results, expected)):
+        assert result.items == items, (
+            f"indexed cold batch diverged on query {qi}: {context}")
+
+    distinct = cold.plan.num_queries - cold.plan.queries_deduplicated
+    assert distinct > 64, (
+        f"workload regression: only {distinct} distinct queries, the "
+        f"legacy cap would never have engaged: {context}")
+
+    # Warm pair: identical engine state (probe cache and registry were
+    # both populated by the cold run), so the two driver paths differ
+    # only in their query-scan machinery.
+    indexed = engine.top_k_batch(queries, k, plan="waves",
+                                 plan_options=options)
+    greedy = engine.top_k_batch(
+        queries, k, plan="waves",
+        plan_options={**options, "query_index": False})
+    for qi, (result, items) in enumerate(zip(indexed.results, expected)):
+        assert result.items == items, (
+            f"indexed warm batch diverged on query {qi}: {context}")
+    for qi, (result, items) in enumerate(zip(greedy.results, expected)):
+        assert result.items == items, (
+            f"greedy warm batch diverged on query {qi}: {context}")
+
+    # Probe counters: clustering decisions are mode-identical, so the
+    # probe pass must be too.
+    assert (indexed.plan.probe_cache_hits
+            == greedy.plan.probe_cache_hits), context
+    assert (indexed.plan.probe_cache_misses
+            == greedy.plan.probe_cache_misses), context
+    assert indexed.plan.share_groups == greedy.plan.share_groups, context
+    assert indexed.plan.queries_shared == greedy.plan.queries_shared, (
+        context)
+
+    # Refinements: the index only ever tightens thresholds further, so
+    # partition-side exact work is pointwise no worse in total.
+    assert (_total_refinements(indexed.plan)
+            <= _total_refinements(greedy.plan)), context
+
+    # The legacy path skips cross-query reuse entirely past its cap;
+    # the index is what lifts it.
+    assert greedy.plan.cross_query_tightenings == 0, context
+    assert (indexed.plan.cross_query_tightenings
+            >= greedy.plan.cross_query_tightenings), context

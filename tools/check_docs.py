@@ -40,6 +40,7 @@ DOC_MODULES = [
     "src/repro/cluster/batch.py",
     "src/repro/cluster/rdd.py",
     "src/repro/cluster/service.py",
+    "src/repro/cluster/query_index.py",
     "src/repro/testing/faults.py",
     "src/repro/testing/clock.py",
 ]
